@@ -1,0 +1,102 @@
+//! Ablation benches for the design decisions called out in DESIGN.md §5:
+//! oracle search strategy, tagging schemes, counter configuration, and
+//! trace-length scaling. Each variant is timed; the companion `ablate`
+//! binary in `bp-experiments` reports the accuracy side of the trade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use bp_bench::{bench_trace, bench_workload_config};
+use bp_core::{OracleConfig, OracleSelector, OutcomeMatrix, SearchStrategy, TagCandidates};
+use bp_predictors::{simulate, Gshare, SaturatingCounter};
+use bp_trace::TagScheme;
+use bp_workloads::Benchmark;
+
+fn bench_oracle_search(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("ablate_oracle");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+
+    let base = OracleConfig {
+        candidate_cap: 12,
+        ..OracleConfig::default()
+    };
+    let candidates = TagCandidates::collect(&trace, base.window, base.candidate_cap);
+    let matrix = OutcomeMatrix::build(&trace, &candidates, base.window);
+
+    group.bench_function("greedy", |b| {
+        b.iter(|| black_box(OracleSelector::analyze_matrix(&matrix, &base)))
+    });
+    group.bench_function("exhaustive", |b| {
+        let cfg = OracleConfig {
+            search: SearchStrategy::Exhaustive { max_candidates: 12 },
+            ..base
+        };
+        b.iter(|| black_box(OracleSelector::analyze_matrix(&matrix, &cfg)))
+    });
+    group.finish();
+}
+
+fn bench_tagging_schemes(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("ablate_tagging");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+
+    for (label, schemes) in [
+        ("occurrence_only", &[TagScheme::Occurrence][..]),
+        ("iteration_only", &[TagScheme::Iteration][..]),
+        ("both", &TagScheme::ALL[..]),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cands = TagCandidates::collect_with_schemes(&trace, 16, 32, schemes);
+                black_box(OutcomeMatrix::build(&trace, &cands, 16))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_counter_config(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("ablate_counters");
+    group.sample_size(20);
+
+    for bits in [1u8, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("gshare_bits", bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let mut p = Gshare::with_counter(14, SaturatingCounter::weakly_taken(bits));
+                black_box(simulate(&mut p, &trace))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_trace_len");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+
+    for scale in [1usize, 2, 4] {
+        let cfg = bench_workload_config()
+            .with_target(bp_bench::BENCH_TARGET * scale);
+        let trace = Benchmark::Go.generate(&cfg);
+        group.bench_with_input(BenchmarkId::new("go_gshare", scale), &trace, |b, trace| {
+            b.iter(|| black_box(simulate(&mut Gshare::default(), trace)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_oracle_search,
+    bench_tagging_schemes,
+    bench_counter_config,
+    bench_trace_length
+);
+criterion_main!(benches);

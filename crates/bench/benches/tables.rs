@@ -1,0 +1,40 @@
+//! Regeneration benches for the paper's tables: one bench per table, each
+//! running the full experiment pipeline at bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use bp_bench::bench_experiment_config;
+use bp_experiments::{table1, table2, table3, TraceSet};
+
+fn bench_tables(c: &mut Criterion) {
+    let cfg = bench_experiment_config();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+
+    group.bench_function("table1_workloads", |b| {
+        b.iter(|| {
+            let mut traces = TraceSet::new(cfg.workload);
+            black_box(table1::run(&cfg, &mut traces))
+        })
+    });
+
+    group.bench_function("table2_gshare_corr", |b| {
+        let mut traces = TraceSet::new(cfg.workload);
+        traces.generate_all();
+        b.iter(|| black_box(table2::run(&cfg, &mut traces)))
+    });
+
+    group.bench_function("table3_pas_loop", |b| {
+        let mut traces = TraceSet::new(cfg.workload);
+        traces.generate_all();
+        b.iter(|| black_box(table3::run(&cfg, &mut traces)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `predictor_throughput` — branches/second for every predictor.
+//! * `tables` — regeneration cost of Tables 1–3.
+//! * `figures` — regeneration cost of Figures 4–9.
+//! * `ablations` — oracle search strategy, tagging schemes, counter
+//!   configuration, and trace-length scaling (the design choices DESIGN.md
+//!   §5 calls out).
+//!
+//! Benchmarks run at deliberately small trace targets so the suite
+//! completes in minutes; the `repro` binary is the tool for full-scale
+//! reproduction runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bp_experiments::ExperimentConfig;
+use bp_trace::Trace;
+use bp_workloads::{Benchmark, WorkloadConfig};
+
+/// Trace length used by the benchmark suite.
+pub const BENCH_TARGET: usize = 8_000;
+
+/// Workload configuration for benches.
+pub fn bench_workload_config() -> WorkloadConfig {
+    WorkloadConfig::default().with_target(BENCH_TARGET)
+}
+
+/// Experiment configuration for benches.
+pub fn bench_experiment_config() -> ExperimentConfig {
+    ExperimentConfig {
+        workload: bench_workload_config(),
+        ..ExperimentConfig::default()
+    }
+}
+
+/// A representative trace (gcc: the largest static footprint).
+pub fn bench_trace() -> Trace {
+    Benchmark::Gcc.generate(&bench_workload_config())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_consistent_sizes() {
+        assert_eq!(bench_workload_config().target_branches, BENCH_TARGET);
+        assert!(bench_trace().conditional_count() >= BENCH_TARGET);
+        assert_eq!(
+            bench_experiment_config().workload.target_branches,
+            BENCH_TARGET
+        );
+    }
+}

@@ -1,0 +1,171 @@
+use std::collections::HashMap;
+
+use bp_trace::{InstanceTag, PathWindow, Pc, TagScheme, Trace};
+
+/// The candidate correlated-branch instances considered for each static
+/// branch.
+///
+/// For every dynamic execution of a branch *X*, the instances visible in the
+/// path window (under both tagging schemes of §3.2) are potential correlated
+/// branches. A tag can only carry information when it is actually in the
+/// path, so candidates are ranked by how often they were visible across
+/// *X*'s executions and the list is capped — the paper's oracle has
+/// unspecified scope, and an explicit visibility-ranked cap keeps the search
+/// tractable while retaining every frequently-available instance (see
+/// DESIGN.md §2).
+#[derive(Debug, Clone, Default)]
+pub struct TagCandidates {
+    per_branch: HashMap<Pc, Vec<InstanceTag>>,
+}
+
+impl TagCandidates {
+    /// Scans `trace` with a path window of `window` branches and keeps, for
+    /// each static branch, the `cap` most-often-visible candidate tags.
+    ///
+    /// Ties in visibility break deterministically (by tag order) so results
+    /// are reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `cap` is zero.
+    pub fn collect(trace: &Trace, window: usize, cap: usize) -> Self {
+        TagCandidates::collect_with_schemes(trace, window, cap, &TagScheme::ALL)
+    }
+
+    /// As [`TagCandidates::collect`], restricted to the given tagging
+    /// schemes — the §3.2 ablation: the paper argues both schemes are
+    /// needed because each fails to name some instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `cap` is zero, or `schemes` is empty.
+    pub fn collect_with_schemes(
+        trace: &Trace,
+        window: usize,
+        cap: usize,
+        schemes: &[TagScheme],
+    ) -> Self {
+        assert!(cap > 0, "candidate cap must be positive");
+        assert!(!schemes.is_empty(), "need at least one tagging scheme");
+        let mut counts: HashMap<Pc, HashMap<InstanceTag, u64>> = HashMap::new();
+        let mut path = PathWindow::new(window);
+        let mut visible = Vec::new();
+        for rec in trace.iter() {
+            if rec.is_conditional() {
+                path.visible_tags(&mut visible);
+                let branch_counts = counts.entry(rec.pc).or_default();
+                for (tag, _) in &visible {
+                    if schemes.contains(&tag.scheme) {
+                        *branch_counts.entry(*tag).or_insert(0) += 1;
+                    }
+                }
+            }
+            path.push(rec);
+        }
+
+        let per_branch = counts
+            .into_iter()
+            .map(|(pc, tag_counts)| {
+                let mut ranked: Vec<(InstanceTag, u64)> = tag_counts.into_iter().collect();
+                ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                ranked.truncate(cap);
+                (pc, ranked.into_iter().map(|(tag, _)| tag).collect())
+            })
+            .collect();
+        TagCandidates { per_branch }
+    }
+
+    /// Candidate tags for `pc`, most-visible first; empty if the branch
+    /// never executed.
+    pub fn tags(&self, pc: Pc) -> &[InstanceTag] {
+        self.per_branch.get(&pc).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of static branches with candidate lists.
+    pub fn branch_count(&self) -> usize {
+        self.per_branch.len()
+    }
+
+    /// Iterates `(pc, candidate tags)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, &[InstanceTag])> {
+        self.per_branch.iter().map(|(pc, v)| (*pc, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_trace::{BranchRecord, TagScheme};
+
+    fn pair_trace(n: usize) -> Trace {
+        let mut recs = Vec::new();
+        for i in 0..n {
+            recs.push(BranchRecord::conditional(0x100, i % 2 == 0));
+            recs.push(BranchRecord::conditional(0x200, i % 2 == 0));
+        }
+        Trace::from_records(recs)
+    }
+
+    #[test]
+    fn first_branch_of_pair_sees_prior_instances() {
+        let c = TagCandidates::collect(&pair_trace(50), 8, 16);
+        assert_eq!(c.branch_count(), 2);
+        // 0x200 always has the most recent 0x100 visible.
+        let tags = c.tags(0x200);
+        assert!(tags.contains(&InstanceTag::occurrence(0x100, 0)));
+        // Both schemes are represented.
+        assert!(tags.iter().any(|t| t.scheme == TagScheme::Iteration));
+    }
+
+    #[test]
+    fn cap_limits_list_and_keeps_most_visible() {
+        let full = TagCandidates::collect(&pair_trace(50), 8, 64);
+        let capped = TagCandidates::collect(&pair_trace(50), 8, 2);
+        assert!(full.tags(0x200).len() > 2);
+        assert_eq!(capped.tags(0x200).len(), 2);
+        // The capped list is a prefix of the full ranking.
+        assert_eq!(&full.tags(0x200)[..2], capped.tags(0x200));
+    }
+
+    #[test]
+    fn unknown_branch_has_no_tags() {
+        let c = TagCandidates::collect(&pair_trace(5), 8, 4);
+        assert!(c.tags(0xdead).is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = TagCandidates::collect(&pair_trace(40), 16, 8);
+        let b = TagCandidates::collect(&pair_trace(40), 16, 8);
+        assert_eq!(a.tags(0x100), b.tags(0x100));
+        assert_eq!(a.tags(0x200), b.tags(0x200));
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn zero_cap_rejected() {
+        let _ = TagCandidates::collect(&Trace::new(), 8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheme")]
+    fn empty_schemes_rejected() {
+        let _ = TagCandidates::collect_with_schemes(&Trace::new(), 8, 4, &[]);
+    }
+
+    #[test]
+    fn scheme_restriction_filters_tags() {
+        let trace = pair_trace(30);
+        let occ = TagCandidates::collect_with_schemes(&trace, 8, 32, &[TagScheme::Occurrence]);
+        let iter = TagCandidates::collect_with_schemes(&trace, 8, 32, &[TagScheme::Iteration]);
+        assert!(occ.tags(0x200).iter().all(|t| t.scheme == TagScheme::Occurrence));
+        assert!(iter.tags(0x200).iter().all(|t| t.scheme == TagScheme::Iteration));
+        assert!(!occ.tags(0x200).is_empty());
+        assert!(!iter.tags(0x200).is_empty());
+        // Both-schemes collection is the union, pre-cap.
+        let both = TagCandidates::collect_with_schemes(&trace, 8, 64, &TagScheme::ALL);
+        for t in occ.tags(0x200) {
+            assert!(both.tags(0x200).contains(t));
+        }
+    }
+}

@@ -1,0 +1,502 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use bp_predictors::{
+    simulate_per_branch, BlockPattern, LoopPredictor, PasInterferenceFree,
+    PerBranchStats,
+};
+use bp_trace::{BranchProfile, Pc, Trace};
+
+/// The per-address predictability classes of §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PaClass {
+    /// No class predictor beats predicting the branch's predominant
+    /// direction (most such branches are >99% biased).
+    IdealStatic,
+    /// Loop-type: for-type (taken *n* then not-taken) or while-type
+    /// (mirror), captured by the loop predictor (§4.1.1).
+    Loop,
+    /// Repeating pattern: fixed-length-*k* or block (*n* taken / *m*
+    /// not-taken) patterns (§4.1.2).
+    RepeatingPattern,
+    /// Non-repeating pattern: predictable from specific prior outcomes —
+    /// the premise of PAs (§4.1.3).
+    NonRepeatingPattern,
+}
+
+impl PaClass {
+    /// All classes, in the paper's figure 6 legend order.
+    pub const ALL: [PaClass; 4] = [
+        PaClass::IdealStatic,
+        PaClass::Loop,
+        PaClass::RepeatingPattern,
+        PaClass::NonRepeatingPattern,
+    ];
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            PaClass::IdealStatic => "Ideal Static",
+            PaClass::Loop => "Loop",
+            PaClass::RepeatingPattern => "Repeating Pattern",
+            PaClass::NonRepeatingPattern => "Non-Repeating Pattern",
+        }
+    }
+}
+
+/// Configuration of the per-address classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassifierConfig {
+    /// Largest fixed pattern length swept (the paper uses 32).
+    pub max_period: u32,
+    /// History length of the interference-free PAs class predictor.
+    pub pas_history_bits: u32,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig {
+            max_period: 32,
+            pas_history_bits: 12,
+        }
+    }
+}
+
+/// Per-branch class-predictor scores and the resulting class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchClassScores {
+    /// Dynamic executions of the branch.
+    pub executions: u64,
+    /// Ideal-static correct count (majority direction all run).
+    pub static_correct: u64,
+    /// Loop predictor correct count.
+    pub loop_correct: u64,
+    /// Best fixed-length-pattern (k-ago) correct count over k = 1..=max.
+    pub fixed_correct: u64,
+    /// The k achieving `fixed_correct`.
+    pub best_period: u32,
+    /// Block-pattern predictor correct count.
+    pub block_correct: u64,
+    /// Interference-free PAs correct count.
+    pub pas_correct: u64,
+}
+
+impl BranchClassScores {
+    /// Repeating-pattern score: the better of the fixed-length sweep and
+    /// the block predictor, as in §4.1.2.
+    pub fn repeating_correct(&self) -> u64 {
+        self.fixed_correct.max(self.block_correct)
+    }
+
+    /// Best correct count over every per-address class predictor (not
+    /// counting ideal static).
+    pub fn best_dynamic_correct(&self) -> u64 {
+        self.loop_correct
+            .max(self.repeating_correct())
+            .max(self.pas_correct)
+    }
+
+    /// Assigns the class per §4.1: a branch predicted at least as well by
+    /// ideal static belongs to no dynamic class; otherwise the class whose
+    /// predictor scored highest wins, with ties resolved in the order loop,
+    /// repeating, non-repeating (the more specific behavior wins — a loop
+    /// is also a repeating pattern and a history-predictable pattern).
+    pub fn class(&self) -> PaClass {
+        let best = self.best_dynamic_correct();
+        if self.static_correct >= best {
+            PaClass::IdealStatic
+        } else if self.loop_correct == best {
+            PaClass::Loop
+        } else if self.repeating_correct() == best {
+            PaClass::RepeatingPattern
+        } else {
+            PaClass::NonRepeatingPattern
+        }
+    }
+}
+
+/// Result of classifying every branch of a trace.
+#[derive(Debug, Clone, Default)]
+pub struct Classification {
+    per_branch: HashMap<Pc, BranchClassScores>,
+    total_dynamic: u64,
+}
+
+impl Classification {
+    /// Scores for one branch, if it executed.
+    pub fn get(&self, pc: Pc) -> Option<&BranchClassScores> {
+        self.per_branch.get(&pc)
+    }
+
+    /// Iterates `(pc, scores)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, &BranchClassScores)> {
+        self.per_branch.iter().map(|(pc, s)| (*pc, s))
+    }
+
+    /// Fraction of *dynamic* branches in each class (the paper's figure 6
+    /// weighting); sums to 1 for a non-empty trace.
+    pub fn dynamic_distribution(&self) -> HashMap<PaClass, f64> {
+        let mut weights: HashMap<PaClass, u64> = HashMap::new();
+        for scores in self.per_branch.values() {
+            *weights.entry(scores.class()).or_insert(0) += scores.executions;
+        }
+        PaClass::ALL
+            .iter()
+            .map(|&class| {
+                let w = weights.get(&class).copied().unwrap_or(0);
+                let f = if self.total_dynamic == 0 {
+                    0.0
+                } else {
+                    w as f64 / self.total_dynamic as f64
+                };
+                (class, f)
+            })
+            .collect()
+    }
+
+    /// Of the dynamic branches classified [`PaClass::IdealStatic`], the
+    /// fraction whose static branch is biased above `threshold` — the
+    /// paper's "88% of these branches are more than 99% biased" statistic.
+    pub fn static_class_bias_fraction(&self, profile: &BranchProfile, threshold: f64) -> f64 {
+        let mut static_weight = 0u64;
+        let mut biased_weight = 0u64;
+        for (pc, scores) in self.iter() {
+            if scores.class() == PaClass::IdealStatic {
+                static_weight += scores.executions;
+                if profile.get(pc).is_some_and(|e| e.bias() > threshold) {
+                    biased_weight += scores.executions;
+                }
+            }
+        }
+        if static_weight == 0 {
+            0.0
+        } else {
+            biased_weight as f64 / static_weight as f64
+        }
+    }
+
+    /// Per-branch stats of the loop predictor run used for classification —
+    /// reused by the Table 3 "PAs w/ Loop" construction.
+    pub fn loop_stats(&self) -> PerBranchStats {
+        self.per_branch
+            .iter()
+            .map(|(pc, s)| {
+                (
+                    *pc,
+                    bp_predictors::PredictionStats {
+                        predictions: s.executions,
+                        correct: s.loop_correct,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Per-branch stats of the best per-address class predictor for each
+    /// branch (loop / repeating / non-repeating, whichever scored highest)
+    /// — the "per-address" contender in figure 8.
+    pub fn best_per_address_stats(&self) -> PerBranchStats {
+        self.per_branch
+            .iter()
+            .map(|(pc, s)| {
+                (
+                    *pc,
+                    bp_predictors::PredictionStats {
+                        predictions: s.executions,
+                        correct: s.best_dynamic_correct(),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Runs the §4 per-address classification over a trace.
+///
+/// # Example
+///
+/// ```
+/// use bp_core::{Classifier, ClassifierConfig, PaClass};
+/// use bp_trace::{BranchRecord, Trace};
+///
+/// // A trip-40 loop: too long for PAs history, trivial for the loop
+/// // predictor — so it classifies as loop-type.
+/// let trace: Trace = (0..2000)
+///     .map(|i| BranchRecord::conditional(0x10, i % 41 != 40))
+///     .collect();
+/// let c = Classifier::classify(&trace, &ClassifierConfig::default());
+/// assert_eq!(c.get(0x10).unwrap().class(), PaClass::Loop);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Classifier;
+
+impl Classifier {
+    /// Scores every branch with each class predictor and assigns classes.
+    pub fn classify(trace: &Trace, cfg: &ClassifierConfig) -> Classification {
+        assert!(
+            (1..=64).contains(&cfg.max_period),
+            "max fixed-pattern period must be 1..=64"
+        );
+        let profile = BranchProfile::of(trace);
+        let loop_stats = simulate_per_branch(&mut LoopPredictor::new(), trace);
+        let block_stats = simulate_per_branch(&mut BlockPattern::new(), trace);
+        let pas_stats =
+            simulate_per_branch(&mut PasInterferenceFree::new(cfg.pas_history_bits), trace);
+        let fixed = sweep_fixed_patterns(trace, cfg.max_period);
+
+        let per_branch = profile
+            .iter()
+            .map(|(pc, entry)| {
+                let (fixed_correct, best_period) = fixed
+                    .get(&pc)
+                    .map_or((0, 1), |f| f.best());
+                let scores = BranchClassScores {
+                    executions: entry.executions,
+                    static_correct: entry.ideal_static_correct(),
+                    loop_correct: loop_stats.get(pc).map_or(0, |s| s.correct),
+                    fixed_correct,
+                    best_period,
+                    block_correct: block_stats.get(pc).map_or(0, |s| s.correct),
+                    pas_correct: pas_stats.get(pc).map_or(0, |s| s.correct),
+                };
+                (pc, scores)
+            })
+            .collect();
+        Classification {
+            per_branch,
+            total_dynamic: profile.dynamic_count(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FixedSweep {
+    /// correct[k-1] = correct predictions of the k-ago predictor.
+    correct: Vec<u64>,
+}
+
+impl FixedSweep {
+    fn best(&self) -> (u64, u32) {
+        let mut best = 0u64;
+        let mut best_k = 1u32;
+        for (i, &c) in self.correct.iter().enumerate() {
+            if c > best {
+                best = c;
+                best_k = i as u32 + 1;
+            }
+        }
+        (best, best_k)
+    }
+}
+
+/// Evaluates all k-ago predictors (k = 1..=max) for every branch in one
+/// trace pass, using a per-branch outcome ring. Insufficient history
+/// predicts taken, matching [`bp_predictors::KthAgo`].
+fn sweep_fixed_patterns(trace: &Trace, max_period: u32) -> HashMap<Pc, FixedSweep> {
+    struct Ring {
+        bits: u64,
+        len: u32,
+    }
+    let mut rings: HashMap<Pc, (Ring, FixedSweep)> = HashMap::new();
+    for rec in trace.conditionals() {
+        let (ring, sweep) = rings.entry(rec.pc).or_insert_with(|| {
+            (
+                Ring { bits: 0, len: 0 },
+                FixedSweep {
+                    correct: vec![0; max_period as usize],
+                },
+            )
+        });
+        for k in 1..=max_period {
+            let pred = if ring.len >= k {
+                (ring.bits >> (k - 1)) & 1 == 1
+            } else {
+                true
+            };
+            if pred == rec.taken {
+                sweep.correct[(k - 1) as usize] += 1;
+            }
+        }
+        ring.bits = (ring.bits << 1) | u64::from(rec.taken);
+        if ring.len < 64 {
+            ring.len += 1;
+        }
+    }
+    rings.into_iter().map(|(pc, (_, s))| (pc, s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_trace::BranchRecord;
+
+    fn classify(trace: &Trace) -> Classification {
+        Classifier::classify(trace, &ClassifierConfig::default())
+    }
+
+    #[test]
+    fn biased_branch_is_static_class() {
+        // ~99% taken with *irregularly placed* not-takens (LFSR-driven):
+        // no loop/block/pattern structure to exploit, so ideal static wins.
+        let mut lfsr = 0xBEEFu16;
+        let trace: Trace = (0..2000)
+            .map(|_| {
+                lfsr = (lfsr >> 1) ^ if lfsr & 1 != 0 { 0xB400 } else { 0 };
+                BranchRecord::conditional(0x10, !lfsr.is_multiple_of(97))
+            })
+            .collect();
+        let c = classify(&trace);
+        assert_eq!(
+            c.get(0x10).unwrap().class(),
+            PaClass::IdealStatic,
+            "scores {:?}",
+            c.get(0x10).unwrap()
+        );
+        let dist = c.dynamic_distribution();
+        assert!((dist[&PaClass::IdealStatic] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_loop_is_loop_class() {
+        // Trip 40 beats the 12-bit PAs history; loop predictor is perfect.
+        let mut recs = Vec::new();
+        for _ in 0..50 {
+            for _ in 0..40 {
+                recs.push(BranchRecord::conditional(0x20, true));
+            }
+            recs.push(BranchRecord::conditional(0x20, false));
+        }
+        let c = classify(&Trace::from_records(recs));
+        let s = c.get(0x20).unwrap();
+        assert_eq!(s.class(), PaClass::Loop, "scores {s:?}");
+        assert!(s.loop_correct > s.static_correct);
+    }
+
+    #[test]
+    fn irregular_block_is_repeating_class() {
+        // 37 taken / 23 not-taken blocks: period 60 exceeds the fixed-k
+        // sweep (max 32), and the loop predictor only models single-exit
+        // runs; the block predictor nails it.
+        let mut recs = Vec::new();
+        for _ in 0..40 {
+            for _ in 0..37 {
+                recs.push(BranchRecord::conditional(0x30, true));
+            }
+            for _ in 0..23 {
+                recs.push(BranchRecord::conditional(0x30, false));
+            }
+        }
+        let c = classify(&Trace::from_records(recs));
+        let s = c.get(0x30).unwrap();
+        assert_eq!(s.class(), PaClass::RepeatingPattern, "scores {s:?}");
+        assert!(s.block_correct >= s.fixed_correct);
+    }
+
+    #[test]
+    fn short_period_pattern_prefers_loop_by_tie_break_or_repeating() {
+        // Period-5 pattern TTFTF: not a loop (two not-takens per period,
+        // non-contiguous... TTFTF has isolated F's), fixed-5 is perfect.
+        let pattern = [true, true, false, true, false];
+        let mut recs = Vec::new();
+        for _ in 0..200 {
+            for &t in &pattern {
+                recs.push(BranchRecord::conditional(0x40, t));
+            }
+        }
+        let c = classify(&Trace::from_records(recs));
+        let s = c.get(0x40).unwrap();
+        assert_eq!(s.class(), PaClass::RepeatingPattern, "scores {s:?}");
+        assert_eq!(s.best_period, 5);
+    }
+
+    #[test]
+    fn data_dependent_history_pattern_is_nonrepeating() {
+        // A maximal 6-bit Galois LFSR output stream: period 63, so no
+        // k-ago predictor with k ≤ 32 matches, runs are short and
+        // irregular (no loop/block shape), but every 12-bit history window
+        // uniquely determines the next outcome and *recurs* — exactly the
+        // history-predictable behavior PAs is premised on.
+        let mut recs = Vec::new();
+        let mut lfsr = 0x2Au8;
+        for _ in 0..800 {
+            let bit = lfsr & 1 != 0;
+            lfsr >>= 1;
+            if bit {
+                lfsr ^= 0x30;
+            }
+            recs.push(BranchRecord::conditional(0x60, bit));
+        }
+        let trace = Trace::from_records(recs);
+        let c = classify(&trace);
+        let s = c.get(0x60).unwrap();
+        assert_eq!(s.class(), PaClass::NonRepeatingPattern, "scores {s:?}");
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let mut recs = Vec::new();
+        for i in 0..300u64 {
+            recs.push(BranchRecord::conditional(0x10, true)); // biased
+            recs.push(BranchRecord::conditional(0x20, i % 8 != 7)); // loop
+        }
+        let c = classify(&Trace::from_records(recs));
+        let dist = c.dynamic_distribution();
+        let sum: f64 = dist.values().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bias_fraction_within_static_class() {
+        // One >99%-biased branch, one 60%-biased branch that still lands in
+        // the static class (random-ish outcomes defeat the class
+        // predictors).
+        let mut recs = Vec::new();
+        let mut lfsr = 0x1D2Fu16;
+        for i in 0..2000u64 {
+            recs.push(BranchRecord::conditional(0x10, i % 1000 != 0));
+            let bit = lfsr & 1 != 0;
+            lfsr >>= 1;
+            if bit {
+                lfsr ^= 0xB400;
+            }
+            // 60%-ish biased noise: or together two pseudo-random bits.
+            recs.push(BranchRecord::conditional(0x20, bit || (i % 5 == 0)));
+        }
+        let trace = Trace::from_records(recs);
+        let profile = BranchProfile::of(&trace);
+        let c = Classifier::classify(
+            &trace,
+            &ClassifierConfig {
+                pas_history_bits: 4, // keep PAs weak so 0x20 stays static
+                ..ClassifierConfig::default()
+            },
+        );
+        let frac = c.static_class_bias_fraction(&profile, 0.99);
+        assert!(frac > 0.0 && frac < 1.0, "fraction {frac}");
+    }
+
+    #[test]
+    fn loop_stats_match_scores() {
+        let trace: Trace = (0..200)
+            .map(|i| BranchRecord::conditional(0x70, i % 6 != 5))
+            .collect();
+        let c = classify(&trace);
+        let ls = c.loop_stats();
+        assert_eq!(
+            ls.get(0x70).unwrap().correct,
+            c.get(0x70).unwrap().loop_correct
+        );
+        assert_eq!(ls.total().predictions, 200);
+        let pa = c.best_per_address_stats();
+        assert!(pa.get(0x70).unwrap().correct >= c.get(0x70).unwrap().loop_correct);
+    }
+
+    #[test]
+    fn empty_trace_classifies_nothing() {
+        let c = classify(&Trace::new());
+        assert_eq!(c.iter().count(), 0);
+        let dist = c.dynamic_distribution();
+        assert_eq!(dist.values().sum::<f64>(), 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+use std::collections::HashMap;
+
+use bp_trace::{InstanceTag, PathWindow, Pc, TagOutcome, Trace};
+
+use crate::candidates::TagCandidates;
+
+/// For one static branch: the ternary outcome of every candidate tag at
+/// every dynamic execution, packed flat.
+///
+/// Row *e* (execution *e* of the branch) holds one [`TagOutcome`] digit per
+/// candidate; the branch's own outcome is in `taken[e]`. Selective-history
+/// tag sets are scored by replaying these rows through small counter tables
+/// — no further trace passes needed.
+#[derive(Debug, Clone)]
+pub struct BranchMatrix {
+    tags: Vec<InstanceTag>,
+    /// `executions × tags.len()` outcome digits (0 = taken, 1 = not-taken,
+    /// 2 = not-in-path).
+    digits: Vec<u8>,
+    taken: Vec<bool>,
+}
+
+impl BranchMatrix {
+    /// The candidate tags (columns), most-visible first.
+    pub fn tags(&self) -> &[InstanceTag] {
+        &self.tags
+    }
+
+    /// Number of dynamic executions (rows).
+    pub fn executions(&self) -> usize {
+        self.taken.len()
+    }
+
+    /// The branch outcome at execution `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn taken(&self, e: usize) -> bool {
+        self.taken[e]
+    }
+
+    /// The tag outcome of candidate column `c` at execution `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` or `c` is out of range.
+    pub fn outcome(&self, e: usize, c: usize) -> TagOutcome {
+        assert!(c < self.tags.len(), "candidate column out of range");
+        TagOutcome::from_digit(self.digits[e * self.tags.len() + c] as usize)
+    }
+
+    /// Raw digit row for execution `e` (one digit per candidate column).
+    #[inline]
+    pub fn row(&self, e: usize) -> &[u8] {
+        let w = self.tags.len();
+        &self.digits[e * w..(e + 1) * w]
+    }
+}
+
+/// Candidate tag outcomes for every static branch of a trace, computed in a
+/// single streaming pass.
+///
+/// This is the workhorse behind the oracle selective-history analysis
+/// (§3.4): one pass over the trace with a [`PathWindow`] resolves, for every
+/// dynamic branch, the taken / not-taken / not-in-path status of each of its
+/// candidate correlated instances. All subsequent subset-search passes run
+/// over this compact matrix instead of the trace.
+#[derive(Debug, Clone)]
+pub struct OutcomeMatrix {
+    branches: HashMap<Pc, BranchMatrix>,
+    window: usize,
+}
+
+impl OutcomeMatrix {
+    /// Builds the matrix for `trace` using `candidates` and a path window
+    /// of `window` branches (use the same window length the candidates were
+    /// collected with).
+    pub fn build(trace: &Trace, candidates: &TagCandidates, window: usize) -> Self {
+        let mut builders: HashMap<Pc, BranchMatrix> = candidates
+            .iter()
+            .map(|(pc, tags)| {
+                (
+                    pc,
+                    BranchMatrix {
+                        tags: tags.to_vec(),
+                        digits: Vec::new(),
+                        taken: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+
+        let mut path = PathWindow::new(window);
+        let mut visible = Vec::new();
+        let mut lookup: HashMap<InstanceTag, bool> = HashMap::new();
+        for rec in trace.iter() {
+            if rec.is_conditional() {
+                if let Some(bm) = builders.get_mut(&rec.pc) {
+                    path.visible_tags(&mut visible);
+                    lookup.clear();
+                    lookup.extend(visible.iter().copied());
+                    for tag in &bm.tags {
+                        let digit = match lookup.get(tag) {
+                            Some(&t) => TagOutcome::from_taken(t).digit(),
+                            None => TagOutcome::NotInPath.digit(),
+                        };
+                        bm.digits.push(digit as u8);
+                    }
+                    bm.taken.push(rec.taken);
+                }
+            }
+            path.push(rec);
+        }
+        OutcomeMatrix {
+            branches: builders,
+            window,
+        }
+    }
+
+    /// The window length the matrix was built with.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The matrix of one branch, if it executed.
+    pub fn branch(&self, pc: Pc) -> Option<&BranchMatrix> {
+        self.branches.get(&pc)
+    }
+
+    /// Iterates `(pc, matrix)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, &BranchMatrix)> {
+        self.branches.iter().map(|(pc, m)| (*pc, m))
+    }
+
+    /// Number of static branches covered.
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Total dynamic executions covered (sum of rows over all branches).
+    pub fn dynamic_count(&self) -> u64 {
+        self.branches.values().map(|m| m.executions() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_trace::BranchRecord;
+
+    /// 0x200 copies 0x100's outcome exactly.
+    fn copy_trace(n: usize) -> Trace {
+        let mut recs = Vec::new();
+        for i in 0..n {
+            let dir = i % 3 == 0;
+            recs.push(BranchRecord::conditional(0x100, dir));
+            recs.push(BranchRecord::conditional(0x200, dir));
+        }
+        Trace::from_records(recs)
+    }
+
+    #[test]
+    fn matrix_shape_matches_trace() {
+        let trace = copy_trace(20);
+        let cands = TagCandidates::collect(&trace, 8, 16);
+        let m = OutcomeMatrix::build(&trace, &cands, 8);
+        assert_eq!(m.branch_count(), 2);
+        assert_eq!(m.dynamic_count(), 40);
+        assert_eq!(m.window(), 8);
+        let bm = m.branch(0x200).unwrap();
+        assert_eq!(bm.executions(), 20);
+        assert_eq!(bm.tags().len(), cands.tags(0x200).len());
+    }
+
+    #[test]
+    fn perfect_correlation_visible_in_matrix() {
+        let trace = copy_trace(30);
+        let cands = TagCandidates::collect(&trace, 8, 16);
+        let m = OutcomeMatrix::build(&trace, &cands, 8);
+        let bm = m.branch(0x200).unwrap();
+        let col = bm
+            .tags()
+            .iter()
+            .position(|t| *t == InstanceTag::occurrence(0x100, 0))
+            .expect("most recent 0x100 must be a candidate");
+        for e in 0..bm.executions() {
+            let tag_outcome = bm.outcome(e, col);
+            let expect = TagOutcome::from_taken(bm.taken(e));
+            assert_eq!(tag_outcome, expect, "execution {e}");
+        }
+    }
+
+    #[test]
+    fn early_executions_report_not_in_path() {
+        let trace = copy_trace(5);
+        let cands = TagCandidates::collect(&trace, 8, 16);
+        let m = OutcomeMatrix::build(&trace, &cands, 8);
+        let bm = m.branch(0x100).unwrap();
+        // The very first execution of 0x100 has an empty window: every
+        // candidate must be not-in-path.
+        for c in 0..bm.tags().len() {
+            assert_eq!(bm.outcome(0, c), TagOutcome::NotInPath);
+        }
+        // Row accessor agrees with outcome accessor.
+        let row = bm.row(0);
+        assert!(row.iter().all(|&d| d == TagOutcome::NotInPath.digit() as u8));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn column_out_of_range_panics() {
+        let trace = copy_trace(3);
+        let cands = TagCandidates::collect(&trace, 8, 2);
+        let m = OutcomeMatrix::build(&trace, &cands, 8);
+        let bm = m.branch(0x200).unwrap();
+        let _ = bm.outcome(0, 99);
+    }
+}

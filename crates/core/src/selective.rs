@@ -1,0 +1,266 @@
+use std::collections::HashMap;
+
+use bp_predictors::{BranchSite, Predictor, SaturatingCounter};
+use bp_trace::{pattern_count, pattern_index, BranchRecord, InstanceTag, PathWindow, Pc, TagOutcome};
+
+use crate::oracle::OracleResult;
+
+/// The §3.4 selective-history predictor as a *runtime* [`Predictor`]: each
+/// branch owns a small table of `3^k` counters selected by the ternary
+/// outcomes (taken / not-taken / not-in-path) of its assigned instance
+/// tags, resolved against a live path window.
+///
+/// The oracle analysis scores tag sets by replaying a pre-computed outcome
+/// matrix; this type executes the identical machine online, branch by
+/// branch. `simulate_per_branch` over a `SelectivePredictor` built from an
+/// [`OracleResult`] reproduces [`OracleResult::selective_stats`] exactly —
+/// the cross-check is in this module's tests.
+///
+/// # Example
+///
+/// ```
+/// use bp_core::{OracleConfig, OracleSelector, SelectivePredictor};
+/// use bp_predictors::simulate_per_branch;
+/// use bp_trace::{BranchRecord, Trace};
+///
+/// let trace: Trace = (0..400)
+///     .flat_map(|i| {
+///         let d = (i / 5) % 2 == 0;
+///         [BranchRecord::conditional(0x10, d), BranchRecord::conditional(0x20, d)]
+///     })
+///     .collect();
+/// let cfg = OracleConfig::default();
+/// let oracle = OracleSelector::analyze(&trace, &cfg);
+/// let mut live = SelectivePredictor::from_oracle(&oracle, 1, &cfg);
+/// let stats = simulate_per_branch(&mut live, &trace);
+/// assert_eq!(stats.total(), oracle.selective_stats(1).total());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SelectivePredictor {
+    assignments: HashMap<Pc, Assignment>,
+    window: PathWindow,
+    init: SaturatingCounter,
+}
+
+#[derive(Debug, Clone)]
+struct Assignment {
+    tags: Vec<InstanceTag>,
+    counters: Vec<SaturatingCounter>,
+}
+
+impl SelectivePredictor {
+    /// Builds a predictor that gives each branch the tag set the oracle
+    /// chose for selective histories of (at most) `k` tags.
+    ///
+    /// `cfg` supplies the window length and counter initialization; use the
+    /// same configuration the oracle ran with to reproduce its scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not in `1..=`[`crate::MAX_SELECTIVE_TAGS`].
+    pub fn from_oracle(oracle: &OracleResult, k: usize, cfg: &crate::OracleConfig) -> Self {
+        assert!(
+            (1..=crate::MAX_SELECTIVE_TAGS).contains(&k),
+            "selective history size must be 1..={}",
+            crate::MAX_SELECTIVE_TAGS
+        );
+        let assignments = oracle
+            .iter()
+            .map(|(pc, sel)| {
+                let tags = sel.best[k - 1].tags.clone();
+                let counters = vec![cfg.counter; pattern_count(tags.len())];
+                (pc, Assignment { tags, counters })
+            })
+            .collect();
+        SelectivePredictor {
+            assignments,
+            window: PathWindow::new(cfg.window),
+            init: cfg.counter,
+        }
+    }
+
+    /// Builds a predictor with explicit per-branch tag assignments (for
+    /// hand-crafted studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment has more than [`crate::MAX_SELECTIVE_TAGS`]
+    /// tags.
+    pub fn with_assignments(
+        assignments: impl IntoIterator<Item = (Pc, Vec<InstanceTag>)>,
+        window: usize,
+        init: SaturatingCounter,
+    ) -> Self {
+        let assignments = assignments
+            .into_iter()
+            .map(|(pc, tags)| {
+                assert!(
+                    tags.len() <= crate::MAX_SELECTIVE_TAGS,
+                    "at most {} tags per branch",
+                    crate::MAX_SELECTIVE_TAGS
+                );
+                let counters = vec![init; pattern_count(tags.len())];
+                (pc, Assignment { tags, counters })
+            })
+            .collect();
+        SelectivePredictor {
+            assignments,
+            window: PathWindow::new(window),
+            init,
+        }
+    }
+
+    /// The tag set assigned to `pc`, if any.
+    pub fn tags(&self, pc: Pc) -> Option<&[InstanceTag]> {
+        self.assignments.get(&pc).map(|a| a.tags.as_slice())
+    }
+
+    fn index_for(&self, assignment: &Assignment) -> usize {
+        let outcomes: Vec<TagOutcome> = assignment
+            .tags
+            .iter()
+            .map(|tag| match self.window.lookup(*tag) {
+                Some(taken) => TagOutcome::from_taken(taken),
+                None => TagOutcome::NotInPath,
+            })
+            .collect();
+        pattern_index(&outcomes)
+    }
+}
+
+impl Predictor for SelectivePredictor {
+    fn name(&self) -> String {
+        format!("selective({})", self.window.capacity())
+    }
+
+    fn predict(&self, site: BranchSite) -> bool {
+        match self.assignments.get(&site.pc) {
+            Some(a) => a.counters[self.index_for(a)].predict_taken(),
+            // Unassigned branch: behave like a fresh counter.
+            None => self.init.predict_taken(),
+        }
+    }
+
+    fn update(&mut self, site: BranchSite, taken: bool) {
+        if let Some(a) = self.assignments.get(&site.pc) {
+            let idx = self.index_for(a);
+            self.assignments
+                .get_mut(&site.pc)
+                .expect("assignment exists")
+                .counters[idx]
+                .train(taken);
+        }
+        self.window.push(&BranchRecord {
+            pc: site.pc,
+            target: site.target,
+            taken,
+            kind: bp_trace::BranchKind::Conditional,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OracleConfig, OracleSelector};
+    use bp_predictors::simulate_per_branch;
+    use bp_trace::Trace;
+
+    fn correlated_trace(n: usize) -> Trace {
+        let mut recs = Vec::new();
+        let mut state = 0x5DEECE66Du64;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (state >> 33) & 1 == 1;
+            let b = (state >> 34) & 1 == 1;
+            recs.push(BranchRecord::conditional(0x10, a));
+            recs.push(BranchRecord::conditional(0x20, b));
+            recs.push(BranchRecord::conditional(0x30, a ^ b));
+            recs.push(BranchRecord::conditional(0x40, true).with_target(0x8));
+        }
+        Trace::from_records(recs)
+    }
+
+    #[test]
+    fn runtime_predictor_reproduces_oracle_scores_exactly() {
+        let trace = correlated_trace(500);
+        let cfg = OracleConfig::default();
+        let oracle = OracleSelector::analyze(&trace, &cfg);
+        for k in 1..=3 {
+            let mut live = SelectivePredictor::from_oracle(&oracle, k, &cfg);
+            let stats = simulate_per_branch(&mut live, &trace);
+            let expected = oracle.selective_stats(k);
+            for (pc, e) in expected.iter() {
+                assert_eq!(
+                    stats.get(pc),
+                    Some(e),
+                    "k={k} branch {pc:#x} live vs matrix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_tags_capture_xor() {
+        // XOR correlation is the canonical greedy-killer: neither input
+        // branch predicts the output alone, so forward selection never
+        // finds the pair. Exhaustive subset search does — this is the
+        // failure mode the `SearchStrategy::Exhaustive` option exists for.
+        let trace = correlated_trace(800);
+        let cfg = OracleConfig {
+            search: crate::SearchStrategy::Exhaustive { max_candidates: 48 },
+            ..OracleConfig::default()
+        };
+        let oracle = OracleSelector::analyze(&trace, &cfg);
+        let mut live = SelectivePredictor::from_oracle(&oracle, 2, &cfg);
+        let stats = simulate_per_branch(&mut live, &trace);
+        let xor_branch = stats.get(0x30).expect("xor branch present");
+        assert!(
+            xor_branch.accuracy() > 0.95,
+            "xor branch accuracy {}",
+            xor_branch.accuracy()
+        );
+        assert_eq!(live.tags(0x30).map(<[InstanceTag]>::len), Some(2));
+    }
+
+    #[test]
+    fn manual_assignment_and_unassigned_fallback() {
+        let tags = vec![InstanceTag::occurrence(0x10, 0)];
+        let mut p = SelectivePredictor::with_assignments(
+            [(0x20u64, tags)],
+            8,
+            SaturatingCounter::two_bit(),
+        );
+        // Unassigned branch predicts the counter-init direction.
+        assert!(p.predict(BranchSite::new(0x99, 0x100)));
+        // Copy branch: 0x20 repeats 0x10.
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..300u64 {
+            let d = (i / 7) % 2 == 0;
+            for (pc, taken) in [(0x10u64, d), (0x20u64, d)] {
+                let site = BranchSite::new(pc, pc + 4);
+                let pred = p.predict(site);
+                if pc == 0x20 {
+                    total += 1;
+                    if pred == taken {
+                        correct += 1;
+                    }
+                }
+                p.update(site, taken);
+            }
+        }
+        assert!(correct as f64 / total as f64 > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_manual_tags_rejected() {
+        let tags = (0..4).map(|i| InstanceTag::occurrence(i, 0)).collect();
+        let _ = SelectivePredictor::with_assignments(
+            [(0x1u64, tags)],
+            8,
+            SaturatingCounter::two_bit(),
+        );
+    }
+}

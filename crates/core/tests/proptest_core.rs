@@ -1,0 +1,197 @@
+//! Property-based tests for the analysis layer: oracle invariants,
+//! classification totals, best-of/combined algebra, percentile curves.
+
+use proptest::prelude::*;
+
+use bp_core::{
+    best_of, combined_correct, per_branch_max, presence_stats, Classifier, ClassifierConfig,
+    Contender, OracleConfig, OracleSelector, OutcomeMatrix, PaClass, PercentileCurve,
+    SearchStrategy, SelectivePredictor, TagCandidates, IDEAL_STATIC_NAME,
+};
+use bp_predictors::{simulate_per_branch, Gshare, Pas, PerBranchStats, PredictionStats};
+use bp_trace::{BranchProfile, BranchRecord, Trace};
+
+fn arb_trace(max: usize) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        (0u64..12, any::<bool>(), any::<bool>()).prop_map(|(pc, taken, backward)| {
+            let rec = BranchRecord::conditional(pc * 4 + 0x100, taken);
+            if backward {
+                rec.with_target(0x80)
+            } else {
+                rec
+            }
+        }),
+        1..max,
+    )
+    .prop_map(Trace::from_records)
+}
+
+fn arb_stats_pair() -> impl Strategy<Value = (PerBranchStats, PerBranchStats)> {
+    prop::collection::vec((0u64..16, 1u64..50, 0u64..50, 0u64..50), 0..12).prop_map(|rows| {
+        let a: PerBranchStats = rows
+            .iter()
+            .map(|&(pc, n, ca, _)| {
+                (
+                    pc,
+                    PredictionStats {
+                        predictions: n,
+                        correct: ca.min(n),
+                    },
+                )
+            })
+            .collect();
+        let b: PerBranchStats = rows
+            .iter()
+            .map(|&(pc, n, _, cb)| {
+                (
+                    pc,
+                    PredictionStats {
+                        predictions: n,
+                        correct: cb.min(n),
+                    },
+                )
+            })
+            .collect();
+        (a, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn oracle_scores_monotone_and_bounded(trace in arb_trace(400)) {
+        let cfg = OracleConfig { window: 8, candidate_cap: 12, ..OracleConfig::default() };
+        let oracle = OracleSelector::analyze(&trace, &cfg);
+        for (_, sel) in oracle.iter() {
+            prop_assert!(sel.best[0].correct <= sel.executions);
+            prop_assert!(sel.best[1].correct >= sel.best[0].correct);
+            prop_assert!(sel.best[2].correct >= sel.best[1].correct);
+            prop_assert!(sel.best[0].tags.len() <= 1);
+            prop_assert!(sel.best[1].tags.len() <= 2);
+            prop_assert!(sel.best[2].tags.len() <= 3);
+        }
+        let total: u64 = oracle.iter().map(|(_, s)| s.executions).sum();
+        prop_assert_eq!(total, trace.conditional_count() as u64);
+    }
+
+    #[test]
+    fn exhaustive_never_below_greedy(trace in arb_trace(250)) {
+        let base = OracleConfig { window: 6, candidate_cap: 8, ..OracleConfig::default() };
+        let greedy = OracleSelector::analyze(&trace, &base);
+        let exhaustive = OracleSelector::analyze(&trace, &OracleConfig {
+            search: SearchStrategy::Exhaustive { max_candidates: 8 },
+            ..base
+        });
+        for (pc, g) in greedy.iter() {
+            let e = exhaustive.selection(pc).expect("same branches analyzed");
+            for k in 0..3 {
+                prop_assert!(e.best[k].correct >= g.best[k].correct, "branch {pc:#x} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_selective_equals_matrix_scoring(trace in arb_trace(300), k in 1usize..=3) {
+        // The strongest cross-check in the workspace: the online
+        // SelectivePredictor (live path window, per-branch counter tables)
+        // must reproduce the oracle's offline matrix-replay scores bit for
+        // bit, for every branch.
+        let cfg = OracleConfig { window: 8, candidate_cap: 10, ..OracleConfig::default() };
+        let oracle = OracleSelector::analyze(&trace, &cfg);
+        let mut live = SelectivePredictor::from_oracle(&oracle, k, &cfg);
+        let live_stats = simulate_per_branch(&mut live, &trace);
+        let matrix_stats = oracle.selective_stats(k);
+        for (pc, m) in matrix_stats.iter() {
+            prop_assert_eq!(live_stats.get(pc), Some(m), "branch {:#x} k={}", pc, k);
+        }
+    }
+
+    #[test]
+    fn presence_bounded_by_full_information(trace in arb_trace(300), k in 1usize..=3) {
+        let cfg = OracleConfig { window: 8, candidate_cap: 10, ..OracleConfig::default() };
+        let cands = TagCandidates::collect(&trace, cfg.window, cfg.candidate_cap);
+        let matrix = OutcomeMatrix::build(&trace, &cands, cfg.window);
+        let oracle = OracleSelector::analyze_matrix(&matrix, &cfg);
+        let presence = presence_stats(&matrix, &oracle, k, cfg.counter);
+        let full = oracle.selective_stats(k);
+        prop_assert_eq!(presence.total().predictions, full.total().predictions);
+        // Presence is a deterministic coarsening of the ternary pattern;
+        // with adaptive counters it can win on individual branches by
+        // luck, but it can never beat the oracle's own chosen-set score by
+        // more than warmup noise in aggregate.
+        prop_assert!(presence.total().correct <= full.total().correct
+            + (full.total().predictions / 10).max(8));
+    }
+
+    #[test]
+    fn classification_covers_trace(trace in arb_trace(400)) {
+        let c = Classifier::classify(&trace, &ClassifierConfig::default());
+        let total: u64 = c.iter().map(|(_, s)| s.executions).sum();
+        prop_assert_eq!(total, trace.conditional_count() as u64);
+        let dist = c.dynamic_distribution();
+        let sum: f64 = dist.values().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        // Per-branch: scores are bounded by executions and the class is
+        // consistent with the score comparison.
+        for (_, s) in c.iter() {
+            prop_assert!(s.static_correct <= s.executions);
+            prop_assert!(s.loop_correct <= s.executions);
+            prop_assert!(s.repeating_correct() <= s.executions);
+            prop_assert!(s.pas_correct <= s.executions);
+            if s.class() == PaClass::IdealStatic {
+                prop_assert!(s.static_correct >= s.best_dynamic_correct());
+            } else {
+                prop_assert!(s.best_dynamic_correct() > s.static_correct);
+            }
+        }
+    }
+
+    #[test]
+    fn combined_is_commutative_and_dominates((a, b) in arb_stats_pair()) {
+        let ab = combined_correct(&a, &b);
+        let ba = combined_correct(&b, &a);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab.correct >= a.total().correct);
+        prop_assert!(ab.correct >= b.total().correct);
+        prop_assert!(ab.correct <= a.total().correct + b.total().correct);
+        prop_assert_eq!(ab.predictions, a.total().predictions);
+    }
+
+    #[test]
+    fn per_branch_max_agrees_with_combined((a, b) in arb_stats_pair()) {
+        let m = per_branch_max(&a, &b);
+        prop_assert_eq!(m.total(), combined_correct(&a, &b));
+        // Idempotent and commutative.
+        prop_assert_eq!(per_branch_max(&a, &a).total(), a.total());
+        prop_assert_eq!(per_branch_max(&b, &a).total(), m.total());
+    }
+
+    #[test]
+    fn best_of_fractions_partition(trace in arb_trace(300)) {
+        let profile = BranchProfile::of(&trace);
+        let g = simulate_per_branch(&mut Gshare::new(6), &trace);
+        let p = simulate_per_branch(&mut Pas::new(4, 3, 1), &trace);
+        let dist = best_of(
+            &[Contender::new("g", &g), Contender::new("p", &p)],
+            &profile,
+            0.99,
+        );
+        let sum = dist.fraction("g") + dist.fraction("p") + dist.fraction(IDEAL_STATIC_NAME);
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let bias = dist.static_bias_fraction();
+        prop_assert!((0.0..=1.0).contains(&bias));
+    }
+
+    #[test]
+    fn percentile_curve_monotone((a, b) in arb_stats_pair()) {
+        let curve = PercentileCurve::accuracy_difference(&a, &b);
+        let samples = curve.sample(20);
+        prop_assert!(samples.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-12));
+        prop_assert!(curve.loss_if_only_first() >= 0.0);
+        prop_assert!(curve.loss_if_only_second() >= 0.0);
+        // Mirror symmetry: swapping the predictors flips the curve.
+        let flipped = PercentileCurve::accuracy_difference(&b, &a);
+        prop_assert!((curve.loss_if_only_first() - flipped.loss_if_only_second()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! `probe` — fast calibration dump: key predictor accuracies per benchmark
+//! (no oracle analysis), for workload tuning.
+//!
+//! ```text
+//! probe [--target N] [--seed N] [bench ...]
+//! ```
+
+use bp_predictors::{
+    simulate, Gshare, GshareInterferenceFree, IdealStatic, Pas, PasInterferenceFree, Smith,
+};
+use bp_trace::{BranchProfile, TraceStats};
+use bp_workloads::{Benchmark, WorkloadConfig};
+
+fn main() {
+    let mut cfg = WorkloadConfig::default().with_target(150_000);
+    let mut picks: Vec<Benchmark> = Vec::new();
+    let mut per_branch = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--target" => {
+                cfg.target_branches = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--target N");
+            }
+            "--seed" => {
+                cfg.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N");
+            }
+            "--per-branch" => per_branch = true,
+            name => picks.push(name.parse().expect("benchmark name")),
+        }
+    }
+    if picks.is_empty() {
+        picks = Benchmark::ALL.to_vec();
+    }
+
+    if per_branch {
+        use bp_predictors::simulate_per_branch;
+        for b in &picks {
+            let trace = b.generate(&cfg);
+            let g = simulate_per_branch(&mut Gshare::new(16), &trace);
+            let ig = simulate_per_branch(&mut GshareInterferenceFree::new(16), &trace);
+            let p = simulate_per_branch(&mut Pas::default(), &trace);
+            let mut rows: Vec<_> = g.iter().collect();
+            rows.sort_by_key(|(pc, _)| *pc);
+            println!("== {} per-branch (pc, execs, gshare%, IFgshare%, pas%)", b.name());
+            for (pc, sg) in rows {
+                let sig = ig.get(pc).unwrap();
+                let sp = p.get(pc).unwrap();
+                println!(
+                    "{pc:#x} {:>8} {:>7.2} {:>7.2} {:>7.2}",
+                    sg.predictions,
+                    sg.accuracy() * 100.0,
+                    sig.accuracy() * 100.0,
+                    sp.accuracy() * 100.0
+                );
+            }
+        }
+        return;
+    }
+
+    println!(
+        "{:<9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>6}",
+        "bench", "smith", "gshare", "IFgsh", "pas", "IFpas", "static", "taken", "dyn", "static#"
+    );
+    for b in picks {
+        let trace = b.generate(&cfg);
+        let stats = TraceStats::of(&trace);
+        let profile = BranchProfile::of(&trace);
+        let acc = |x: f64| format!("{:.2}", x * 100.0);
+        println!(
+            "{:<9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>6}",
+            b.name(),
+            acc(simulate(&mut Smith::default(), &trace).accuracy()),
+            acc(simulate(&mut Gshare::new(16), &trace).accuracy()),
+            acc(simulate(&mut GshareInterferenceFree::new(16), &trace).accuracy()),
+            acc(simulate(&mut Pas::default(), &trace).accuracy()),
+            acc(simulate(&mut PasInterferenceFree::new(12), &trace).accuracy()),
+            acc(simulate(&mut IdealStatic::from_profile(&profile), &trace).accuracy()),
+            format!("{:.2}", stats.taken_rate() * 100.0),
+            stats.dynamic_conditional,
+            stats.static_conditional,
+        );
+    }
+}

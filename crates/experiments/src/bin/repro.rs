@@ -1,0 +1,106 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                 every experiment, default trace length
+//! repro table2 fig4         a subset
+//! repro --quick all         40k-branch traces (fast smoke run)
+//! repro --target 1000000 all   paper-scale traces
+//! repro --seed 7 fig6       different workload seed
+//! repro --cache DIR all     persist generated traces as .bpt files
+//! ```
+
+use std::process::ExitCode;
+
+use bp_experiments::{
+    ext_adaptivity, ext_distance, ext_family, ext_hybrids, ext_interference, ext_warmup, fig4, fig5, fig6, fig7, fig8,
+    fig9, table1, table2, table3, ExperimentConfig, TraceSet, EXPERIMENT_IDS,
+};
+
+fn usage() {
+    eprintln!("usage: repro [--quick] [--seed N] [--target N] [--cache DIR] <experiment...|all>");
+    eprintln!("experiments: {}", EXPERIMENT_IDS.join(" "));
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ExperimentConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut cache_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg = ExperimentConfig::quick(),
+            "--cache" => match args.next() {
+                Some(dir) => cache_dir = Some(dir),
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => cfg.workload.seed = seed,
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--target" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) => cfg.workload.target_branches = t,
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = EXPERIMENT_IDS.iter().map(|s| (*s).to_owned()).collect();
+    }
+    if ids.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    for id in &ids {
+        if !EXPERIMENT_IDS.contains(&id.as_str()) {
+            eprintln!("unknown experiment: {id}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "# Reproduction run: seed={} target={} branches/benchmark\n",
+        cfg.workload.seed, cfg.workload.target_branches
+    );
+    let mut traces = match cache_dir {
+        Some(dir) => TraceSet::with_disk_cache(cfg.workload, dir),
+        None => TraceSet::new(cfg.workload),
+    };
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match id.as_str() {
+            "table1" => println!("{}", table1::run(&cfg, &mut traces)),
+            "fig4" => println!("{}", fig4::run(&cfg, &mut traces)),
+            "fig5" => println!("{}", fig5::run(&cfg, &mut traces)),
+            "table2" => println!("{}", table2::run(&cfg, &mut traces)),
+            "fig6" => println!("{}", fig6::run(&cfg, &mut traces)),
+            "table3" => println!("{}", table3::run(&cfg, &mut traces)),
+            "fig7" => println!("{}", fig7::run(&cfg, &mut traces)),
+            "fig8" => println!("{}", fig8::run(&cfg, &mut traces)),
+            "fig9" => println!("{}", fig9::run(&cfg, &mut traces)),
+            "hybrids" => println!("{}", ext_hybrids::run(&cfg, &mut traces)),
+            "interference" => println!("{}", ext_interference::run(&cfg, &mut traces)),
+            "distance" => println!("{}", ext_distance::run(&cfg, &mut traces)),
+            "adaptivity" => println!("{}", ext_adaptivity::run(&cfg, &mut traces)),
+            "family" => println!("{}", ext_family::run(&cfg, &mut traces)),
+            "warmup" => println!("{}", ext_warmup::run(&cfg, &mut traces)),
+            _ => unreachable!("ids validated above"),
+        }
+        eprintln!("[{} done in {:.1}s]\n", id, started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,146 @@
+//! Extension: the hybrid-predictor study the paper's §5 motivates, plus
+//! the related designs from its references — McFarling's chooser hybrid,
+//! Chang et al.'s branch-classification hybrid \[1\], Seznec's skewed
+//! predictor \[7\], Nair's path-based predictor \[3\], and the plain
+//! GAg/PAg taxonomy corners.
+//!
+//! The headline check: the gshare+PAs hybrid captures (most of) the
+//! per-branch best-of-both accuracy that figure 9 shows is available.
+
+use bp_predictors::{
+    simulate, ClassHybrid, Gag, Gshare, Gskew, Hybrid, Pag, Pas, PathBased,
+};
+use bp_trace::BranchProfile;
+use bp_workloads::Benchmark;
+
+use crate::render::{pct, Table};
+use crate::{ExperimentConfig, TraceSet};
+
+/// One benchmark's accuracy row across the predictor zoo (values 0..=1).
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Plain gshare (paper config).
+    pub gshare: f64,
+    /// Plain PAs.
+    pub pas: f64,
+    /// McFarling chooser hybrid of the two.
+    pub hybrid: f64,
+    /// Chang-style classification hybrid (static for biased branches).
+    pub class_hybrid: f64,
+    /// Seznec gskew at matching per-bank size.
+    pub gskew: f64,
+    /// Nair path-based predictor.
+    pub path: f64,
+    /// GAg (pure global, shared PHT).
+    pub gag: f64,
+    /// PAg (per-address histories, shared PHT).
+    pub pag: f64,
+}
+
+/// Full extension result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per benchmark, in [`Benchmark::ALL`] order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the hybrid/related-designs comparison.
+pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
+    let rows = Benchmark::ALL
+        .into_iter()
+        .map(|benchmark| {
+            let trace = traces.trace(benchmark);
+            let profile = BranchProfile::of(&trace);
+            Row {
+                benchmark,
+                gshare: simulate(&mut Gshare::new(cfg.gshare_bits), &trace).accuracy(),
+                pas: simulate(&mut Pas::default(), &trace).accuracy(),
+                hybrid: simulate(
+                    &mut Hybrid::new(Gshare::new(cfg.gshare_bits), Pas::default(), 12),
+                    &trace,
+                )
+                .accuracy(),
+                class_hybrid: simulate(
+                    &mut ClassHybrid::new(Gshare::new(cfg.gshare_bits), &profile, 0.95),
+                    &trace,
+                )
+                .accuracy(),
+                gskew: simulate(&mut Gskew::new(12, 12), &trace).accuracy(),
+                path: simulate(&mut PathBased::default(), &trace).accuracy(),
+                gag: simulate(&mut Gag::new(12), &trace).accuracy(),
+                pag: simulate(&mut Pag::default(), &trace).accuracy(),
+            }
+        })
+        .collect();
+    Result { rows }
+}
+
+impl std::fmt::Display for Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "Extension: hybrids and related designs (accuracy %)",
+            &[
+                "benchmark",
+                "gshare",
+                "PAs",
+                "hybrid",
+                "class-hyb",
+                "gskew",
+                "path",
+                "GAg",
+                "PAg",
+            ],
+        );
+        for row in &self.rows {
+            t.row(vec![
+                row.benchmark.short_name().to_owned(),
+                pct(row.gshare),
+                pct(row.pas),
+                pct(row.hybrid),
+                pct(row.class_hybrid),
+                pct(row.gskew),
+                pct(row.path),
+                pct(row.gag),
+                pct(row.pag),
+            ]);
+        }
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_tracks_best_component() {
+        let cfg = ExperimentConfig::quick();
+        let mut traces = TraceSet::new(cfg.workload);
+        let r = run(&cfg, &mut traces);
+        assert_eq!(r.rows.len(), 8);
+        let mut hybrid_wins = 0;
+        for row in &r.rows {
+            let best = row.gshare.max(row.pas);
+            assert!(row.hybrid > best - 0.02, "{row:?}");
+            if row.hybrid >= best {
+                hybrid_wins += 1;
+            }
+        }
+        // On most benchmarks the hybrid should at least match the better
+        // component outright.
+        assert!(hybrid_wins >= 4, "hybrid only matched best on {hybrid_wins}/8");
+    }
+
+    #[test]
+    fn gag_never_beats_gshare_materially() {
+        // GAg is strictly-more-aliased than gshare at equal size.
+        let cfg = ExperimentConfig::quick();
+        let mut traces = TraceSet::new(cfg.workload);
+        let r = run(&cfg, &mut traces);
+        for row in &r.rows {
+            assert!(row.gag <= row.gshare + 0.03, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Extension: Talcott/Young-style interference accounting (paper §2.2) —
+//! classify every gshare prediction as clean, neutral, destructive, or
+//! constructive against an interference-free shadow twin, and reconcile
+//! the net damage with the measured gshare-vs-IF-gshare gap.
+
+use bp_predictors::{simulate, Gshare, GshareInterferenceFree, InterferenceGshare, InterferenceStats};
+use bp_workloads::Benchmark;
+
+use crate::render::{pct, Table};
+use crate::{ExperimentConfig, TraceSet};
+
+/// One benchmark's interference breakdown.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// The per-prediction classification.
+    pub stats: InterferenceStats,
+    /// Plain gshare accuracy.
+    pub gshare: f64,
+    /// Interference-free gshare accuracy.
+    pub if_gshare: f64,
+}
+
+impl Row {
+    /// Net accuracy damage attributed by the accounting, as a fraction of
+    /// all predictions.
+    pub fn accounted_damage(&self) -> f64 {
+        self.stats.net_destruction() as f64 / self.stats.total().max(1) as f64
+    }
+
+    /// The externally measured gap (IF-gshare − gshare accuracy).
+    pub fn measured_gap(&self) -> f64 {
+        self.if_gshare - self.gshare
+    }
+}
+
+/// Full extension result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per benchmark, in [`Benchmark::ALL`] order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the interference accounting.
+pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
+    let rows = Benchmark::ALL
+        .into_iter()
+        .map(|benchmark| {
+            let trace = traces.trace(benchmark);
+            let mut instrumented = InterferenceGshare::new(cfg.gshare_bits);
+            let g = simulate(&mut instrumented, &trace);
+            let if_g = simulate(&mut GshareInterferenceFree::new(cfg.gshare_bits), &trace);
+            // Instrumentation must not change behavior; sanity-check once.
+            debug_assert_eq!(
+                g,
+                simulate(&mut Gshare::new(cfg.gshare_bits), &trace)
+            );
+            Row {
+                benchmark,
+                stats: instrumented.stats(),
+                gshare: g.accuracy(),
+                if_gshare: if_g.accuracy(),
+            }
+        })
+        .collect();
+    Result { rows }
+}
+
+impl std::fmt::Display for Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "Extension: gshare PHT interference accounting (% of predictions)",
+            &[
+                "benchmark",
+                "interfered",
+                "destructive",
+                "constructive",
+                "net damage",
+                "IF-gap (measured)",
+            ],
+        );
+        for row in &self.rows {
+            let total = row.stats.total().max(1) as f64;
+            t.row(vec![
+                row.benchmark.short_name().to_owned(),
+                pct(row.stats.interference_rate()),
+                pct(row.stats.destructive as f64 / total),
+                pct(row.stats.constructive as f64 / total),
+                pct(row.accounted_damage()),
+                pct(row.measured_gap()),
+            ]);
+        }
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_brackets_the_measured_gap() {
+        let cfg = ExperimentConfig::quick();
+        let mut traces = TraceSet::new(cfg.workload);
+        let r = run(&cfg, &mut traces);
+        for row in &r.rows {
+            let total = row.stats.total();
+            assert!(total > 0, "{:?}", row.benchmark);
+            // The categories partition all predictions.
+            assert_eq!(
+                row.stats.clean
+                    + row.stats.neutral
+                    + row.stats.destructive
+                    + row.stats.constructive,
+                total
+            );
+            // Damage accounting and the measured gap agree in rough
+            // magnitude: the shadow twin *is* the IF predictor, so the net
+            // damage equals the gap up to shadow-training differences.
+            assert!(
+                (row.accounted_damage() - row.measured_gap()).abs() < 0.02,
+                "{:?}: accounted {} vs measured {}",
+                row.benchmark,
+                row.accounted_damage(),
+                row.measured_gap()
+            );
+        }
+    }
+
+    #[test]
+    fn gcc_has_the_most_interference() {
+        // The large-static-footprint benchmark must show the highest
+        // interference rate.
+        let cfg = ExperimentConfig::quick();
+        let mut traces = TraceSet::new(cfg.workload);
+        let r = run(&cfg, &mut traces);
+        let gcc = r
+            .rows
+            .iter()
+            .find(|r| r.benchmark == Benchmark::Gcc)
+            .expect("gcc row");
+        for row in &r.rows {
+            if row.benchmark != Benchmark::Gcc {
+                assert!(
+                    gcc.stats.interference_rate() >= row.stats.interference_rate(),
+                    "{:?} beats gcc: {} vs {}",
+                    row.benchmark,
+                    row.stats.interference_rate(),
+                    gcc.stats.interference_rate()
+                );
+            }
+        }
+    }
+}

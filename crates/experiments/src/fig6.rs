@@ -1,0 +1,137 @@
+//! Figure 6: fraction of dynamic branches in each per-address
+//! predictability class (ideal static / loop / repeating / non-repeating).
+
+use bp_core::{Classifier, PaClass};
+use bp_trace::BranchProfile;
+use bp_workloads::Benchmark;
+
+use crate::render::{pct0, Table};
+use crate::{ExperimentConfig, TraceSet};
+
+/// One benchmark's class distribution (fractions of dynamic branches).
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Fractions in [`PaClass::ALL`] order (static, loop, repeating,
+    /// non-repeating); sums to 1.
+    pub fractions: [f64; 4],
+    /// Within the static class, the dynamic fraction >99% biased.
+    pub static_biased: f64,
+}
+
+/// Full figure 6 result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per benchmark, in [`Benchmark::ALL`] order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the figure 6 experiment.
+pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
+    let rows = Benchmark::ALL
+        .into_iter()
+        .map(|benchmark| {
+            let trace = traces.trace(benchmark);
+            let classification = Classifier::classify(&trace, &cfg.classifier);
+            let profile = BranchProfile::of(&trace);
+            let dist = classification.dynamic_distribution();
+            let mut fractions = [0f64; 4];
+            for (i, class) in PaClass::ALL.iter().enumerate() {
+                fractions[i] = dist.get(class).copied().unwrap_or(0.0);
+            }
+            Row {
+                benchmark,
+                fractions,
+                static_biased: classification.static_class_bias_fraction(&profile, 0.99),
+            }
+        })
+        .collect();
+    Result { rows }
+}
+
+impl Result {
+    /// Unweighted mean fraction per class across benchmarks — the numbers
+    /// the paper quotes ("about half… a third… a sixth", §4.2.1).
+    pub fn mean_fractions(&self) -> [f64; 4] {
+        let mut mean = [0f64; 4];
+        for row in &self.rows {
+            for (m, f) in mean.iter_mut().zip(row.fractions) {
+                *m += f;
+            }
+        }
+        for m in &mut mean {
+            *m /= self.rows.len().max(1) as f64;
+        }
+        mean
+    }
+}
+
+impl std::fmt::Display for Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "Figure 6: per-address predictability classes (% of dynamic branches)",
+            &[
+                "benchmark",
+                "Ideal Static",
+                "Loop",
+                "Repeating",
+                "Non-Repeating",
+                ">99% biased (of static)",
+            ],
+        );
+        for row in &self.rows {
+            t.row(vec![
+                row.benchmark.short_name().to_owned(),
+                pct0(row.fractions[0]),
+                pct0(row.fractions[1]),
+                pct0(row.fractions[2]),
+                pct0(row.fractions[3]),
+                pct0(row.static_biased),
+            ]);
+        }
+        let mean = self.mean_fractions();
+        t.row(vec![
+            "mean".to_owned(),
+            pct0(mean[0]),
+            pct0(mean[1]),
+            pct0(mean[2]),
+            pct0(mean[3]),
+            String::new(),
+        ]);
+        t.fmt(f)?;
+        writeln!(f, "\n(S=ideal static, L=loop, R=repeating, N=non-repeating)")?;
+        for row in &self.rows {
+            let segments = [
+                ('S', row.fractions[0]),
+                ('L', row.fractions[1]),
+                ('R', row.fractions[2]),
+                ('N', row.fractions[3]),
+            ];
+            writeln!(
+                f,
+                "{}",
+                crate::render::stacked_bar(row.benchmark.short_name(), &segments, 50)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let cfg = ExperimentConfig::quick();
+        let mut traces = TraceSet::new(cfg.workload);
+        let r = run(&cfg, &mut traces);
+        for row in &r.rows {
+            let sum: f64 = row.fractions.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{row:?}");
+        }
+        let mean = r.mean_fractions();
+        assert!((mean.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! Figure 7: distribution of branches best predicted by gshare, PAs, or an
+//! ideal static predictor, weighted by execution frequency.
+
+use bp_core::{best_of, BestOfDistribution, Contender, IDEAL_STATIC_NAME};
+use bp_predictors::{simulate_per_branch, Gshare, Pas};
+use bp_trace::BranchProfile;
+use bp_workloads::Benchmark;
+
+use crate::render::{pct0, Table};
+use crate::{ExperimentConfig, TraceSet};
+
+/// One benchmark's best-of distribution.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// The distribution over {gshare, pas, ideal-static}.
+    pub dist: BestOfDistribution,
+}
+
+/// Full figure 7 result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per benchmark, in [`Benchmark::ALL`] order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the figure 7 experiment.
+pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
+    let rows = Benchmark::ALL
+        .into_iter()
+        .map(|benchmark| {
+            let trace = traces.trace(benchmark);
+            let gshare = simulate_per_branch(&mut Gshare::new(cfg.gshare_bits), &trace);
+            let pas = simulate_per_branch(&mut Pas::default(), &trace);
+            let profile = BranchProfile::of(&trace);
+            let dist = best_of(
+                &[
+                    Contender::new("gshare", &gshare),
+                    Contender::new("pas", &pas),
+                ],
+                &profile,
+                0.99,
+            );
+            Row { benchmark, dist }
+        })
+        .collect();
+    Result { rows }
+}
+
+impl Result {
+    /// Mean fractions across benchmarks: (gshare, pas, ideal static) — the
+    /// paper quotes 29% / 16% / 55%.
+    pub fn means(&self) -> (f64, f64, f64) {
+        let n = self.rows.len().max(1) as f64;
+        let g: f64 = self.rows.iter().map(|r| r.dist.fraction("gshare")).sum();
+        let p: f64 = self.rows.iter().map(|r| r.dist.fraction("pas")).sum();
+        let s: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.dist.fraction(IDEAL_STATIC_NAME))
+            .sum();
+        (g / n, p / n, s / n)
+    }
+}
+
+impl std::fmt::Display for Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "Figure 7: best of gshare / PAs / ideal static (% of dynamic branches)",
+            &[
+                "benchmark",
+                "Gshare Best",
+                "Ideal Static Best",
+                "PAs Best",
+                ">99% biased (of static)",
+            ],
+        );
+        for row in &self.rows {
+            t.row(vec![
+                row.benchmark.short_name().to_owned(),
+                pct0(row.dist.fraction("gshare")),
+                pct0(row.dist.fraction(IDEAL_STATIC_NAME)),
+                pct0(row.dist.fraction("pas")),
+                pct0(row.dist.static_bias_fraction()),
+            ]);
+        }
+        let (g, p, s) = self.means();
+        t.row(vec![
+            "mean".to_owned(),
+            pct0(g),
+            pct0(s),
+            pct0(p),
+            String::new(),
+        ]);
+        t.fmt(f)?;
+        writeln!(f, "\n(G=gshare best, S=ideal static best, P=PAs best)")?;
+        for row in &self.rows {
+            let segments = [
+                ('G', row.dist.fraction("gshare")),
+                ('S', row.dist.fraction(IDEAL_STATIC_NAME)),
+                ('P', row.dist.fraction("pas")),
+            ];
+            writeln!(
+                f,
+                "{}",
+                crate::render::stacked_bar(row.benchmark.short_name(), &segments, 50)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_sums_to_one_per_benchmark() {
+        let cfg = ExperimentConfig::quick();
+        let mut traces = TraceSet::new(cfg.workload);
+        let r = run(&cfg, &mut traces);
+        for row in &r.rows {
+            let sum: f64 = row.dist.iter().map(|(_, f)| f).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{:?}", row.benchmark);
+        }
+        let (g, p, s) = r.means();
+        assert!((g + p + s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 9: the distribution of per-branch accuracy difference between
+//! gshare and PAs, plotted against the percentile of dynamic branches.
+//!
+//! The paper plots gcc and perl (gcc representative of go, perl of the
+//! rest); we compute the curve for every benchmark and report the
+//! paper-quoted tail statistics.
+
+use bp_core::PercentileCurve;
+use bp_predictors::{simulate_per_branch, Gshare, Pas};
+use bp_workloads::Benchmark;
+
+use crate::render::{pp, Table};
+use crate::{ExperimentConfig, TraceSet};
+
+/// Percentile sampling resolution (the paper's x-axis runs 0..100 in 5s).
+pub const STEPS: usize = 20;
+
+/// One benchmark's accuracy-difference curve.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// The full curve (gshare − PAs, percentage points).
+    pub curve: PercentileCurve,
+}
+
+/// Full figure 9 result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per benchmark, in [`Benchmark::ALL`] order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the figure 9 experiment.
+pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
+    let rows = Benchmark::ALL
+        .into_iter()
+        .map(|benchmark| {
+            let trace = traces.trace(benchmark);
+            let gshare = simulate_per_branch(&mut Gshare::new(cfg.gshare_bits), &trace);
+            let pas = simulate_per_branch(&mut Pas::default(), &trace);
+            Row {
+                benchmark,
+                curve: PercentileCurve::accuracy_difference(&gshare, &pas),
+            }
+        })
+        .collect();
+    Result { rows }
+}
+
+impl std::fmt::Display for Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "Figure 9: gshare − PAs accuracy by percentile of dynamic branches (pp)",
+            &[
+                "benchmark", "p0", "p10", "p20", "p30", "p40", "p50", "p60", "p70", "p80", "p90",
+                "p100",
+            ],
+        );
+        for row in &self.rows {
+            let mut cells = vec![row.benchmark.short_name().to_owned()];
+            for i in 0..=10 {
+                cells.push(pp(row.curve.value_at(i as f64 * 10.0)));
+            }
+            t.row(cells);
+        }
+        t.fmt(f)?;
+        writeln!(f)?;
+        let mut s = Table::new(
+            "Figure 9 tails: what each side of the curve costs",
+            &[
+                "benchmark",
+                "PAs better at p10 (pp)",
+                "gshare better at p90 (pp)",
+                "loss if gshare-only (pp)",
+                "loss if PAs-only (pp)",
+            ],
+        );
+        for row in &self.rows {
+            s.row(vec![
+                row.benchmark.short_name().to_owned(),
+                pp(row.curve.value_at(10.0)),
+                pp(row.curve.value_at(90.0)),
+                format!("{:.2}", row.curve.loss_if_only_first()),
+                format!("{:.2}", row.curve.loss_if_only_second()),
+            ]);
+        }
+        s.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_are_monotone_and_render() {
+        let cfg = ExperimentConfig::quick();
+        let mut traces = TraceSet::new(cfg.workload);
+        let r = run(&cfg, &mut traces);
+        for row in &r.rows {
+            let samples = row.curve.sample(STEPS);
+            assert!(samples.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-9));
+        }
+        assert!(r.to_string().contains("p50"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation from the synthetic workloads.
+//!
+//! Each experiment is a module with a `run(&ExperimentConfig) -> …Result`
+//! function whose result renders (via `Display`) the same rows/series the
+//! paper reports, alongside the paper's own numbers where applicable. The
+//! `repro` binary drives any subset:
+//!
+//! ```text
+//! repro all            # every experiment
+//! repro table2 fig4    # a subset
+//! repro --quick fig6   # shorter traces
+//! ```
+//!
+//! | id | paper artifact | module |
+//! |---|---|---|
+//! | `table1` | Table 1 — benchmark inventory | [`table1`] |
+//! | `fig4` | Figure 4 — selective history vs gshare | [`fig4`] |
+//! | `fig5` | Figure 5 — history-length sweep | [`fig5`] |
+//! | `table2` | Table 2 — gshare w/ and w/o correlation | [`table2`] |
+//! | `fig6` | Figure 6 — per-address class distribution | [`fig6`] |
+//! | `table3` | Table 3 — PAs w/ and w/o loop predictor | [`table3`] |
+//! | `fig7` | Figure 7 — best of gshare/PAs/static | [`fig7`] |
+//! | `fig8` | Figure 8 — best of global/per-address/static | [`fig8`] |
+//! | `fig9` | Figure 9 — gshare−PAs percentile curve | [`fig9`] |
+//! | `hybrids` | extension — hybrid & related designs | [`ext_hybrids`] |
+//! | `interference` | extension — PHT interference accounting | [`ext_interference`] |
+//! | `distance` | extension — distance to correlated branches | [`ext_distance`] |
+//! | `adaptivity` | extension — static vs adaptive PHTs | [`ext_adaptivity`] |
+//! | `family` | extension — family sweeps vs history length | [`ext_family`] |
+//! | `warmup` | extension — warmup curves & miss burstiness | [`ext_warmup`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ext_adaptivity;
+pub mod ext_distance;
+pub mod ext_family;
+pub mod ext_hybrids;
+pub mod ext_interference;
+pub mod ext_warmup;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod render;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+mod traceset;
+
+pub use traceset::TraceSet;
+
+use bp_core::{ClassifierConfig, OracleConfig};
+use bp_workloads::WorkloadConfig;
+
+/// Shared configuration for all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Workload generation (seed, trace length).
+    pub workload: WorkloadConfig,
+    /// Oracle selective-history analysis settings (§3).
+    pub oracle: OracleConfig,
+    /// Per-address classification settings (§4).
+    pub classifier: ClassifierConfig,
+    /// gshare / interference-free gshare history length.
+    pub gshare_bits: u32,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            workload: WorkloadConfig::default(),
+            oracle: OracleConfig::default(),
+            classifier: ClassifierConfig::default(),
+            gshare_bits: 16,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced configuration for smoke tests and `--quick` runs.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            workload: WorkloadConfig::default().with_target(40_000),
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+/// Identifiers of every reproducible experiment, in paper order, followed
+/// by the extensions (hybrid study, interference accounting,
+/// correlation-distance profile, adaptivity comparison).
+pub const EXPERIMENT_IDS: [&str; 15] = [
+    "table1",
+    "fig4",
+    "fig5",
+    "table2",
+    "fig6",
+    "table3",
+    "fig7",
+    "fig8",
+    "fig9",
+    "hybrids",
+    "interference",
+    "distance",
+    "adaptivity",
+    "family",
+    "warmup",
+];

@@ -1,0 +1,176 @@
+//! Plain-text rendering of experiment results: fixed-width tables and
+//! simple line-series blocks, mirroring the paper's tables and figures.
+
+use std::fmt;
+
+/// A fixed-width text table.
+///
+/// # Example
+///
+/// ```
+/// use bp_experiments::render::Table;
+///
+/// let mut t = Table::new("Demo", &["bench", "acc"]);
+/// t.row(vec!["gcc".into(), "92.27".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("gcc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map_or("", String::as_str);
+                write!(f, " {cell:>width$} |")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders one row of an ASCII stacked bar chart: `label |aaaabbbcc|`,
+/// with each segment's share of `width` proportional to its fraction.
+/// Fractions are clamped to `[0, 1]`; rounding error lands on the last
+/// segment so the bar width is exact.
+///
+/// # Example
+///
+/// ```
+/// use bp_experiments::render::stacked_bar;
+///
+/// let bar = stacked_bar("gcc", &[('G', 0.25), ('S', 0.5), ('P', 0.25)], 20);
+/// assert_eq!(bar, "gcc        |GGGGGSSSSSSSSSSPPPPP|");
+/// ```
+pub fn stacked_bar(label: &str, segments: &[(char, f64)], width: usize) -> String {
+    let mut bar = String::with_capacity(width + label.len() + 3);
+    bar.push_str(&format!("{label:<10} |"));
+    let mut used = 0usize;
+    for (i, &(ch, fraction)) in segments.iter().enumerate() {
+        let cells = if i + 1 == segments.len() {
+            width.saturating_sub(used)
+        } else {
+            ((fraction.clamp(0.0, 1.0) * width as f64).round() as usize)
+                .min(width.saturating_sub(used))
+        };
+        for _ in 0..cells {
+            bar.push(ch);
+        }
+        used += cells;
+    }
+    bar.push('|');
+    bar
+}
+
+/// Formats an accuracy (0..=1) as a percentage with two decimals, the
+/// paper's convention.
+pub fn pct(accuracy: f64) -> String {
+    format!("{:.2}", accuracy * 100.0)
+}
+
+/// Formats a fraction (0..=1) as a whole-number percentage.
+pub fn pct0(fraction: f64) -> String {
+    format!("{:.0}", fraction * 100.0)
+}
+
+/// Formats a signed percentage-point value with one decimal.
+pub fn pp(value: f64) -> String {
+    format!("{value:+.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_content() {
+        let mut t = Table::new("T", &["a", "benchmark"]);
+        t.row(vec!["1".into(), "compress".into()]);
+        t.row(vec!["22".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## T"));
+        assert!(s.contains("compress"));
+        assert!(s.lines().count() >= 4);
+        // All data lines have equal width.
+        let widths: Vec<usize> = s.lines().skip(1).map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn stacked_bar_is_exact_width() {
+        for width in [10usize, 33, 50] {
+            let bar = stacked_bar("x", &[('a', 0.3), ('b', 0.3), ('c', 0.4)], width);
+            let inner = bar.split('|').nth(1).unwrap();
+            assert_eq!(inner.chars().count(), width, "{bar}");
+        }
+        // Degenerate fractions clamp instead of panicking.
+        let bar = stacked_bar("y", &[('a', 1.5), ('b', -0.2)], 8);
+        assert_eq!(bar.split('|').nth(1).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.92163), "92.16");
+        assert_eq!(pct0(0.55), "55");
+        assert_eq!(pp(3.71), "+3.7");
+        assert_eq!(pp(-0.25), "-0.2");
+    }
+}

@@ -1,0 +1,86 @@
+//! Table 1: benchmark inventory — the paper's dynamic conditional branch
+//! counts next to the synthetic workloads' trace statistics.
+
+use bp_trace::TraceStats;
+use bp_workloads::Benchmark;
+
+use crate::render::Table;
+use crate::{ExperimentConfig, TraceSet};
+
+/// One benchmark's Table 1 row.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// The paper's dynamic conditional branch count.
+    pub paper_branches: u64,
+    /// Our synthetic trace's statistics.
+    pub stats: TraceStats,
+}
+
+/// Full Table 1 result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per benchmark, in [`Benchmark::ALL`] order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the Table 1 experiment.
+pub fn run(_cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
+    let rows = Benchmark::ALL
+        .into_iter()
+        .map(|benchmark| Row {
+            benchmark,
+            paper_branches: benchmark.paper_branch_count(),
+            stats: TraceStats::of(&traces.trace(benchmark)),
+        })
+        .collect();
+    Result { rows }
+}
+
+impl std::fmt::Display for Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "Table 1: benchmarks (synthetic analogs of SPECint95)",
+            &[
+                "benchmark",
+                "paper input",
+                "paper # branches",
+                "ours # branches",
+                "static sites",
+                "taken rate",
+            ],
+        );
+        for row in &self.rows {
+            t.row(vec![
+                row.benchmark.name().to_owned(),
+                row.benchmark.paper_input().to_owned(),
+                row.paper_branches.to_string(),
+                row.stats.dynamic_conditional.to_string(),
+                row.stats.static_conditional.to_string(),
+                format!("{:.2}", row.stats.taken_rate()),
+            ]);
+        }
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_all_benchmarks() {
+        let cfg = ExperimentConfig {
+            workload: bp_workloads::WorkloadConfig::default().with_target(1_000),
+            ..ExperimentConfig::default()
+        };
+        let mut traces = TraceSet::new(cfg.workload);
+        let r = run(&cfg, &mut traces);
+        assert_eq!(r.rows.len(), 8);
+        for row in &r.rows {
+            assert!(row.stats.dynamic_conditional >= 1_000);
+        }
+        assert!(r.to_string().contains("m88ksim"));
+    }
+}

@@ -1,0 +1,166 @@
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use bp_trace::{io, Trace};
+use bp_workloads::{Benchmark, WorkloadConfig};
+
+/// Lazily generated, cached traces for all benchmarks, shared across the
+/// experiments of one run so each workload is generated once.
+///
+/// With [`TraceSet::with_disk_cache`], traces also persist across *runs*
+/// as `.bpt` files (the `bp-trace` binary format), keyed by benchmark,
+/// seed, and target length; corrupt or unreadable cache files are ignored
+/// and regenerated.
+#[derive(Debug)]
+pub struct TraceSet {
+    cfg: WorkloadConfig,
+    traces: HashMap<Benchmark, Trace>,
+    cache_dir: Option<PathBuf>,
+}
+
+impl TraceSet {
+    /// Creates an empty set that will generate with `cfg`.
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        TraceSet {
+            cfg,
+            traces: HashMap::new(),
+            cache_dir: None,
+        }
+    }
+
+    /// As [`TraceSet::new`], persisting traces under `dir` (created on
+    /// first write).
+    pub fn with_disk_cache(cfg: WorkloadConfig, dir: impl Into<PathBuf>) -> Self {
+        TraceSet {
+            cfg,
+            traces: HashMap::new(),
+            cache_dir: Some(dir.into()),
+        }
+    }
+
+    /// The workload configuration in force.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    fn cache_path(&self, benchmark: Benchmark) -> Option<PathBuf> {
+        self.cache_dir.as_ref().map(|dir| {
+            dir.join(format!(
+                "{}-{:x}-{}.bpt",
+                benchmark.name(),
+                self.cfg.seed,
+                self.cfg.target_branches
+            ))
+        })
+    }
+
+    fn load_or_generate(cfg: &WorkloadConfig, benchmark: Benchmark, path: Option<&PathBuf>) -> Trace {
+        if let Some(path) = path {
+            if let Ok(file) = std::fs::File::open(path) {
+                if let Ok(trace) = io::read_trace(std::io::BufReader::new(file)) {
+                    return trace;
+                }
+                eprintln!("warning: ignoring corrupt trace cache {}", path.display());
+            }
+        }
+        let trace = benchmark.generate(cfg);
+        if let Some(path) = path {
+            let write = || -> Result<(), io::TraceIoError> {
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
+                let file = std::fs::File::create(path)?;
+                let mut writer = std::io::BufWriter::new(file);
+                io::write_trace(&mut writer, &trace)?;
+                std::io::Write::flush(&mut writer)?;
+                Ok(())
+            };
+            if let Err(e) = write() {
+                eprintln!("warning: could not cache trace to {}: {e}", path.display());
+            }
+        }
+        trace
+    }
+
+    /// The trace for `benchmark`, generating (or loading from the disk
+    /// cache) on first use. Clones are cheap (shared storage).
+    pub fn trace(&mut self, benchmark: Benchmark) -> Trace {
+        if let Some(t) = self.traces.get(&benchmark) {
+            return t.clone();
+        }
+        let path = self.cache_path(benchmark);
+        let trace = Self::load_or_generate(&self.cfg, benchmark, path.as_ref());
+        self.traces.insert(benchmark, trace.clone());
+        trace
+    }
+
+    /// Eagerly generates every benchmark, using one thread per benchmark
+    /// (a no-op win on single-core machines, a real one elsewhere).
+    pub fn generate_all(&mut self) {
+        let cfg = self.cfg;
+        let missing: Vec<(Benchmark, Option<PathBuf>)> = Benchmark::ALL
+            .into_iter()
+            .filter(|b| !self.traces.contains_key(b))
+            .map(|b| (b, self.cache_path(b)))
+            .collect();
+        let generated: Vec<(Benchmark, Trace)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = missing
+                .iter()
+                .map(|(b, path)| {
+                    scope.spawn(move || (*b, Self::load_or_generate(&cfg, *b, path.as_ref())))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("workload generation does not panic"))
+                .collect()
+        });
+        self.traces.extend(generated);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_is_deterministic() {
+        let cfg = WorkloadConfig::default().with_target(2_000);
+        let mut set = TraceSet::new(cfg);
+        let a = set.trace(Benchmark::Compress);
+        let b = set.trace(Benchmark::Compress);
+        assert_eq!(a, b);
+        assert_eq!(set.config().target_branches, 2_000);
+    }
+
+    #[test]
+    fn disk_cache_round_trips_and_survives_corruption() {
+        let dir = std::env::temp_dir().join(format!("bp-tracecache-{}", std::process::id()));
+        let cfg = WorkloadConfig::default().with_target(1_500);
+
+        let mut a = TraceSet::with_disk_cache(cfg, &dir);
+        let first = a.trace(Benchmark::Compress);
+
+        // A fresh set must load the identical trace from disk.
+        let mut b = TraceSet::with_disk_cache(cfg, &dir);
+        assert_eq!(b.trace(Benchmark::Compress), first);
+
+        // Corrupt the cache file: the set regenerates instead of failing.
+        let path = b.cache_path(Benchmark::Compress).expect("cache path");
+        std::fs::write(&path, b"garbage").expect("overwrite cache");
+        let mut c = TraceSet::with_disk_cache(cfg, &dir);
+        assert_eq!(c.trace(Benchmark::Compress), first);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_all_covers_every_benchmark() {
+        let cfg = WorkloadConfig::default().with_target(500);
+        let mut set = TraceSet::new(cfg);
+        set.generate_all();
+        for b in Benchmark::ALL {
+            assert!(set.trace(b).conditional_count() >= 500);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! End-to-end tests of the `repro` experiment driver CLI.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn table1_runs_and_prints_all_benchmarks() {
+    let out = repro()
+        .args(["--target", "3000", "table1"])
+        .output()
+        .expect("run repro");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "vortex", "xlisp"] {
+        assert!(text.contains(name), "missing {name}: {text}");
+    }
+    assert!(text.contains("Table 1"));
+}
+
+#[test]
+fn unknown_experiment_fails_with_usage() {
+    let out = repro().arg("table99").output().expect("run repro");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let out = repro().output().expect("run repro");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn cache_flag_persists_traces() {
+    let dir = std::env::temp_dir().join(format!("repro-cache-{}", std::process::id()));
+    let out = repro()
+        .args(["--target", "2000", "--cache", dir.to_str().unwrap(), "table1"])
+        .output()
+        .expect("run repro");
+    assert!(out.status.success(), "{out:?}");
+    let cached = std::fs::read_dir(&dir).expect("cache dir created").count();
+    assert_eq!(cached, 8, "one .bpt per benchmark");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn seed_flag_changes_results() {
+    let run = |seed: &str| {
+        let out = repro()
+            .args(["--target", "2000", "--seed", seed, "table1"])
+            .output()
+            .expect("run repro");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_ne!(run("1"), run("2"));
+}

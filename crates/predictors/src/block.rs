@@ -1,0 +1,183 @@
+use std::collections::HashMap;
+
+use crate::loop_pred::MAX_TRIP;
+use crate::{BranchSite, Predictor};
+use bp_trace::Pc;
+
+#[derive(Debug, Clone, Copy)]
+struct BlockState {
+    /// Direction of the run currently in progress.
+    current: bool,
+    /// Length of the run so far (includes every outcome of `current` seen
+    /// consecutively).
+    run: u32,
+    /// Length of the last completed taken-run (`n`), if observed.
+    taken_run: Option<u32>,
+    /// Length of the last completed not-taken-run (`m`), if observed.
+    not_taken_run: Option<u32>,
+}
+
+/// The block-pattern class predictor of §4.1.2: captures branches that are
+/// taken `n` times, then not-taken `m` times, then taken `n` times, and so
+/// on.
+///
+/// After the `n`-th consecutive taken outcome it predicts the branch will be
+/// not-taken for the same `m` outcomes as the previous not-taken block, and
+/// symmetrically for not-taken runs. Run lengths are capped at `n, m < 256`
+/// and the per-branch state lives in a perfect BTB, as in the paper.
+///
+/// The plain loop predictor is the `m = 1` (or `n = 1`) special case; the
+/// paper keeps both and scores the repeating-pattern class by the better of
+/// this and the fixed-length [`crate::KthAgo`] sweep.
+#[derive(Debug, Clone, Default)]
+pub struct BlockPattern {
+    states: HashMap<Pc, BlockState>,
+}
+
+impl BlockPattern {
+    /// Creates an empty block-pattern predictor.
+    pub fn new() -> Self {
+        BlockPattern::default()
+    }
+
+    /// Number of branches being tracked.
+    pub fn tracked(&self) -> usize {
+        self.states.len()
+    }
+
+    fn expected_run(s: &BlockState) -> Option<u32> {
+        if s.current {
+            s.taken_run
+        } else {
+            s.not_taken_run
+        }
+    }
+}
+
+impl Predictor for BlockPattern {
+    fn name(&self) -> String {
+        "block-pattern".to_owned()
+    }
+
+    fn predict(&self, site: BranchSite) -> bool {
+        match self.states.get(&site.pc) {
+            None => true,
+            Some(s) => match Self::expected_run(s) {
+                // The current run should end exactly now: flip.
+                Some(expect) if s.run == expect => !s.current,
+                // Mid-run (or stale expectation): continue the run.
+                _ => s.current,
+            },
+        }
+    }
+
+    fn update(&mut self, site: BranchSite, taken: bool) {
+        match self.states.get_mut(&site.pc) {
+            None => {
+                self.states.insert(
+                    site.pc,
+                    BlockState {
+                        current: taken,
+                        run: 1,
+                        taken_run: None,
+                        not_taken_run: None,
+                    },
+                );
+            }
+            Some(s) => {
+                if taken == s.current {
+                    s.run = (s.run + 1).min(MAX_TRIP + 1);
+                } else {
+                    // A run just completed; remember its length unless it
+                    // overflowed the paper's 256 cap.
+                    let completed = (s.run <= MAX_TRIP).then_some(s.run);
+                    if s.current {
+                        s.taken_run = completed;
+                    } else {
+                        s.not_taken_run = completed;
+                    }
+                    s.current = taken;
+                    s.run = 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use bp_trace::{BranchRecord, Trace};
+
+    fn block_trace(pc: Pc, n: usize, m: usize, blocks: usize) -> Trace {
+        let mut recs = Vec::new();
+        for _ in 0..blocks {
+            for _ in 0..n {
+                recs.push(BranchRecord::conditional(pc, true));
+            }
+            for _ in 0..m {
+                recs.push(BranchRecord::conditional(pc, false));
+            }
+        }
+        Trace::from_records(recs)
+    }
+
+    #[test]
+    fn steady_blocks_perfect_after_warmup() {
+        let trace = block_trace(0x50, 6, 3, 60);
+        let stats = simulate(&mut BlockPattern::new(), &trace);
+        // Both transitions of the first block are unknown; after that, none.
+        assert!(
+            stats.mispredictions() <= 2,
+            "mispredictions {}",
+            stats.mispredictions()
+        );
+    }
+
+    #[test]
+    fn captures_loop_as_degenerate_block() {
+        let trace = block_trace(0x50, 9, 1, 60);
+        let stats = simulate(&mut BlockPattern::new(), &trace);
+        assert!(stats.mispredictions() <= 2);
+    }
+
+    #[test]
+    fn block_length_change_costs_bounded_misses() {
+        let mut recs = Vec::new();
+        for (n, m) in [(4usize, 2usize), (4, 2), (8, 5), (8, 5), (8, 5)] {
+            for _ in 0..n {
+                recs.push(BranchRecord::conditional(0x50, true));
+            }
+            for _ in 0..m {
+                recs.push(BranchRecord::conditional(0x50, false));
+            }
+        }
+        let stats = simulate(&mut BlockPattern::new(), &Trace::from_records(recs));
+        assert!(
+            stats.mispredictions() <= 6,
+            "mispredictions {}",
+            stats.mispredictions()
+        );
+    }
+
+    #[test]
+    fn overflowed_runs_forget_expectation() {
+        let trace = block_trace(0x50, 1000, 5, 3);
+        let stats = simulate(&mut BlockPattern::new(), &trace);
+        // Taken-runs overflow (no exit prediction): each block costs one
+        // miss at the T->N transition; N->T transitions are learned.
+        assert!(
+            stats.mispredictions() <= 5,
+            "mispredictions {}",
+            stats.mispredictions()
+        );
+    }
+
+    #[test]
+    fn unknown_branch_predicts_taken() {
+        let p = BlockPattern::new();
+        assert!(p.predict(BranchSite::new(1, 5)));
+        assert_eq!(p.tracked(), 0);
+    }
+}

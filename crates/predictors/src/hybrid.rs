@@ -1,0 +1,142 @@
+use crate::counter::SaturatingCounter;
+use crate::pht::PatternHistoryTable;
+use crate::{BranchSite, Predictor};
+
+/// McFarling's combining (hybrid) predictor (§2.1): two component
+/// predictors plus a table of 2-bit selector counters indexed by branch
+/// address.
+///
+/// The selector counter's high bit picks which component's prediction to
+/// use. Both components train on every branch; the selector trains toward
+/// the component that was right when exactly one of them was.
+///
+/// The paper's §5 explains *why* this structure wins: there is a large set
+/// of branches where the global component is much better and a large set
+/// where the per-address component is much better (figure 9).
+///
+/// # Example
+///
+/// ```
+/// use bp_predictors::{simulate, Gshare, Hybrid, Pas};
+/// use bp_trace::{BranchRecord, Trace};
+///
+/// let trace: Trace = (0..2000)
+///     .map(|i| BranchRecord::conditional(0x40 + (i % 7) * 4, i % 3 != 0))
+///     .collect();
+/// let mut hybrid = Hybrid::new(Gshare::default(), Pas::default(), 12);
+/// let stats = simulate(&mut hybrid, &trace);
+/// assert!(stats.predictions == 2000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hybrid<A, B> {
+    first: A,
+    second: B,
+    selector: PatternHistoryTable,
+}
+
+impl<A: Predictor, B: Predictor> Hybrid<A, B> {
+    /// Combines two predictors with a `2^selector_bits`-entry selector
+    /// table. Selector counters start weakly biased toward `first`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selector_bits` is not in `1..=28`.
+    pub fn new(first: A, second: B, selector_bits: u32) -> Self {
+        Hybrid {
+            first,
+            second,
+            // predict_taken() == true means "use `first`".
+            selector: PatternHistoryTable::new(selector_bits, SaturatingCounter::two_bit()),
+        }
+    }
+
+    /// The first (selector-favored-at-reset) component.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second component.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+
+    #[inline]
+    fn index(site: BranchSite) -> u64 {
+        site.pc >> 2
+    }
+}
+
+impl<A: Predictor, B: Predictor> Predictor for Hybrid<A, B> {
+    fn name(&self) -> String {
+        format!("hybrid({}+{})", self.first.name(), self.second.name())
+    }
+
+    fn predict(&self, site: BranchSite) -> bool {
+        if self.selector.predict(Self::index(site)) {
+            self.first.predict(site)
+        } else {
+            self.second.predict(site)
+        }
+    }
+
+    fn update(&mut self, site: BranchSite, taken: bool) {
+        let first_pred = self.first.predict(site);
+        let second_pred = self.second.predict(site);
+        if first_pred != second_pred {
+            self.selector.train(Self::index(site), first_pred == taken);
+        }
+        self.first.update(site, taken);
+        self.second.update(site, taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statics::{StaticNotTaken, StaticTaken};
+    use crate::{simulate, Gshare, LoopPredictor, Pas};
+    use bp_trace::{BranchRecord, Trace};
+
+    #[test]
+    fn selector_learns_per_branch_winner() {
+        // Branch A always taken, branch B always not-taken; components are
+        // the two opposite static predictors. The selector must route each
+        // branch to the right one.
+        let mut recs = Vec::new();
+        for _ in 0..200 {
+            recs.push(BranchRecord::conditional(0x00, true));
+            recs.push(BranchRecord::conditional(0x40, false));
+        }
+        let trace = Trace::from_records(recs);
+        let mut hybrid = Hybrid::new(StaticTaken, StaticNotTaken, 8);
+        let stats = simulate(&mut hybrid, &trace);
+        assert!(stats.accuracy() > 0.97, "accuracy {}", stats.accuracy());
+    }
+
+    #[test]
+    fn hybrid_at_least_matches_worse_component() {
+        // Loop of trip 40 (gshare-hostile, loop-predictor-trivial) mixed
+        // with an alternating branch (trivial for gshare).
+        let mut recs = Vec::new();
+        for i in 0..60u64 {
+            for _ in 0..40 {
+                recs.push(BranchRecord::conditional(0x100, true));
+            }
+            recs.push(BranchRecord::conditional(0x100, false));
+            recs.push(BranchRecord::conditional(0x200, i % 2 == 0));
+        }
+        let trace = Trace::from_records(recs);
+        let g = simulate(&mut Gshare::new(10), &trace);
+        let l = simulate(&mut LoopPredictor::new(), &trace);
+        let h = simulate(&mut Hybrid::new(Gshare::new(10), LoopPredictor::new(), 10), &trace);
+        assert!(h.correct + 5 >= g.correct.max(l.correct), "hybrid should rival the best component");
+    }
+
+    #[test]
+    fn name_composes() {
+        let h = Hybrid::new(Gshare::default(), Pas::default(), 10);
+        assert_eq!(h.name(), "hybrid(gshare(16)+pas(12,10,4))");
+        let _ = h.first();
+        let _ = h.second();
+    }
+}

@@ -1,0 +1,142 @@
+use std::collections::HashMap;
+
+use crate::{BranchSite, Predictor};
+use bp_trace::Pc;
+
+/// Largest supported period for [`KthAgo`]; the paper sweeps `k` from 1
+/// to 32 (§4.1.2).
+pub const MAX_PERIOD: u32 = 64;
+
+/// The fixed-length-pattern class predictor of §4.1.2: a branch repeating an
+/// arbitrary pattern of period `k` has the same outcome it had `k`
+/// executions ago, so the predictor simply replays each branch's outcome
+/// from `k` ago.
+///
+/// Per-branch outcome rings live in a perfect (unbounded) table. Until a
+/// branch has `k` recorded outcomes the predictor falls back to predicting
+/// taken.
+///
+/// The paper simulates 32 of these (`k` = 1..=32) and scores each branch by
+/// the best of them; see `bp-core`'s classifier for that sweep.
+#[derive(Debug, Clone)]
+pub struct KthAgo {
+    k: u32,
+    rings: HashMap<Pc, Ring>,
+}
+
+#[derive(Debug, Clone)]
+struct Ring {
+    bits: u64,
+    len: u32,
+}
+
+impl KthAgo {
+    /// Creates a predictor replaying outcomes from `k` executions ago.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not in `1..=`[`MAX_PERIOD`].
+    pub fn new(k: u32) -> Self {
+        assert!(
+            (1..=MAX_PERIOD).contains(&k),
+            "period must be 1..={MAX_PERIOD}"
+        );
+        KthAgo {
+            k,
+            rings: HashMap::new(),
+        }
+    }
+
+    /// The period this predictor assumes.
+    pub fn period(&self) -> u32 {
+        self.k
+    }
+}
+
+impl Predictor for KthAgo {
+    fn name(&self) -> String {
+        format!("kth-ago({})", self.k)
+    }
+
+    fn predict(&self, site: BranchSite) -> bool {
+        match self.rings.get(&site.pc) {
+            Some(r) if r.len >= self.k => (r.bits >> (self.k - 1)) & 1 == 1,
+            _ => true,
+        }
+    }
+
+    fn update(&mut self, site: BranchSite, taken: bool) {
+        let r = self.rings.entry(site.pc).or_insert(Ring { bits: 0, len: 0 });
+        r.bits = (r.bits << 1) | u64::from(taken);
+        if r.len < MAX_PERIOD {
+            r.len += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use bp_trace::{BranchRecord, Trace};
+
+    fn pattern_trace(pc: Pc, pattern: &[bool], reps: usize) -> Trace {
+        let mut recs = Vec::new();
+        for _ in 0..reps {
+            for &t in pattern {
+                recs.push(BranchRecord::conditional(pc, t));
+            }
+        }
+        Trace::from_records(recs)
+    }
+
+    #[test]
+    fn matching_period_is_perfect_after_warmup() {
+        let pattern = [true, true, false, true, false];
+        let trace = pattern_trace(0x30, &pattern, 100);
+        let stats = simulate(&mut KthAgo::new(5), &trace);
+        // Only the first 5 predictions (warmup) can miss.
+        assert!(stats.mispredictions() <= 5);
+    }
+
+    #[test]
+    fn multiple_of_period_also_works() {
+        let pattern = [true, false];
+        let trace = pattern_trace(0x30, &pattern, 100);
+        let stats = simulate(&mut KthAgo::new(4), &trace);
+        assert!(stats.mispredictions() <= 4);
+    }
+
+    #[test]
+    fn wrong_period_is_poor() {
+        let pattern = [true, false]; // period 2
+        let trace = pattern_trace(0x30, &pattern, 100);
+        let stats = simulate(&mut KthAgo::new(3), &trace);
+        // k=3 against period 2 replays the inverse: ~0% after warmup.
+        assert!(stats.accuracy() < 0.1);
+    }
+
+    #[test]
+    fn per_branch_isolation() {
+        let mut recs = Vec::new();
+        for i in 0..100u64 {
+            recs.push(BranchRecord::conditional(0x1, i % 2 == 0));
+            recs.push(BranchRecord::conditional(0x2, i % 2 == 1));
+        }
+        let stats = simulate(&mut KthAgo::new(2), &Trace::from_records(recs));
+        assert!(stats.mispredictions() <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_rejected() {
+        let _ = KthAgo::new(0);
+    }
+
+    #[test]
+    fn insufficient_history_predicts_taken() {
+        let p = KthAgo::new(8);
+        assert!(p.predict(BranchSite::new(5, 9)));
+        assert_eq!(p.period(), 8);
+    }
+}

@@ -1,0 +1,55 @@
+use bp_trace::{BranchRecord, Pc};
+
+/// What a predictor may see about a branch *before* it resolves: its address
+/// and taken-target. Deliberately excludes the outcome so `predict`
+/// implementations cannot peek.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchSite {
+    /// Address of the branch instruction.
+    pub pc: Pc,
+    /// Address the branch transfers to when taken.
+    pub target: Pc,
+}
+
+impl BranchSite {
+    /// Creates a site from raw addresses.
+    pub fn new(pc: Pc, target: Pc) -> Self {
+        BranchSite { pc, target }
+    }
+
+    /// `true` when the taken-target does not lie after the branch — the
+    /// static "backward taken" heuristic's input.
+    #[inline]
+    pub fn is_backward(&self) -> bool {
+        self.target <= self.pc
+    }
+}
+
+impl From<&BranchRecord> for BranchSite {
+    fn from(rec: &BranchRecord) -> Self {
+        BranchSite {
+            pc: rec.pc,
+            target: rec.target,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_record_drops_outcome() {
+        let rec = BranchRecord::conditional(100, true).with_target(60);
+        let site = BranchSite::from(&rec);
+        assert_eq!(site.pc, 100);
+        assert_eq!(site.target, 60);
+        assert!(site.is_backward());
+    }
+
+    #[test]
+    fn forward_site() {
+        assert!(!BranchSite::new(8, 64).is_backward());
+        assert!(BranchSite::new(8, 8).is_backward());
+    }
+}

@@ -1,0 +1,104 @@
+use crate::counter::SaturatingCounter;
+use crate::pht::PatternHistoryTable;
+use crate::{BranchSite, Predictor};
+
+/// Smith's bimodal predictor \[Smith '81\]: a table of 2-bit saturating
+/// counters indexed by branch address.
+///
+/// Each branch maps via its low address bits to one counter; the counter's
+/// high bit is the prediction and the counter trains toward the outcome.
+/// This is the baseline dynamic predictor the two-level schemes improve on.
+#[derive(Debug, Clone)]
+pub struct Smith {
+    table: PatternHistoryTable,
+    index_bits: u32,
+}
+
+impl Smith {
+    /// Creates a bimodal predictor with `2^index_bits` two-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is not in `1..=28`.
+    pub fn new(index_bits: u32) -> Self {
+        Smith::with_counter(index_bits, SaturatingCounter::two_bit())
+    }
+
+    /// As [`Smith::new`] but with a custom counter (width/initialization).
+    pub fn with_counter(index_bits: u32, init: SaturatingCounter) -> Self {
+        Smith {
+            table: PatternHistoryTable::new(index_bits, init),
+            index_bits,
+        }
+    }
+
+    fn index(&self, site: BranchSite) -> u64 {
+        // Drop the low two bits: branch sites are word-ish aligned in the
+        // synthetic workloads, and real ISAs align instructions too.
+        site.pc >> 2
+    }
+}
+
+impl Default for Smith {
+    /// A 4096-entry table, the classic configuration.
+    fn default() -> Self {
+        Smith::new(12)
+    }
+}
+
+impl Predictor for Smith {
+    fn name(&self) -> String {
+        format!("smith({})", self.index_bits)
+    }
+
+    fn predict(&self, site: BranchSite) -> bool {
+        self.table.predict(self.index(site))
+    }
+
+    fn update(&mut self, site: BranchSite, taken: bool) {
+        let idx = self.index(site);
+        self.table.train(idx, taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use bp_trace::{BranchRecord, Trace};
+
+    #[test]
+    fn learns_biased_branch() {
+        let trace: Trace = (0..100)
+            .map(|_| BranchRecord::conditional(0x40, false))
+            .collect();
+        let stats = simulate(&mut Smith::default(), &trace);
+        // Initial weakly-taken counter costs at most a couple of
+        // mispredictions; everything after is correct.
+        assert!(stats.correct >= 98);
+    }
+
+    #[test]
+    fn aliasing_two_branches_same_slot() {
+        // With a 1-bit index (2 counters, pc >> 2 masked), pcs 0x0 and 0x8
+        // share slot 0 and 2 (0x8>>2 = 2 -> masked to 0) — craft a true
+        // collision: pc 0x0 and 0x10 both index slot 0 in a 2-entry table.
+        let mut smith = Smith::new(1);
+        let recs: Vec<BranchRecord> = (0..50)
+            .flat_map(|_| {
+                [
+                    BranchRecord::conditional(0x0, true),
+                    BranchRecord::conditional(0x10, false),
+                ]
+            })
+            .collect();
+        let stats = simulate(&mut smith, &Trace::from_records(recs));
+        // Interference keeps accuracy well below a non-aliased bimodal.
+        assert!(stats.accuracy() < 0.9);
+    }
+
+    #[test]
+    fn name_mentions_size() {
+        assert_eq!(Smith::new(10).name(), "smith(10)");
+    }
+}

@@ -1,0 +1,174 @@
+use std::collections::HashMap;
+
+use bp_trace::{BranchProfile, Pc};
+
+use crate::{BranchSite, Predictor};
+
+/// Predicts every branch taken.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticTaken;
+
+impl Predictor for StaticTaken {
+    fn name(&self) -> String {
+        "static-taken".to_owned()
+    }
+
+    fn predict(&self, _site: BranchSite) -> bool {
+        true
+    }
+
+    fn update(&mut self, _site: BranchSite, _taken: bool) {}
+}
+
+/// Predicts every branch not-taken.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticNotTaken;
+
+impl Predictor for StaticNotTaken {
+    fn name(&self) -> String {
+        "static-not-taken".to_owned()
+    }
+
+    fn predict(&self, _site: BranchSite) -> bool {
+        false
+    }
+
+    fn update(&mut self, _site: BranchSite, _taken: bool) {}
+}
+
+/// Backward-taken / forward-not-taken (BTFNT): predicts loop back-edges
+/// taken and forward branches not-taken.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackwardTaken;
+
+impl Predictor for BackwardTaken {
+    fn name(&self) -> String {
+        "btfnt".to_owned()
+    }
+
+    fn predict(&self, site: BranchSite) -> bool {
+        site.is_backward()
+    }
+
+    fn update(&mut self, _site: BranchSite, _taken: bool) {}
+}
+
+/// The paper's "ideal static" predictor (§4.1): each branch is statically
+/// predicted in the direction it takes most often *over the whole run* — the
+/// best any static predictor can do, computed a posteriori from the same
+/// trace it is scored on.
+///
+/// Branches absent from the profile are predicted taken.
+///
+/// # Example
+///
+/// ```
+/// use bp_predictors::{simulate, IdealStatic};
+/// use bp_trace::{BranchProfile, BranchRecord, Trace};
+///
+/// let trace: Trace = (0..10)
+///     .map(|i| BranchRecord::conditional(0x8, i % 10 < 7)) // 70% taken
+///     .collect();
+/// let profile = BranchProfile::of(&trace);
+/// let mut ideal = IdealStatic::from_profile(&profile);
+/// let stats = simulate(&mut ideal, &trace);
+/// assert_eq!(stats.correct, 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IdealStatic {
+    directions: HashMap<Pc, bool>,
+}
+
+impl IdealStatic {
+    /// Builds the ideal static predictor from a run profile.
+    pub fn from_profile(profile: &BranchProfile) -> Self {
+        IdealStatic {
+            directions: profile
+                .iter()
+                .map(|(pc, e)| (pc, e.majority_direction()))
+                .collect(),
+        }
+    }
+
+    /// The fixed direction assigned to `pc`, if the branch was profiled.
+    pub fn direction(&self, pc: Pc) -> Option<bool> {
+        self.directions.get(&pc).copied()
+    }
+}
+
+impl Predictor for IdealStatic {
+    fn name(&self) -> String {
+        "ideal-static".to_owned()
+    }
+
+    fn predict(&self, site: BranchSite) -> bool {
+        self.directions.get(&site.pc).copied().unwrap_or(true)
+    }
+
+    fn update(&mut self, _site: BranchSite, _taken: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use bp_trace::{BranchRecord, Trace};
+
+    fn site(pc: Pc) -> BranchSite {
+        BranchSite::new(pc, pc + 4)
+    }
+
+    #[test]
+    fn static_directions() {
+        assert!(StaticTaken.predict(site(1)));
+        assert!(!StaticNotTaken.predict(site(1)));
+        assert!(!BackwardTaken.predict(site(1)));
+        assert!(BackwardTaken.predict(BranchSite::new(100, 50)));
+    }
+
+    #[test]
+    fn names_nonempty() {
+        assert!(!StaticTaken.name().is_empty());
+        assert!(!StaticNotTaken.name().is_empty());
+        assert!(!BackwardTaken.name().is_empty());
+        assert!(!IdealStatic::default().name().is_empty());
+    }
+
+    #[test]
+    fn ideal_static_majority_per_branch() {
+        // Branch 1: mostly taken. Branch 2: mostly not-taken.
+        let trace: Trace = [
+            (1, true),
+            (1, true),
+            (1, false),
+            (2, false),
+            (2, false),
+            (2, true),
+        ]
+        .iter()
+        .map(|&(pc, t)| BranchRecord::conditional(pc, t))
+        .collect();
+        let profile = BranchProfile::of(&trace);
+        let ideal = IdealStatic::from_profile(&profile);
+        assert_eq!(ideal.direction(1), Some(true));
+        assert_eq!(ideal.direction(2), Some(false));
+        assert_eq!(ideal.direction(3), None);
+        let stats = simulate(&mut ideal.clone(), &trace);
+        assert_eq!(stats.correct, 4);
+        // Accuracy equals the profile's analytic ideal-static accuracy.
+        assert!((stats.accuracy() - profile.ideal_static_accuracy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_static_unknown_branch_defaults_taken() {
+        let ideal = IdealStatic::default();
+        assert!(ideal.predict(site(42)));
+    }
+
+    #[test]
+    fn updates_are_noops() {
+        let mut p = IdealStatic::default();
+        p.update(site(1), false);
+        assert!(p.predict(site(1)));
+    }
+}

@@ -1,0 +1,217 @@
+use crate::counter::SaturatingCounter;
+use crate::gas::Gas;
+use crate::history::ShiftHistory;
+use crate::pas::Pas;
+use crate::pht::PatternHistoryTable;
+use crate::{BranchSite, Predictor};
+
+/// GAg — the fully global two-level predictor of Yeh & Patt's taxonomy:
+/// one global history register, one shared PHT indexed by the history
+/// pattern alone (no address bits at all).
+///
+/// The maximally-aliasing end of the global family: every branch reaching
+/// the same history pattern shares a counter. [`crate::Gas`] partitions by
+/// address, [`crate::Gshare`] hashes address into the index; `GAg` does
+/// neither, which is what makes it the clean baseline for interference
+/// studies.
+#[derive(Debug, Clone)]
+pub struct Gag {
+    history: ShiftHistory,
+    pht: PatternHistoryTable,
+}
+
+impl Gag {
+    /// Creates a GAg with `history_bits` of global history and a
+    /// `2^history_bits` PHT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` is not in `1..=28`.
+    pub fn new(history_bits: u32) -> Self {
+        Gag::with_counter(history_bits, SaturatingCounter::two_bit())
+    }
+
+    /// As [`Gag::new`] with a custom counter.
+    pub fn with_counter(history_bits: u32, init: SaturatingCounter) -> Self {
+        Gag {
+            history: ShiftHistory::new(history_bits),
+            pht: PatternHistoryTable::new(history_bits, init),
+        }
+    }
+}
+
+impl Default for Gag {
+    /// 12-bit global history.
+    fn default() -> Self {
+        Gag::new(12)
+    }
+}
+
+impl Predictor for Gag {
+    fn name(&self) -> String {
+        format!("gag({})", self.history.len())
+    }
+
+    fn predict(&self, _site: BranchSite) -> bool {
+        self.pht.predict(self.history.value())
+    }
+
+    fn update(&mut self, _site: BranchSite, taken: bool) {
+        self.pht.train(self.history.value(), taken);
+        self.history.push(taken);
+    }
+}
+
+/// PAg — per-address first-level histories feeding one *shared* PHT
+/// (Yeh & Patt's taxonomy; contrast with [`crate::Pas`]/PAp, whose PHTs
+/// are address-selected).
+///
+/// Self-history is tracked per branch, but branches whose histories reach
+/// the same pattern share second-level counters — per-address pattern
+/// interference in its purest form.
+#[derive(Debug, Clone)]
+pub struct Pag {
+    history_bits: u32,
+    bht_bits: u32,
+    bht: Vec<u64>,
+    pht: PatternHistoryTable,
+}
+
+impl Pag {
+    /// Creates a PAg with `history_bits` of per-address history, a
+    /// `2^bht_bits`-entry BHT, and one `2^history_bits` PHT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` is not in `1..=28` or `bht_bits` exceeds
+    /// 24.
+    pub fn new(history_bits: u32, bht_bits: u32) -> Self {
+        Pag::with_counter(history_bits, bht_bits, SaturatingCounter::two_bit())
+    }
+
+    /// As [`Pag::new`] with a custom counter.
+    pub fn with_counter(history_bits: u32, bht_bits: u32, init: SaturatingCounter) -> Self {
+        assert!(bht_bits <= 24, "BHT at most 2^24 entries");
+        Pag {
+            history_bits,
+            bht_bits,
+            bht: vec![0; 1 << bht_bits],
+            pht: PatternHistoryTable::new(history_bits, init),
+        }
+    }
+
+    #[inline]
+    fn bht_index(&self, site: BranchSite) -> usize {
+        ((site.pc >> 2) & ((1u64 << self.bht_bits) - 1)) as usize
+    }
+}
+
+impl Default for Pag {
+    /// 12-bit per-address history, 1024-entry BHT.
+    fn default() -> Self {
+        Pag::new(12, 10)
+    }
+}
+
+impl Predictor for Pag {
+    fn name(&self) -> String {
+        format!("pag({},{})", self.history_bits, self.bht_bits)
+    }
+
+    fn predict(&self, site: BranchSite) -> bool {
+        self.pht.predict(self.bht[self.bht_index(site)])
+    }
+
+    fn update(&mut self, site: BranchSite, taken: bool) {
+        let bi = self.bht_index(site);
+        let hist = self.bht[bi];
+        self.pht.train(hist, taken);
+        self.bht[bi] = ((hist << 1) | u64::from(taken)) & ((1u64 << self.history_bits) - 1);
+    }
+}
+
+/// Constructs the global-history family at comparable budgets — GAg, GAs,
+/// gshare, and gskew — convenient for family comparison experiments.
+pub fn global_family(history_bits: u32) -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(Gag::new(history_bits)),
+        Box::new(Gas::new(history_bits, 4)),
+        Box::new(crate::Gshare::new(history_bits)),
+        Box::new(crate::Gskew::new(history_bits, history_bits)),
+    ]
+}
+
+/// The per-address family members at comparable budgets.
+pub fn per_address_family(history_bits: u32) -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(Pag::new(history_bits, 10)),
+        Box::new(Pas::new(history_bits, 10, 4)),
+        Box::new(crate::PasInterferenceFree::new(history_bits)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use bp_trace::{BranchRecord, Trace};
+
+    #[test]
+    fn gag_learns_global_patterns() {
+        let trace: Trace = (0..2000)
+            .map(|i| BranchRecord::conditional(0x40, i % 4 != 1))
+            .collect();
+        let stats = simulate(&mut Gag::new(8), &trace);
+        assert!(stats.accuracy() > 0.95);
+    }
+
+    #[test]
+    fn gag_suffers_more_interference_than_partitioned_gas() {
+        // Two opposite-biased branches whose noisy outcomes pollute the
+        // global history: GAg's counters see both branches under the same
+        // patterns and wash out; GAs's address partition keeps their PHTs
+        // apart, so each table simply learns its branch's bias.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut recs = Vec::new();
+        for _ in 0..4000 {
+            recs.push(BranchRecord::conditional(0x100, rng.gen_bool(0.9)));
+            recs.push(BranchRecord::conditional(0x104, rng.gen_bool(0.1)));
+        }
+        let trace = Trace::from_records(recs);
+        let gag = simulate(&mut Gag::new(8), &trace);
+        let gas = simulate(&mut Gas::new(8, 1), &trace);
+        assert!(
+            gas.correct > gag.correct,
+            "gas {} vs gag {}",
+            gas.correct,
+            gag.correct
+        );
+    }
+
+    #[test]
+    fn pag_tracks_self_history_through_shared_pht() {
+        let trace: Trace = (0..3000)
+            .map(|i| BranchRecord::conditional(0x40 + (i % 3) * 4, (i / 3) % 5 != 0))
+            .collect();
+        let stats = simulate(&mut Pag::default(), &trace);
+        assert!(stats.accuracy() > 0.9, "accuracy {}", stats.accuracy());
+    }
+
+    #[test]
+    fn families_construct_and_run() {
+        let trace: Trace = (0..500)
+            .map(|i| BranchRecord::conditional(0x10 + (i % 7) * 4, i % 2 == 0))
+            .collect();
+        for mut p in global_family(8).into_iter().chain(per_address_family(8)) {
+            let stats = simulate(p.as_mut(), &trace);
+            assert_eq!(stats.predictions, 500, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Gag::default().name(), "gag(12)");
+        assert_eq!(Pag::default().name(), "pag(12,10)");
+    }
+}

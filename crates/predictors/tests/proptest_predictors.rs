@@ -1,0 +1,156 @@
+//! Property-based tests for predictor components and whole predictors on
+//! arbitrary traces.
+
+use proptest::prelude::*;
+
+use bp_predictors::{
+    simulate, simulate_per_branch, BackwardTaken, BlockPattern, BranchSite, Gag, Gas, Gshare,
+    GshareInterferenceFree, Gskew, Hybrid, IdealStatic, InterferenceGshare, KthAgo, LoopPredictor,
+    Pag, Pas, PasInterferenceFree, PathBased, PatternHistoryTable, Predictor, SaturatingCounter,
+    ShiftHistory, Smith, StaticNotTaken, StaticTaken,
+};
+use bp_trace::{BranchProfile, BranchRecord, Trace};
+
+fn arb_trace(max: usize) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        (0u64..32, any::<bool>(), any::<bool>()).prop_map(|(pc, taken, backward)| {
+            let rec = BranchRecord::conditional(pc * 4 + 0x1000, taken);
+            if backward {
+                rec.with_target(0x800)
+            } else {
+                rec
+            }
+        }),
+        0..max,
+    )
+    .prop_map(Trace::from_records)
+}
+
+/// Every predictor under test, fresh.
+fn all_predictors() -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(StaticTaken),
+        Box::new(StaticNotTaken),
+        Box::new(BackwardTaken),
+        Box::new(Smith::new(6)),
+        Box::new(Gshare::new(8)),
+        Box::new(GshareInterferenceFree::new(8)),
+        Box::new(Gas::new(6, 2)),
+        Box::new(Pas::new(6, 4, 1)),
+        Box::new(PasInterferenceFree::new(6)),
+        Box::new(PathBased::new(4, 2)),
+        Box::new(LoopPredictor::new()),
+        Box::new(KthAgo::new(3)),
+        Box::new(BlockPattern::new()),
+        Box::new(Hybrid::new(Gshare::new(6), Pas::new(4, 3, 1), 6)),
+        Box::new(Gag::new(6)),
+        Box::new(Pag::new(6, 4)),
+        Box::new(Gskew::new(6, 6)),
+        Box::new(InterferenceGshare::new(6)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn counters_stay_in_range(bits in 1u8..6, ops in prop::collection::vec(any::<bool>(), 0..64)) {
+        let mut c = SaturatingCounter::weakly_taken(bits);
+        for op in ops {
+            c.train(op);
+            prop_assert!(c.value() <= c.max_value());
+        }
+    }
+
+    #[test]
+    fn counter_saturates_to_outcome(bits in 1u8..6, taken in any::<bool>()) {
+        let mut c = SaturatingCounter::weakly_not_taken(bits);
+        for _ in 0..(1 << bits) {
+            c.train(taken);
+        }
+        prop_assert_eq!(c.predict_taken(), taken);
+        prop_assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn history_only_remembers_len(len in 1u32..32, ops in prop::collection::vec(any::<bool>(), 0..80)) {
+        let mut h = ShiftHistory::new(len);
+        for &op in &ops {
+            h.push(op);
+        }
+        prop_assert!(h.value() < (1u64 << len) || len == 64);
+        // The register equals the last `len` outcomes packed LSB-most-recent.
+        let mut expect = 0u64;
+        for &op in ops.iter().rev().take(len as usize).collect::<Vec<_>>().iter().rev() {
+            expect = (expect << 1) | u64::from(*op);
+        }
+        prop_assert_eq!(h.value(), expect);
+    }
+
+    #[test]
+    fn pht_only_touched_slot_changes(idx in 0u64..1024, other in 0u64..1024) {
+        let mut pht = PatternHistoryTable::new(10, SaturatingCounter::two_bit());
+        let before = pht.counter(other).value();
+        pht.train(idx, false);
+        if idx != other {
+            prop_assert_eq!(pht.counter(other).value(), before);
+        }
+    }
+
+    #[test]
+    fn every_predictor_scores_every_branch(trace in arb_trace(300)) {
+        let n = trace.conditional_count() as u64;
+        for mut p in all_predictors() {
+            let stats = simulate(p.as_mut(), &trace);
+            prop_assert_eq!(stats.predictions, n, "{}", p.name());
+            prop_assert!(stats.correct <= n);
+        }
+    }
+
+    #[test]
+    fn per_branch_decomposition_matches_total(trace in arb_trace(300)) {
+        let total = simulate(&mut Gshare::new(8), &trace);
+        let per_branch = simulate_per_branch(&mut Gshare::new(8), &trace);
+        prop_assert_eq!(per_branch.total(), total);
+        let sum: u64 = per_branch.iter().map(|(_, s)| s.correct).sum();
+        prop_assert_eq!(sum, total.correct);
+    }
+
+    #[test]
+    fn ideal_static_beats_both_constant_predictors(trace in arb_trace(300)) {
+        let profile = BranchProfile::of(&trace);
+        let ideal = simulate(&mut IdealStatic::from_profile(&profile), &trace);
+        let taken = simulate(&mut StaticTaken, &trace);
+        let not_taken = simulate(&mut StaticNotTaken, &trace);
+        prop_assert!(ideal.correct >= taken.correct.max(not_taken.correct));
+        // And it matches the analytic profile value exactly.
+        prop_assert_eq!(ideal.correct, profile.ideal_static_correct());
+    }
+
+    #[test]
+    fn predictors_are_deterministic(trace in arb_trace(200)) {
+        for (mut a, mut b) in all_predictors().into_iter().zip(all_predictors()) {
+            let ra = simulate(a.as_mut(), &trace);
+            let rb = simulate(b.as_mut(), &trace);
+            prop_assert_eq!(ra, rb, "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn predict_does_not_mutate(trace in arb_trace(120), probe_pc in 0u64..32) {
+        // Calling predict() repeatedly between updates must not change the
+        // prediction (predict takes &self, but e.g. interior mutability
+        // could sneak in — this pins the contract).
+        let site = BranchSite::new(probe_pc * 4 + 0x1000, 0x2000);
+        for mut p in all_predictors() {
+            for rec in trace.conditionals() {
+                let s = BranchSite::from(rec);
+                let first = p.predict(s);
+                prop_assert_eq!(p.predict(s), first);
+                let probe = p.predict(site);
+                prop_assert_eq!(p.predict(site), probe);
+                p.update(s, rec.taken);
+            }
+        }
+    }
+}

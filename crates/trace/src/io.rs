@@ -1,0 +1,396 @@
+//! Binary trace serialization.
+//!
+//! Traces persist in a compact varint format so generated workloads can be
+//! cached on disk and re-analyzed without regeneration:
+//!
+//! ```text
+//! magic "BPT1"
+//! varint record-count
+//! per record:
+//!   flags byte   bit0 = taken, bits1-2 = kind
+//!   varint pc
+//!   varint zigzag(target - pc)
+//! ```
+//!
+//! Readers and writers are generic over [`std::io::Read`] / [`std::io::Write`]
+//! (a `&mut` reference works wherever an owned reader/writer does).
+
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+
+use crate::record::{BranchKind, BranchRecord};
+use crate::trace::Trace;
+
+const MAGIC: &[u8; 4] = b"BPT1";
+
+/// Error produced when decoding a serialized trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// A varint ran past 10 bytes or the stream ended inside a record.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::BadMagic => write!(f, "stream is not a serialized trace"),
+            TraceIoError::Corrupt(what) => write!(f, "corrupt trace stream: {what}"),
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn write_varint<W: Write>(mut w: W, mut v: u64) -> Result<(), TraceIoError> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(mut r: R) -> Result<u64, TraceIoError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(TraceIoError::Corrupt("varint too long"));
+        }
+        v |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn kind_code(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Call => 1,
+        BranchKind::Return => 2,
+        BranchKind::Jump => 3,
+    }
+}
+
+fn kind_from_code(code: u8) -> Result<BranchKind, TraceIoError> {
+    match code {
+        0 => Ok(BranchKind::Conditional),
+        1 => Ok(BranchKind::Call),
+        2 => Ok(BranchKind::Return),
+        3 => Ok(BranchKind::Jump),
+        _ => Err(TraceIoError::Corrupt("bad branch kind")),
+    }
+}
+
+/// Serializes a trace to a writer.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] when the writer fails.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use bp_trace::{io, BranchRecord, Trace};
+///
+/// let trace = Trace::from_records(vec![BranchRecord::conditional(64, true)]);
+/// let mut buf = Vec::new();
+/// io::write_trace(&mut buf, &trace)?;
+/// let back = io::read_trace(buf.as_slice())?;
+/// assert_eq!(back, trace);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceIoError> {
+    w.write_all(MAGIC)?;
+    write_varint(&mut w, trace.len() as u64)?;
+    for rec in trace.iter() {
+        let flags = (rec.taken as u8) | (kind_code(rec.kind) << 1);
+        w.write_all(&[flags])?;
+        write_varint(&mut w, rec.pc)?;
+        write_varint(&mut w, zigzag(rec.target.wrapping_sub(rec.pc) as i64))?;
+    }
+    Ok(())
+}
+
+/// Deserializes a trace from a reader.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::BadMagic`] when the stream is not a trace, and
+/// [`TraceIoError::Corrupt`] / [`TraceIoError::Io`] on malformed or
+/// truncated input.
+pub fn read_trace<R: Read>(r: R) -> Result<Trace, TraceIoError> {
+    let reader = TraceReader::new(r)?;
+    // Guard preallocation against hostile counts; grow as records decode.
+    let mut records = Vec::with_capacity(reader.remaining().min(1 << 20) as usize);
+    for rec in reader {
+        records.push(rec?);
+    }
+    Ok(Trace::from_records(records))
+}
+
+/// Streaming trace decoder: yields records one at a time without
+/// materializing the whole trace, so arbitrarily large trace files can be
+/// folded into statistics or fed to a predictor incrementally.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use bp_trace::{io, BranchRecord, Trace};
+///
+/// let trace = Trace::from_records(vec![BranchRecord::conditional(8, true)]);
+/// let mut buf = Vec::new();
+/// io::write_trace(&mut buf, &trace)?;
+///
+/// let mut taken = 0u64;
+/// for rec in io::TraceReader::new(buf.as_slice())? {
+///     if rec?.taken {
+///         taken += 1;
+///     }
+/// }
+/// assert_eq!(taken, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    reader: R,
+    remaining: u64,
+    failed: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a stream, validating the magic and reading the record count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::BadMagic`] when the stream is not a trace,
+    /// or an I/O / corruption error from the header.
+    pub fn new(mut reader: R) -> Result<Self, TraceIoError> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(TraceIoError::BadMagic);
+        }
+        let remaining = read_varint(&mut reader)?;
+        Ok(TraceReader {
+            reader,
+            remaining,
+            failed: false,
+        })
+    }
+
+    /// Records left to decode (exact, from the header).
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn read_record(&mut self) -> Result<BranchRecord, TraceIoError> {
+        let mut flags = [0u8; 1];
+        self.reader.read_exact(&mut flags)?;
+        let taken = flags[0] & 1 != 0;
+        let kind = kind_from_code(flags[0] >> 1)?;
+        let pc = read_varint(&mut self.reader)?;
+        let delta = unzigzag(read_varint(&mut self.reader)?);
+        Ok(BranchRecord {
+            pc,
+            target: pc.wrapping_add(delta as u64),
+            taken,
+            kind,
+        })
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<BranchRecord, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let rec = self.read_record();
+        if rec.is_err() {
+            // Poison the iterator: after a decode error the stream offset
+            // is meaningless.
+            self.failed = true;
+        }
+        Some(rec)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.failed {
+            return (0, Some(0));
+        }
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (0, Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Pc;
+
+    fn roundtrip(trace: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, trace).expect("write");
+        read_trace(buf.as_slice()).expect("read")
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let t = Trace::new();
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn mixed_roundtrip() {
+        let t = Trace::from_records(vec![
+            BranchRecord::conditional(0x1000, true),
+            BranchRecord::conditional(0x1004, false).with_target(0xfff0),
+            BranchRecord {
+                pc: 0x2000,
+                target: 0x9000,
+                taken: true,
+                kind: BranchKind::Call,
+            },
+            BranchRecord {
+                pc: 0x9008,
+                target: 0,
+                taken: true,
+                kind: BranchKind::Return,
+            },
+            BranchRecord {
+                pc: Pc::MAX,
+                target: 0,
+                taken: false,
+                kind: BranchKind::Jump,
+            },
+        ]);
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOPE"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let t = Trace::from_records(vec![BranchRecord::conditional(10, true)]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        write_varint(&mut buf, 1).unwrap();
+        buf.push(4 << 1); // kind code 4 does not exist
+        write_varint(&mut buf, 1).unwrap();
+        write_varint(&mut buf, 0).unwrap();
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Corrupt(_)));
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn streaming_reader_matches_bulk_read() {
+        let t = Trace::from_records(
+            (0..50)
+                .map(|i| BranchRecord::conditional(i * 8, i % 3 == 0))
+                .collect(),
+        );
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.remaining(), 50);
+        let streamed: Result<Vec<_>, _> = reader.collect();
+        assert_eq!(streamed.unwrap(), t.records());
+    }
+
+    #[test]
+    fn streaming_reader_poisons_after_error() {
+        let t = Trace::from_records(vec![
+            BranchRecord::conditional(10, true),
+            BranchRecord::conditional(20, false),
+        ]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 1); // clip inside the second record
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(reader.next().unwrap().is_ok());
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none(), "iterator must stop after an error");
+        assert_eq!(reader.size_hint(), (0, Some(0)));
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let buf = [0x80u8; 11];
+        assert!(matches!(
+            read_varint(&buf[..]).unwrap_err(),
+            TraceIoError::Corrupt(_)
+        ));
+    }
+}

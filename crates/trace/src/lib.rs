@@ -1,0 +1,53 @@
+//! Branch trace infrastructure for the correlation-and-predictability study.
+//!
+//! This crate provides the substrate every other crate in the workspace is
+//! built on:
+//!
+//! * [`BranchRecord`] / [`BranchKind`] — the unit of a trace: one dynamic
+//!   branch with its address, target, and outcome.
+//! * [`Trace`] — an in-memory dynamic branch trace with cheap cloning and
+//!   binary (de)serialization (see [`io`]).
+//! * [`Recorder`] — the instrumentation API used by the synthetic workloads:
+//!   real Rust control flow calls into the recorder, which appends records.
+//! * [`PathWindow`] — a sliding window over the last *n* conditional
+//!   branches, producing the dual *instance tags* of Evers et al. §3.2
+//!   ([`InstanceTag`], [`TagScheme`]) and the ternary [`TagOutcome`] used by
+//!   selective-history predictors (§3.4).
+//! * [`TraceStats`] / [`BranchProfile`] — static/dynamic branch statistics
+//!   and per-branch bias profiles.
+//!
+//! # Example
+//!
+//! ```
+//! use bp_trace::{Recorder, TraceStats};
+//!
+//! let mut rec = Recorder::new();
+//! for i in 0..10u32 {
+//!     // A "for-type" loop branch: taken 9 times, then not taken.
+//!     rec.cond(0x400, i < 9);
+//! }
+//! let trace = rec.into_trace();
+//! let stats = TraceStats::of(&trace);
+//! assert_eq!(stats.dynamic_conditional, 10);
+//! assert_eq!(stats.static_conditional, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+mod profile;
+mod record;
+mod recorder;
+mod stats;
+mod tag;
+mod trace;
+mod window;
+
+pub use profile::{BranchProfile, ProfileEntry};
+pub use record::{BranchKind, BranchRecord, Pc};
+pub use recorder::Recorder;
+pub use stats::TraceStats;
+pub use tag::{pattern_count, pattern_index, InstanceTag, TagOutcome, TagScheme};
+pub use trace::Trace;
+pub use window::{PathWindow, WindowEntry};

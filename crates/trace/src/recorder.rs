@@ -1,0 +1,175 @@
+use crate::record::{BranchKind, BranchRecord, Pc};
+use crate::trace::Trace;
+
+/// Instrumentation sink used by the synthetic workloads.
+///
+/// Workloads are ordinary Rust programs; every branch decision they make is
+/// reported to a `Recorder`, so the produced [`Trace`] reflects *real*
+/// control flow — including the correlated-condition idioms (figures 1 and 2
+/// of the paper) that arise naturally from `if (a)` … `if (a && b)` source
+/// structure.
+///
+/// # Example
+///
+/// ```
+/// use bp_trace::Recorder;
+///
+/// let mut rec = Recorder::new();
+/// let a = true;
+/// let b = false;
+/// if rec.cond(0x10, a) { /* then-side work */ }
+/// if rec.cond(0x14, a && b) { /* correlated with the branch above */ }
+/// let trace = rec.into_trace();
+/// assert_eq!(trace.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Recorder {
+    records: Vec<BranchRecord>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Creates a recorder pre-sized for roughly `n` records.
+    pub fn with_capacity(n: usize) -> Self {
+        Recorder {
+            records: Vec::with_capacity(n),
+        }
+    }
+
+    /// Records a forward conditional branch at `pc` and returns the
+    /// condition unchanged so call sites can stay inline in `if`/`while`
+    /// expressions.
+    #[inline]
+    pub fn cond(&mut self, pc: Pc, taken: bool) -> bool {
+        self.records.push(BranchRecord::conditional(pc, taken));
+        taken
+    }
+
+    /// Records a *backward* conditional branch (a loop back-edge) at `pc`.
+    ///
+    /// The taken-target is placed before the branch so
+    /// [`BranchRecord::is_backward`] holds; the §3.2 iteration-tagging
+    /// scheme counts these to name loop iterations.
+    #[inline]
+    pub fn loop_back(&mut self, pc: Pc, taken: bool) -> bool {
+        self.records
+            .push(BranchRecord::conditional(pc, taken).with_target(pc.saturating_sub(16)));
+        taken
+    }
+
+    /// Records a subroutine call from `pc` to `target`.
+    #[inline]
+    pub fn call(&mut self, pc: Pc, target: Pc) {
+        self.records.push(BranchRecord {
+            pc,
+            target,
+            taken: true,
+            kind: BranchKind::Call,
+        });
+    }
+
+    /// Records a subroutine return at `pc`.
+    #[inline]
+    pub fn ret(&mut self, pc: Pc) {
+        self.records.push(BranchRecord {
+            pc,
+            target: 0,
+            taken: true,
+            kind: BranchKind::Return,
+        });
+    }
+
+    /// Records an unconditional jump from `pc` to `target`.
+    #[inline]
+    pub fn jump(&mut self, pc: Pc, target: Pc) {
+        self.records.push(BranchRecord {
+            pc,
+            target,
+            taken: true,
+            kind: BranchKind::Jump,
+        });
+    }
+
+    /// Number of records captured so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of *conditional* records captured so far; workload drivers use
+    /// this to stop once a target trace length is reached.
+    pub fn conditional_len(&self) -> usize {
+        self.records.iter().filter(|r| r.is_conditional()).count()
+    }
+
+    /// Finishes recording and produces the trace.
+    pub fn into_trace(self) -> Trace {
+        Trace::from_records(self.records)
+    }
+}
+
+impl Extend<BranchRecord> for Recorder {
+    fn extend<T: IntoIterator<Item = BranchRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_passes_value_through() {
+        let mut rec = Recorder::new();
+        assert!(rec.cond(1, true));
+        assert!(!rec.cond(2, false));
+        let t = rec.into_trace();
+        assert!(t.records()[0].taken);
+        assert!(!t.records()[1].taken);
+    }
+
+    #[test]
+    fn loop_back_is_backward() {
+        let mut rec = Recorder::new();
+        rec.loop_back(100, true);
+        let t = rec.into_trace();
+        assert!(t.records()[0].is_backward());
+    }
+
+    #[test]
+    fn loop_back_at_low_pc_saturates() {
+        let mut rec = Recorder::new();
+        rec.loop_back(4, true);
+        let t = rec.into_trace();
+        assert!(t.records()[0].is_backward());
+        assert_eq!(t.records()[0].target, 0);
+    }
+
+    #[test]
+    fn mixed_kinds_counted() {
+        let mut rec = Recorder::new();
+        rec.cond(1, true);
+        rec.call(2, 100);
+        rec.cond(101, false);
+        rec.ret(102);
+        rec.jump(3, 50);
+        assert_eq!(rec.len(), 5);
+        assert_eq!(rec.conditional_len(), 2);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut rec = Recorder::with_capacity(4);
+        rec.extend((0..4).map(|i| BranchRecord::conditional(i, true)));
+        assert_eq!(rec.len(), 4);
+        assert!(!rec.is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+use std::fmt;
+use std::sync::Arc;
+
+use crate::record::{BranchRecord, Pc};
+
+/// An in-memory dynamic branch trace.
+///
+/// Records are stored behind an [`Arc`], so cloning a `Trace` is O(1);
+/// multi-pass analyses (the oracle selector replays a trace several times)
+/// and cross-thread experiment fan-out share the same buffer.
+///
+/// Build a trace with a [`crate::Recorder`], with [`Trace::from_records`],
+/// or by decoding a serialized trace via [`crate::io::read_trace`].
+#[derive(Clone, Default)]
+pub struct Trace {
+    records: Arc<Vec<BranchRecord>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Wraps a vector of records as a trace.
+    pub fn from_records(records: Vec<BranchRecord>) -> Self {
+        Trace {
+            records: Arc::new(records),
+        }
+    }
+
+    /// All records, in execution order.
+    #[inline]
+    pub fn records(&self) -> &[BranchRecord] {
+        &self.records
+    }
+
+    /// Total number of records of any kind.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the trace holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over all records.
+    pub fn iter(&self) -> std::slice::Iter<'_, BranchRecord> {
+        self.records.iter()
+    }
+
+    /// Iterates over conditional branches only — the stream predictors are
+    /// scored on.
+    pub fn conditionals(&self) -> impl Iterator<Item = &BranchRecord> + '_ {
+        self.records.iter().filter(|r| r.is_conditional())
+    }
+
+    /// Number of dynamic conditional branches.
+    pub fn conditional_count(&self) -> usize {
+        self.conditionals().count()
+    }
+
+    /// Returns a trace holding only the first `n` records.
+    ///
+    /// Used by the experiment harness to scale trace length without
+    /// regenerating workloads.
+    pub fn truncated(&self, n: usize) -> Trace {
+        if n >= self.len() {
+            return self.clone();
+        }
+        Trace::from_records(self.records[..n].to_vec())
+    }
+
+    /// Returns the sub-trace of records `start..end` (clamped to the
+    /// trace; empty when `start >= end`). Useful for train/test splits.
+    pub fn slice(&self, start: usize, end: usize) -> Trace {
+        let end = end.min(self.len());
+        let start = start.min(end);
+        Trace::from_records(self.records[start..end].to_vec())
+    }
+
+    /// The set of distinct conditional-branch addresses, sorted.
+    pub fn static_conditional_pcs(&self) -> Vec<Pc> {
+        let mut pcs: Vec<Pc> = self.conditionals().map(|r| r.pc).collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        pcs
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Trace")
+            .field("records", &self.records.len())
+            .finish()
+    }
+}
+
+impl FromIterator<BranchRecord> for Trace {
+    fn from_iter<I: IntoIterator<Item = BranchRecord>>(iter: I) -> Self {
+        Trace::from_records(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a BranchRecord;
+    type IntoIter = std::slice::Iter<'a, BranchRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+    }
+}
+
+impl Eq for Trace {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::BranchKind;
+
+    fn sample() -> Trace {
+        Trace::from_records(vec![
+            BranchRecord::conditional(8, true),
+            BranchRecord {
+                pc: 12,
+                target: 400,
+                taken: true,
+                kind: BranchKind::Call,
+            },
+            BranchRecord::conditional(8, false),
+            BranchRecord::conditional(16, true),
+        ])
+    }
+
+    #[test]
+    fn len_and_conditional_count() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.conditional_count(), 3);
+        assert!(!t.is_empty());
+        assert!(Trace::new().is_empty());
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let t = sample();
+        let u = t.clone();
+        assert_eq!(t, u);
+        assert!(Arc::ptr_eq(&t.records, &u.records));
+    }
+
+    #[test]
+    fn static_pcs_sorted_dedup() {
+        let t = sample();
+        assert_eq!(t.static_conditional_pcs(), vec![8, 16]);
+    }
+
+    #[test]
+    fn truncated_limits_and_noops() {
+        let t = sample();
+        assert_eq!(t.truncated(2).len(), 2);
+        assert_eq!(t.truncated(100).len(), 4);
+        assert_eq!(t.truncated(0).len(), 0);
+    }
+
+    #[test]
+    fn slice_clamps_and_splits() {
+        let t = sample();
+        assert_eq!(t.slice(1, 3).len(), 2);
+        assert_eq!(t.slice(0, 100).len(), 4);
+        assert_eq!(t.slice(3, 1).len(), 0);
+        assert_eq!(t.slice(0, 2).records()[1], t.records()[1]);
+        // A split covers the whole trace.
+        let a = t.slice(0, 2);
+        let b = t.slice(2, t.len());
+        assert_eq!(a.len() + b.len(), t.len());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: Trace = (0..5).map(|i| BranchRecord::conditional(i, i % 2 == 0)).collect();
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", sample()).is_empty());
+    }
+}

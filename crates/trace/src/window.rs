@@ -1,0 +1,357 @@
+use std::collections::VecDeque;
+
+use crate::record::{BranchRecord, Pc};
+use crate::tag::{InstanceTag, TagScheme};
+
+/// One prior conditional branch held in a [`PathWindow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowEntry {
+    /// Static address of the branch.
+    pub pc: Pc,
+    /// Its outcome.
+    pub taken: bool,
+    /// Whether it was a backward branch (loop back-edge).
+    pub backward: bool,
+    /// Total backward branches pushed up to and including this entry.
+    backward_through: u64,
+}
+
+/// Sliding window over the last *n* conditional branches — the "path leading
+/// up to the current branch" of paper §3.1/§3.2.
+///
+/// The window names every visible prior branch instance under both tagging
+/// schemes ([`TagScheme::Occurrence`] and [`TagScheme::Iteration`]) so the
+/// oracle correlation analysis can treat the two namings as distinct
+/// candidate correlated branches, exactly as the paper does.
+///
+/// Only *conditional* branches enter the window: the first-level history of
+/// a two-level predictor records conditional outcomes, and those are the
+/// instances whose directions can correlate. (Calls/returns influence the
+/// path only through the conditionals executed inside them.)
+///
+/// Usage order matters: query the window for the context of a branch
+/// *before* pushing that branch's own record.
+///
+/// # Example
+///
+/// ```
+/// use bp_trace::{BranchRecord, InstanceTag, PathWindow};
+///
+/// let mut w = PathWindow::new(16);
+/// w.push(&BranchRecord::conditional(0x10, true));
+/// w.push(&BranchRecord::conditional(0x10, false));
+/// // Most recent instance of 0x10 was not taken:
+/// assert_eq!(w.lookup(InstanceTag::occurrence(0x10, 0)), Some(false));
+/// // The one before it was taken:
+/// assert_eq!(w.lookup(InstanceTag::occurrence(0x10, 1)), Some(true));
+/// // No third instance in the path:
+/// assert_eq!(w.lookup(InstanceTag::occurrence(0x10, 2)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathWindow {
+    capacity: usize,
+    entries: VecDeque<WindowEntry>,
+    backward_total: u64,
+}
+
+impl PathWindow {
+    /// Creates a window holding up to `capacity` prior conditional branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "path window capacity must be positive");
+        PathWindow {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            backward_total: 0,
+        }
+    }
+
+    /// Maximum number of prior branches examined (the paper's *n*).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of prior branches currently visible (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no branch has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Forgets all history (the backward-branch clock keeps running).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Pushes a record. Non-conditional records are ignored.
+    pub fn push(&mut self, rec: &BranchRecord) {
+        if !rec.is_conditional() {
+            return;
+        }
+        if rec.is_backward() {
+            self.backward_total += 1;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(WindowEntry {
+            pc: rec.pc,
+            taken: rec.taken,
+            backward: rec.is_backward(),
+            backward_through: self.backward_total,
+        });
+    }
+
+    /// Backward branches executed strictly after `entry`, i.e. between the
+    /// entry and the present — the [`TagScheme::Iteration`] index.
+    #[inline]
+    fn backwards_since(&self, entry: &WindowEntry) -> u64 {
+        self.backward_total - entry.backward_through
+    }
+
+    /// Looks up the outcome of a single tagged instance, or `None` when the
+    /// instance is not in the path.
+    ///
+    /// For bulk queries prefer [`PathWindow::visible_tags`], which costs one
+    /// window scan for all tags.
+    pub fn lookup(&self, tag: InstanceTag) -> Option<bool> {
+        match tag.scheme {
+            TagScheme::Occurrence => self
+                .entries
+                .iter()
+                .rev()
+                .filter(|e| e.pc == tag.pc)
+                .nth(tag.index as usize)
+                .map(|e| e.taken),
+            TagScheme::Iteration => self
+                .entries
+                .iter()
+                .rev()
+                .find(|e| e.pc == tag.pc && self.backwards_since(e) == u64::from(tag.index))
+                .map(|e| e.taken),
+        }
+    }
+
+    /// The distance, in branches, from the present to the tagged instance:
+    /// 1 for the most recently pushed branch, up to `capacity` for the
+    /// oldest visible one. `None` when the instance is not in the path.
+    ///
+    /// This is the §3.6.2 quantity — how far back a correlated branch
+    /// sits, and hence how much history a real predictor would need to
+    /// reach it.
+    pub fn distance(&self, tag: InstanceTag) -> Option<usize> {
+        let position = match tag.scheme {
+            TagScheme::Occurrence => {
+                let mut seen = 0u16;
+                self.entries
+                    .iter()
+                    .rev()
+                    .position(|e| {
+                        if e.pc == tag.pc {
+                            let hit = seen == tag.index;
+                            seen += 1;
+                            hit
+                        } else {
+                            false
+                        }
+                    })
+            }
+            TagScheme::Iteration => self
+                .entries
+                .iter()
+                .rev()
+                .position(|e| e.pc == tag.pc && self.backwards_since(e) == u64::from(tag.index)),
+        };
+        position.map(|p| p + 1)
+    }
+
+    /// Appends every visible `(tag, outcome)` pair — both schemes — to
+    /// `out`, clearing it first.
+    ///
+    /// Under [`TagScheme::Iteration`] two instances of the same static
+    /// branch can collide on the same backward-branch count (no back-edge
+    /// executed between them); the **most recent** instance wins, so each
+    /// tag appears at most once in `out`. Iteration indices that overflow
+    /// `u16` (pathological: >65535 back-edges inside one window) are
+    /// omitted.
+    pub fn visible_tags(&self, out: &mut Vec<(InstanceTag, bool)>) {
+        out.clear();
+        // Most-recent-first scan; occurrence counting needs it and it makes
+        // "most recent wins" the natural first-hit rule for collisions.
+        let mut seen_iteration: Vec<(Pc, u64)> = Vec::with_capacity(self.entries.len());
+        let mut occurrence_counts: Vec<(Pc, u16)> = Vec::with_capacity(self.entries.len());
+        for e in self.entries.iter().rev() {
+            let occ = match occurrence_counts.iter_mut().find(|(pc, _)| *pc == e.pc) {
+                Some((_, n)) => {
+                    let k = *n;
+                    *n += 1;
+                    k
+                }
+                None => {
+                    occurrence_counts.push((e.pc, 1));
+                    0
+                }
+            };
+            out.push((InstanceTag::occurrence(e.pc, occ), e.taken));
+
+            let since = self.backwards_since(e);
+            if since <= u64::from(u16::MAX)
+                && !seen_iteration.iter().any(|&(pc, s)| pc == e.pc && s == since)
+            {
+                seen_iteration.push((e.pc, since));
+                out.push((InstanceTag::iteration(e.pc, since as u16), e.taken));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fwd(pc: Pc, taken: bool) -> BranchRecord {
+        BranchRecord::conditional(pc, taken)
+    }
+
+    fn bwd(pc: Pc, taken: bool) -> BranchRecord {
+        BranchRecord::conditional(pc, taken).with_target(pc.saturating_sub(32))
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = PathWindow::new(0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut w = PathWindow::new(2);
+        w.push(&fwd(1, true));
+        w.push(&fwd(2, true));
+        w.push(&fwd(3, true));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.lookup(InstanceTag::occurrence(1, 0)), None);
+        assert_eq!(w.lookup(InstanceTag::occurrence(3, 0)), Some(true));
+    }
+
+    #[test]
+    fn non_conditionals_ignored() {
+        let mut w = PathWindow::new(4);
+        w.push(&BranchRecord {
+            pc: 9,
+            target: 100,
+            taken: true,
+            kind: crate::BranchKind::Call,
+        });
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn occurrence_indexing_counts_from_most_recent() {
+        let mut w = PathWindow::new(8);
+        w.push(&fwd(5, true)); // will be occurrence 2
+        w.push(&fwd(5, false)); // occurrence 1
+        w.push(&fwd(5, true)); // occurrence 0
+        assert_eq!(w.lookup(InstanceTag::occurrence(5, 0)), Some(true));
+        assert_eq!(w.lookup(InstanceTag::occurrence(5, 1)), Some(false));
+        assert_eq!(w.lookup(InstanceTag::occurrence(5, 2)), Some(true));
+        assert_eq!(w.lookup(InstanceTag::occurrence(5, 3)), None);
+    }
+
+    #[test]
+    fn iteration_indexing_counts_back_edges() {
+        let mut w = PathWindow::new(8);
+        // Loop body branch at 10, back-edge at 20, two iterations.
+        w.push(&fwd(10, true)); // iter 0: body
+        w.push(&bwd(20, true)); // iter 0: back-edge
+        w.push(&fwd(10, false)); // iter 1: body
+        w.push(&bwd(20, true)); // iter 1: back-edge
+        // Body branch of the previous iteration: 2 back-edges since it
+        // (its own iteration's back-edge plus the next one)... count the
+        // back-edges executed after each instance:
+        //   pc=10 taken=true  -> back-edges after it: 2
+        //   pc=10 taken=false -> back-edges after it: 1
+        assert_eq!(w.lookup(InstanceTag::iteration(10, 1)), Some(false));
+        assert_eq!(w.lookup(InstanceTag::iteration(10, 2)), Some(true));
+        assert_eq!(w.lookup(InstanceTag::iteration(10, 0)), None);
+    }
+
+    #[test]
+    fn iteration_collision_keeps_most_recent() {
+        let mut w = PathWindow::new(8);
+        // Two instances of pc=7 with no back-edge between them: both have
+        // zero backward branches since.
+        w.push(&fwd(7, true));
+        w.push(&fwd(7, false));
+        let mut tags = Vec::new();
+        w.visible_tags(&mut tags);
+        let iter_hits: Vec<_> = tags
+            .iter()
+            .filter(|(t, _)| t.scheme == TagScheme::Iteration && t.pc == 7)
+            .collect();
+        assert_eq!(iter_hits.len(), 1);
+        assert!(!iter_hits[0].1); // most recent outcome
+        assert_eq!(w.lookup(InstanceTag::iteration(7, 0)), Some(false));
+    }
+
+    #[test]
+    fn visible_tags_matches_lookup() {
+        let mut w = PathWindow::new(6);
+        for (i, rec) in [fwd(1, true), bwd(2, true), fwd(1, false), fwd(3, true)]
+            .iter()
+            .enumerate()
+        {
+            let _ = i;
+            w.push(rec);
+        }
+        let mut tags = Vec::new();
+        w.visible_tags(&mut tags);
+        assert!(!tags.is_empty());
+        for (tag, outcome) in &tags {
+            assert_eq!(w.lookup(*tag), Some(*outcome), "tag {tag:?}");
+        }
+        // No duplicate tags.
+        let mut seen = std::collections::HashSet::new();
+        for (tag, _) in &tags {
+            assert!(seen.insert(*tag), "duplicate tag {tag:?}");
+        }
+    }
+
+    #[test]
+    fn distance_counts_from_most_recent() {
+        let mut w = PathWindow::new(8);
+        w.push(&fwd(5, true)); // distance 3
+        w.push(&bwd(6, true)); // distance 2
+        w.push(&fwd(5, false)); // distance 1
+        assert_eq!(w.distance(InstanceTag::occurrence(5, 0)), Some(1));
+        assert_eq!(w.distance(InstanceTag::occurrence(5, 1)), Some(3));
+        assert_eq!(w.distance(InstanceTag::occurrence(6, 0)), Some(2));
+        assert_eq!(w.distance(InstanceTag::occurrence(5, 2)), None);
+        // Iteration scheme: pc=5 oldest instance has 1 back-edge since it.
+        assert_eq!(w.distance(InstanceTag::iteration(5, 1)), Some(3));
+        assert_eq!(w.distance(InstanceTag::iteration(5, 0)), Some(1));
+        // Distance agrees with lookup presence.
+        let mut tags = Vec::new();
+        w.visible_tags(&mut tags);
+        for (tag, _) in tags {
+            assert!(w.distance(tag).is_some(), "{tag:?}");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_backward_clock_monotonic() {
+        let mut w = PathWindow::new(4);
+        w.push(&bwd(2, true));
+        w.clear();
+        assert!(w.is_empty());
+        w.push(&fwd(1, true));
+        // Entry pushed after clear must still compute a sane iteration index.
+        assert_eq!(w.lookup(InstanceTag::iteration(1, 0)), Some(true));
+    }
+}

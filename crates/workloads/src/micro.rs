@@ -1,0 +1,282 @@
+//! Controlled microbenchmarks: single-behavior branch generators for
+//! predictor studies, tests, and benches.
+//!
+//! Where the eight [`crate::Benchmark`]s are program-shaped mixtures, each
+//! [`MicroPattern`] isolates exactly one behavior from the paper's
+//! taxonomy — a biased branch, a loop, a repeating pattern, a correlated
+//! pair, an in-path split — with tunable parameters. Compose several into
+//! one trace with [`MicroTrace`].
+//!
+//! # Example
+//!
+//! ```
+//! use bp_workloads::micro::{MicroPattern, MicroTrace};
+//!
+//! // A trip-20 loop interleaved with a 90%-taken biased branch.
+//! let trace = MicroTrace::new(7)
+//!     .with(MicroPattern::Loop { trip: 20 })
+//!     .with(MicroPattern::Biased { taken_rate: 0.9 })
+//!     .generate(10_000);
+//! assert!(trace.conditional_count() >= 10_000);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bp_trace::{Pc, Recorder, Trace};
+
+/// One isolated branch behavior (paper taxonomy reference in each variant).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MicroPattern {
+    /// A branch taken with fixed probability (the §4.1 "biased" floor;
+    /// `taken_rate` 0.99+ gives the ">99% biased" class).
+    Biased {
+        /// Probability the branch is taken.
+        taken_rate: f64,
+    },
+    /// A for-type loop branch: taken `trip` times, then not-taken once
+    /// (§4.1.1). The back-edge is recorded so iteration tagging works.
+    Loop {
+        /// Iterations per loop execution.
+        trip: u32,
+    },
+    /// A branch repeating a fixed outcome pattern (§4.1.2 fixed-length).
+    Periodic {
+        /// The repeating outcome sequence (must be non-empty).
+        pattern: Vec<bool>,
+    },
+    /// A block pattern: `taken_run` takens then `not_taken_run` not-takens
+    /// (§4.1.2 block).
+    Block {
+        /// Length of each taken run.
+        taken_run: u32,
+        /// Length of each not-taken run.
+        not_taken_run: u32,
+    },
+    /// A random leader branch whose outcome a follower repeats after
+    /// `distance` unrelated noise branches (§3.1 direction correlation;
+    /// figure 1a/1b).
+    Correlated {
+        /// Noise branches inserted between leader and follower.
+        distance: u32,
+    },
+    /// Figure 2's in-path correlation: control routes through one of two
+    /// marker branches via a call (no conditional encodes the condition),
+    /// and a join branch repeats the condition. Only *which* marker was on
+    /// the path predicts the join.
+    InPath,
+}
+
+/// Composes [`MicroPattern`]s into a deterministic trace, round-robin, one
+/// pattern "step" at a time.
+#[derive(Debug, Clone)]
+pub struct MicroTrace {
+    seed: u64,
+    patterns: Vec<MicroPattern>,
+}
+
+impl MicroTrace {
+    /// Starts an empty composition with an RNG seed.
+    pub fn new(seed: u64) -> Self {
+        MicroTrace {
+            seed,
+            patterns: Vec::new(),
+        }
+    }
+
+    /// Adds a pattern (chainable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`MicroPattern::Periodic`] pattern is empty, a
+    /// [`MicroPattern::Biased`] rate is outside `0.0..=1.0`, or a
+    /// [`MicroPattern::Loop`] trip is zero.
+    pub fn with(mut self, pattern: MicroPattern) -> Self {
+        match &pattern {
+            MicroPattern::Periodic { pattern } => {
+                assert!(!pattern.is_empty(), "periodic pattern must be non-empty");
+            }
+            MicroPattern::Biased { taken_rate } => {
+                assert!(
+                    (0.0..=1.0).contains(taken_rate),
+                    "taken rate must be a probability"
+                );
+            }
+            MicroPattern::Loop { trip } => assert!(*trip > 0, "loop trip must be positive"),
+            MicroPattern::Block {
+                taken_run,
+                not_taken_run,
+            } => assert!(
+                *taken_run > 0 && *not_taken_run > 0,
+                "block runs must be positive"
+            ),
+            _ => {}
+        }
+        self.patterns.push(pattern);
+        self
+    }
+
+    /// Base address of the `i`-th pattern's branch sites.
+    pub fn base_pc(i: usize) -> Pc {
+        0x0100_0000 + (i as Pc) * 0x1000
+    }
+
+    /// Generates at least `target_branches` dynamic conditional branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no patterns were added.
+    pub fn generate(&self, target_branches: usize) -> Trace {
+        assert!(!self.patterns.is_empty(), "add at least one pattern");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rec = Recorder::with_capacity(target_branches + 64);
+        let mut periodic_pos = vec![0usize; self.patterns.len()];
+        while rec.conditional_len() < target_branches {
+            for (i, pattern) in self.patterns.iter().enumerate() {
+                let base = Self::base_pc(i);
+                match pattern {
+                    MicroPattern::Biased { taken_rate } => {
+                        rec.cond(base, rng.gen_bool(*taken_rate));
+                    }
+                    MicroPattern::Loop { trip } => {
+                        for _ in 0..*trip {
+                            rec.loop_back(base, true);
+                        }
+                        rec.loop_back(base, false);
+                    }
+                    MicroPattern::Periodic { pattern } => {
+                        let p = &mut periodic_pos[i];
+                        rec.cond(base, pattern[*p % pattern.len()]);
+                        *p += 1;
+                    }
+                    MicroPattern::Block {
+                        taken_run,
+                        not_taken_run,
+                    } => {
+                        for _ in 0..*taken_run {
+                            rec.cond(base, true);
+                        }
+                        for _ in 0..*not_taken_run {
+                            rec.cond(base, false);
+                        }
+                    }
+                    MicroPattern::Correlated { distance } => {
+                        let lead = rng.gen_bool(0.5);
+                        rec.cond(base, lead);
+                        for d in 0..*distance {
+                            rec.cond(base + 8 + Pc::from(d) * 4, rng.gen_bool(0.5));
+                        }
+                        rec.cond(base + 4, lead);
+                    }
+                    MicroPattern::InPath => {
+                        let cond = rng.gen_bool(0.5);
+                        let noise = rng.gen_bool(0.5);
+                        if cond {
+                            rec.call(base + 0x100, base + 0x200);
+                            rec.cond(base + 0x204, noise);
+                            rec.ret(base + 0x208);
+                        } else {
+                            rec.call(base + 0x100, base + 0x300);
+                            rec.cond(base + 0x304, noise);
+                            rec.ret(base + 0x308);
+                        }
+                        rec.cond(base + 0x110, cond);
+                        rec.loop_back(base + 0x114, true);
+                    }
+                }
+            }
+        }
+        rec.into_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biased_rate_is_respected() {
+        let trace = MicroTrace::new(1)
+            .with(MicroPattern::Biased { taken_rate: 0.9 })
+            .generate(20_000);
+        let stats = bp_trace::TraceStats::of(&trace);
+        let rate = stats.taken_rate();
+        assert!((rate - 0.9).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn loop_pattern_has_correct_trip_structure() {
+        let trace = MicroTrace::new(1)
+            .with(MicroPattern::Loop { trip: 9 })
+            .generate(1_000);
+        // Taken rate must be trip/(trip+1).
+        let stats = bp_trace::TraceStats::of(&trace);
+        assert!((stats.taken_rate() - 0.9).abs() < 0.01);
+        // All records are back-edges of one static branch.
+        assert_eq!(stats.static_conditional, 1);
+        assert_eq!(stats.backward, stats.dynamic_conditional);
+    }
+
+    #[test]
+    fn periodic_pattern_repeats_exactly() {
+        let pattern = vec![true, false, false, true];
+        let trace = MicroTrace::new(1)
+            .with(MicroPattern::Periodic {
+                pattern: pattern.clone(),
+            })
+            .generate(400);
+        for (i, rec) in trace.conditionals().enumerate() {
+            assert_eq!(rec.taken, pattern[i % 4], "position {i}");
+        }
+    }
+
+    #[test]
+    fn correlated_follower_copies_leader() {
+        let trace = MicroTrace::new(5)
+            .with(MicroPattern::Correlated { distance: 4 })
+            .generate(2_000);
+        let base = MicroTrace::base_pc(0);
+        let mut lead = None;
+        let mut checked = 0;
+        for rec in trace.conditionals() {
+            if rec.pc == base {
+                lead = Some(rec.taken);
+            } else if rec.pc == base + 4 {
+                assert_eq!(Some(rec.taken), lead);
+                checked += 1;
+            }
+        }
+        assert!(checked > 100);
+    }
+
+    #[test]
+    fn composition_interleaves_all_patterns() {
+        let trace = MicroTrace::new(2)
+            .with(MicroPattern::Loop { trip: 5 })
+            .with(MicroPattern::Biased { taken_rate: 0.99 })
+            .with(MicroPattern::InPath)
+            .generate(5_000);
+        let stats = bp_trace::TraceStats::of(&trace);
+        assert!(stats.static_conditional >= 5, "{stats:?}");
+        assert!(stats.other_transfers > 0, "in-path pattern records calls");
+        // Deterministic.
+        let again = MicroTrace::new(2)
+            .with(MicroPattern::Loop { trip: 5 })
+            .with(MicroPattern::Biased { taken_rate: 0.99 })
+            .with(MicroPattern::InPath)
+            .generate(5_000);
+        assert_eq!(trace, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_periodic_rejected() {
+        let _ = MicroTrace::new(0).with(MicroPattern::Periodic { pattern: vec![] });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pattern")]
+    fn empty_composition_rejected() {
+        let _ = MicroTrace::new(0).generate(10);
+    }
+}

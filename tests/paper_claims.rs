@@ -1,0 +1,129 @@
+//! The paper's qualitative claims, checked end-to-end at reduced scale.
+//! Absolute numbers vary with trace length; these assertions pin the
+//! *shapes* the reproduction is supposed to preserve.
+
+use correlation_predictability::core::{
+    combined_correct, Classifier, ClassifierConfig, OracleConfig, OracleSelector, PaClass,
+    PercentileCurve,
+};
+use correlation_predictability::predictors::{simulate, simulate_per_branch, Gshare, Pas};
+use correlation_predictability::workloads::{Benchmark, WorkloadConfig};
+
+fn cfg(n: usize) -> WorkloadConfig {
+    WorkloadConfig::default().with_target(n)
+}
+
+#[test]
+fn go_is_the_hardest_benchmark_for_gshare() {
+    let cfg = cfg(20_000);
+    let mut accuracies = Vec::new();
+    for b in Benchmark::ALL {
+        let trace = b.generate(&cfg);
+        accuracies.push((b, simulate(&mut Gshare::default(), &trace).accuracy()));
+    }
+    let (worst, _) = accuracies
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("eight benchmarks");
+    assert_eq!(worst, Benchmark::Go, "{accuracies:?}");
+    // And the easy end is very predictable.
+    for (b, acc) in accuracies {
+        if matches!(b, Benchmark::Vortex | Benchmark::M88ksim | Benchmark::Perl) {
+            assert!(acc > 0.95, "{b} only {acc}");
+        }
+    }
+}
+
+#[test]
+fn single_strongest_correlation_helps_gshare_where_it_matters() {
+    // §3.6.3: grafting the 1-branch selective history onto gshare helps —
+    // substantially for the large-static-footprint benchmark (gcc).
+    let trace = Benchmark::Gcc.generate(&cfg(40_000));
+    let gshare = simulate_per_branch(&mut Gshare::default(), &trace);
+    let oracle = OracleSelector::analyze(&trace, &OracleConfig::default());
+    let combined = combined_correct(&gshare, &oracle.selective_stats(1));
+    let gain = combined.accuracy() - gshare.total().accuracy();
+    assert!(gain > 0.005, "gcc corr gain only {gain}");
+}
+
+#[test]
+fn selective_history_of_three_rivals_if_gshare_for_most_benchmarks() {
+    // Figure 4's headline: a few oracle-chosen branches carry most of the
+    // correlation signal. At reduced scale we require 3-tag selective to be
+    // within 4pp of interference-free gshare for at least five benchmarks.
+    use correlation_predictability::predictors::GshareInterferenceFree;
+    let cfg = cfg(20_000);
+    let mut close = 0;
+    for b in Benchmark::ALL {
+        let trace = b.generate(&cfg);
+        let ifg = simulate(&mut GshareInterferenceFree::default(), &trace).accuracy();
+        let oracle = OracleSelector::analyze(&trace, &OracleConfig::default());
+        if oracle.accuracy(3) + 0.04 >= ifg {
+            close += 1;
+        }
+    }
+    assert!(close >= 5, "only {close}/8 benchmarks close");
+}
+
+#[test]
+fn loop_class_exists_and_loop_predictor_beats_pas_there() {
+    // §4.2.2: loop-type branches are better served by a loop predictor
+    // than by PAs; m88ksim's guest loop is the canonical case.
+    let trace = Benchmark::M88ksim.generate(&cfg(30_000));
+    let classification = Classifier::classify(&trace, &ClassifierConfig::default());
+    let dist = classification.dynamic_distribution();
+    assert!(dist[&PaClass::Loop] > 0.05, "{dist:?}");
+
+    let pas = simulate_per_branch(&mut Pas::default(), &trace);
+    let mut pas_on_loop = 0u64;
+    let mut loop_on_loop = 0u64;
+    for (pc, s) in classification.iter() {
+        if s.class() == PaClass::Loop {
+            pas_on_loop += pas.get(pc).map_or(0, |st| st.correct);
+            loop_on_loop += s.loop_correct;
+        }
+    }
+    assert!(
+        loop_on_loop > pas_on_loop,
+        "loop {loop_on_loop} vs pas {pas_on_loop}"
+    );
+}
+
+#[test]
+fn both_predictor_families_have_strongholds() {
+    // §5.2 / figure 9: there are branches where gshare is much better and
+    // branches where PAs is much better — the case for hybrids.
+    let trace = Benchmark::Gcc.generate(&cfg(40_000));
+    let g = simulate_per_branch(&mut Gshare::default(), &trace);
+    let p = simulate_per_branch(&mut Pas::default(), &trace);
+    let curve = PercentileCurve::accuracy_difference(&g, &p);
+    assert!(curve.value_at(5.0) < -1.0, "PAs stronghold missing: {}", curve.value_at(5.0));
+    assert!(curve.value_at(95.0) > 1.0, "gshare stronghold missing: {}", curve.value_at(95.0));
+    assert!(curve.loss_if_only_first() > 0.0);
+    assert!(curve.loss_if_only_second() > 0.0);
+}
+
+#[test]
+fn static_class_branches_are_mostly_heavily_biased() {
+    // §4.2.1: most branches not better served by any dynamic class are
+    // simply very biased.
+    let cfg = cfg(20_000);
+    let mut biased_weight = 0.0;
+    let mut count = 0;
+    for b in Benchmark::ALL {
+        let trace = b.generate(&cfg);
+        let profile = correlation_predictability::trace::BranchProfile::of(&trace);
+        let c = Classifier::classify(&trace, &ClassifierConfig::default());
+        let frac = c.static_class_bias_fraction(&profile, 0.99);
+        if frac > 0.0 {
+            biased_weight += frac;
+            count += 1;
+        }
+    }
+    assert!(count >= 5, "too few benchmarks with a static class");
+    assert!(
+        biased_weight / count as f64 > 0.4,
+        "mean biased fraction {biased_weight}/{count}"
+    );
+}

@@ -82,8 +82,7 @@ fn bench_trace_length(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(8));
 
     for scale in [1usize, 2, 4] {
-        let cfg = bench_workload_config()
-            .with_target(bp_bench::BENCH_TARGET * scale);
+        let cfg = bench_workload_config().with_target(bp_bench::BENCH_TARGET * scale);
         let trace = Benchmark::Go.generate(&cfg);
         group.bench_with_input(BenchmarkId::new("go_gshare", scale), &trace, |b, trace| {
             b.iter(|| black_box(simulate(&mut Gshare::default(), trace)))

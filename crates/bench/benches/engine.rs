@@ -1,0 +1,57 @@
+//! Benches for the evaluation engine's single-pass batched simulation:
+//! `simulate_batch` over N predictors vs N separate `simulate_per_branch`
+//! passes over the same trace. The batch walks the trace (and decodes each
+//! branch site) once, so it should win as N grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use bp_bench::bench_trace;
+use bp_experiments::ExperimentConfig;
+use bp_predictors::{
+    simulate_batch, simulate_per_branch, Gshare, GshareInterferenceFree, Pas, PasInterferenceFree,
+    Predictor,
+};
+
+/// The four standard predictors the engine prewarms, fresh.
+fn standard_predictors(cfg: &ExperimentConfig) -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(Gshare::new(cfg.gshare_bits)),
+        Box::new(GshareInterferenceFree::new(cfg.gshare_bits)),
+        Box::<Pas>::default(),
+        Box::new(PasInterferenceFree::new(cfg.classifier.pas_history_bits)),
+    ]
+}
+
+fn bench_batch_vs_serial(c: &mut Criterion) {
+    let cfg = ExperimentConfig::default();
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("batch_vs_serial");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+
+    for n in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut out = Vec::with_capacity(n);
+                for mut p in standard_predictors(&cfg).into_iter().take(n) {
+                    out.push(simulate_per_branch(p.as_mut(), &trace));
+                }
+                black_box(out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut predictors: Vec<Box<dyn Predictor>> =
+                    standard_predictors(&cfg).into_iter().take(n).collect();
+                black_box(simulate_batch(&mut predictors, &trace))
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_serial);
+criterion_main!(benches);

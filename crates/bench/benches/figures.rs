@@ -1,11 +1,16 @@
 //! Regeneration benches for the paper's figures: one bench per figure.
+//!
+//! Each iteration gets a *fresh* engine over shared pre-generated traces,
+//! so the numbers measure experiment compute (not trace generation, and
+//! not cache hits from a previous iteration).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Duration;
 
 use bp_bench::bench_experiment_config;
-use bp_experiments::{fig4, fig5, fig6, fig7, fig8, fig9, TraceSet};
+use bp_experiments::{fig4, fig5, fig6, fig7, fig8, fig9, Engine, TraceSet};
 
 fn bench_figures(c: &mut Criterion) {
     let cfg = bench_experiment_config();
@@ -13,26 +18,27 @@ fn bench_figures(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(10));
 
-    let mut traces = TraceSet::new(cfg.workload);
-    traces.generate_all();
+    let traces = Arc::new(TraceSet::new(cfg.workload));
+    traces.generate_all(1);
+    let fresh_engine = || Engine::new(Arc::clone(&traces), 1);
 
     group.bench_function("fig4_selective", |b| {
-        b.iter(|| black_box(fig4::run(&cfg, &mut traces)))
+        b.iter(|| black_box(fig4::run(&cfg, &fresh_engine())))
     });
     group.bench_function("fig5_history_len", |b| {
-        b.iter(|| black_box(fig5::run(&cfg, &mut traces)))
+        b.iter(|| black_box(fig5::run(&cfg, &fresh_engine())))
     });
     group.bench_function("fig6_classes", |b| {
-        b.iter(|| black_box(fig6::run(&cfg, &mut traces)))
+        b.iter(|| black_box(fig6::run(&cfg, &fresh_engine())))
     });
     group.bench_function("fig7_best_gshare_pas", |b| {
-        b.iter(|| black_box(fig7::run(&cfg, &mut traces)))
+        b.iter(|| black_box(fig7::run(&cfg, &fresh_engine())))
     });
     group.bench_function("fig8_best_classes", |b| {
-        b.iter(|| black_box(fig8::run(&cfg, &mut traces)))
+        b.iter(|| black_box(fig8::run(&cfg, &fresh_engine())))
     });
     group.bench_function("fig9_percentile", |b| {
-        b.iter(|| black_box(fig9::run(&cfg, &mut traces)))
+        b.iter(|| black_box(fig9::run(&cfg, &fresh_engine())))
     });
 
     group.finish();

@@ -1,12 +1,17 @@
 //! Regeneration benches for the paper's tables: one bench per table, each
 //! running the full experiment pipeline at bench scale.
+//!
+//! Each iteration gets a *fresh* engine over shared pre-generated traces,
+//! so the numbers measure experiment compute (not trace generation, and
+//! not cache hits from a previous iteration).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Duration;
 
 use bp_bench::bench_experiment_config;
-use bp_experiments::{table1, table2, table3, TraceSet};
+use bp_experiments::{table1, table2, table3, Engine, TraceSet};
 
 fn bench_tables(c: &mut Criterion) {
     let cfg = bench_experiment_config();
@@ -16,21 +21,26 @@ fn bench_tables(c: &mut Criterion) {
 
     group.bench_function("table1_workloads", |b| {
         b.iter(|| {
-            let mut traces = TraceSet::new(cfg.workload);
-            black_box(table1::run(&cfg, &mut traces))
+            let engine = Engine::new(TraceSet::new(cfg.workload), 1);
+            black_box(table1::run(&cfg, &engine))
         })
     });
 
+    let traces = Arc::new(TraceSet::new(cfg.workload));
+    traces.generate_all(1);
+
     group.bench_function("table2_gshare_corr", |b| {
-        let mut traces = TraceSet::new(cfg.workload);
-        traces.generate_all();
-        b.iter(|| black_box(table2::run(&cfg, &mut traces)))
+        b.iter(|| {
+            let engine = Engine::new(Arc::clone(&traces), 1);
+            black_box(table2::run(&cfg, &engine))
+        })
     });
 
     group.bench_function("table3_pas_loop", |b| {
-        let mut traces = TraceSet::new(cfg.workload);
-        traces.generate_all();
-        b.iter(|| black_box(table3::run(&cfg, &mut traces)))
+        b.iter(|| {
+            let engine = Engine::new(Arc::clone(&traces), 1);
+            black_box(table3::run(&cfg, &engine))
+        })
     });
 
     group.finish();

@@ -132,7 +132,10 @@ pub fn best_of(
             let w = weights.get(contender.name).copied().unwrap_or(0);
             fractions.insert(contender.name.to_owned(), w as f64 / total as f64);
         }
-        fractions.insert(IDEAL_STATIC_NAME.to_owned(), static_weight as f64 / total as f64);
+        fractions.insert(
+            IDEAL_STATIC_NAME.to_owned(),
+            static_weight as f64 / total as f64,
+        );
     }
     BestOfDistribution {
         fractions,
@@ -286,7 +289,10 @@ mod tests {
         // pas: slightly better than static on... nothing.
         let pas = stats_of(&[(1, 100, 85), (2, 50, 40)]);
         let dist = best_of(
-            &[Contender::new("gshare", &gshare), Contender::new("pas", &pas)],
+            &[
+                Contender::new("gshare", &gshare),
+                Contender::new("pas", &pas),
+            ],
             &profile,
             0.99,
         );

@@ -1,5 +1,6 @@
 use std::collections::HashMap;
 
+use bp_trace::fx::FxHashMap;
 use bp_trace::{InstanceTag, PathWindow, Pc, TagScheme, Trace};
 
 /// The candidate correlated-branch instances considered for each static
@@ -47,7 +48,7 @@ impl TagCandidates {
     ) -> Self {
         assert!(cap > 0, "candidate cap must be positive");
         assert!(!schemes.is_empty(), "need at least one tagging scheme");
-        let mut counts: HashMap<Pc, HashMap<InstanceTag, u64>> = HashMap::new();
+        let mut counts: FxHashMap<Pc, FxHashMap<InstanceTag, u64>> = FxHashMap::default();
         let mut path = PathWindow::new(window);
         let mut visible = Vec::new();
         for rec in trace.iter() {
@@ -158,8 +159,14 @@ mod tests {
         let trace = pair_trace(30);
         let occ = TagCandidates::collect_with_schemes(&trace, 8, 32, &[TagScheme::Occurrence]);
         let iter = TagCandidates::collect_with_schemes(&trace, 8, 32, &[TagScheme::Iteration]);
-        assert!(occ.tags(0x200).iter().all(|t| t.scheme == TagScheme::Occurrence));
-        assert!(iter.tags(0x200).iter().all(|t| t.scheme == TagScheme::Iteration));
+        assert!(occ
+            .tags(0x200)
+            .iter()
+            .all(|t| t.scheme == TagScheme::Occurrence));
+        assert!(iter
+            .tags(0x200)
+            .iter()
+            .all(|t| t.scheme == TagScheme::Iteration));
         assert!(!occ.tags(0x200).is_empty());
         assert!(!iter.tags(0x200).is_empty());
         // Both-schemes collection is the union, pre-cap.

@@ -3,8 +3,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use bp_predictors::{
-    simulate_per_branch, BlockPattern, LoopPredictor, PasInterferenceFree,
-    PerBranchStats,
+    simulate_per_branch, BlockPattern, LoopPredictor, PasInterferenceFree, PerBranchStats,
 };
 use bp_trace::{BranchProfile, Pc, Trace};
 
@@ -46,7 +45,10 @@ impl PaClass {
 }
 
 /// Configuration of the per-address classification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash`/`Eq` cover every field, so the config doubles as its own
+/// memoization fingerprint in the evaluation-engine cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ClassifierConfig {
     /// Largest fixed pattern length swept (the paper uses 32).
     pub max_period: u32,
@@ -248,9 +250,7 @@ impl Classifier {
         let per_branch = profile
             .iter()
             .map(|(pc, entry)| {
-                let (fixed_correct, best_period) = fixed
-                    .get(&pc)
-                    .map_or((0, 1), |f| f.best());
+                let (fixed_correct, best_period) = fixed.get(&pc).map_or((0, 1), |f| f.best());
                 let scores = BranchClassScores {
                     executions: entry.executions,
                     static_correct: entry.ideal_static_correct(),

@@ -35,13 +35,12 @@ impl MispredictProfile {
             ..MispredictProfile::default()
         };
         let mut since_last_miss = 0u64;
-        let mut index = 0u64;
-        for rec in trace.conditionals() {
+        for (index, rec) in trace.conditionals().enumerate() {
             let site = BranchSite::from(rec);
             let hit = predictor.predict(site) == rec.taken;
             predictor.update(site, rec.taken);
 
-            let decile = if n == 0 { 0 } else { (index * 10 / n).min(9) } as usize;
+            let decile = (index as u64 * 10).checked_div(n).unwrap_or(0).min(9) as usize;
             profile.deciles[decile].1 += 1;
             if hit {
                 profile.deciles[decile].0 += 1;
@@ -51,7 +50,6 @@ impl MispredictProfile {
                 profile.gaps.push(since_last_miss);
                 since_last_miss = 0;
             }
-            index += 1;
         }
         profile
     }
@@ -147,7 +145,11 @@ mod tests {
             .collect();
         let p = MispredictProfile::measure(&mut Gshare::new(12), &trace);
         assert!(p.warmup_gain() > 0.1, "warmup gain {}", p.warmup_gain());
-        assert!(p.decile_accuracy(9) > 0.95, "late accuracy {}", p.decile_accuracy(9));
+        assert!(
+            p.decile_accuracy(9) > 0.95,
+            "late accuracy {}",
+            p.decile_accuracy(9)
+        );
     }
 
     #[test]

@@ -56,10 +56,10 @@ pub use bestof::{
     best_of, combined_correct, per_branch_max, BestOfDistribution, Contender, IDEAL_STATIC_NAME,
 };
 pub use candidates::TagCandidates;
-pub use distance::DistanceHistogram;
-pub use gaps::MispredictProfile;
 pub use classify::{BranchClassScores, Classification, Classifier, ClassifierConfig, PaClass};
 pub use cost::CostModel;
+pub use distance::DistanceHistogram;
+pub use gaps::MispredictProfile;
 pub use matrix::{BranchMatrix, OutcomeMatrix};
 pub use oracle::{
     presence_stats, BranchSelection, OracleConfig, OracleResult, OracleSelector, SearchStrategy,

@@ -1,5 +1,4 @@
-use std::collections::HashMap;
-
+use bp_trace::fx::FxHashMap;
 use bp_trace::{InstanceTag, PathWindow, Pc, TagOutcome, Trace};
 
 use crate::candidates::TagCandidates;
@@ -56,6 +55,12 @@ impl BranchMatrix {
         let w = self.tags.len();
         &self.digits[e * w..(e + 1) * w]
     }
+
+    /// The branch's outcome at every execution, as one flat slice.
+    #[inline]
+    pub fn outcomes(&self) -> &[bool] {
+        &self.taken
+    }
 }
 
 /// Candidate tag outcomes for every static branch of a trace, computed in a
@@ -68,7 +73,7 @@ impl BranchMatrix {
 /// over this compact matrix instead of the trace.
 #[derive(Debug, Clone)]
 pub struct OutcomeMatrix {
-    branches: HashMap<Pc, BranchMatrix>,
+    branches: FxHashMap<Pc, BranchMatrix>,
     window: usize,
 }
 
@@ -77,7 +82,7 @@ impl OutcomeMatrix {
     /// of `window` branches (use the same window length the candidates were
     /// collected with).
     pub fn build(trace: &Trace, candidates: &TagCandidates, window: usize) -> Self {
-        let mut builders: HashMap<Pc, BranchMatrix> = candidates
+        let mut builders: FxHashMap<Pc, BranchMatrix> = candidates
             .iter()
             .map(|(pc, tags)| {
                 (
@@ -93,7 +98,7 @@ impl OutcomeMatrix {
 
         let mut path = PathWindow::new(window);
         let mut visible = Vec::new();
-        let mut lookup: HashMap<InstanceTag, bool> = HashMap::new();
+        let mut lookup: FxHashMap<InstanceTag, bool> = FxHashMap::default();
         for rec in trace.iter() {
             if rec.is_conditional() {
                 if let Some(bm) = builders.get_mut(&rec.pc) {
@@ -204,7 +209,9 @@ mod tests {
         }
         // Row accessor agrees with outcome accessor.
         let row = bm.row(0);
-        assert!(row.iter().all(|&d| d == TagOutcome::NotInPath.digit() as u8));
+        assert!(row
+            .iter()
+            .all(|&d| d == TagOutcome::NotInPath.digit() as u8));
     }
 
     #[test]

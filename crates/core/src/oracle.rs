@@ -3,7 +3,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use bp_predictors::{PerBranchStats, PredictionStats, SaturatingCounter};
-use bp_trace::{pattern_count, InstanceTag, Pc, TagOutcome, Trace};
+use bp_trace::{InstanceTag, Pc, TagOutcome, Trace};
 
 use crate::candidates::TagCandidates;
 use crate::matrix::{BranchMatrix, OutcomeMatrix};
@@ -12,7 +12,7 @@ use crate::matrix::{BranchMatrix, OutcomeMatrix};
 pub const MAX_SELECTIVE_TAGS: usize = 3;
 
 /// How the oracle searches for the best tag subset per branch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SearchStrategy {
     /// Forward selection: fix the best single tag, then the best partner,
     /// then the best third. Linear in candidates per size step.
@@ -28,7 +28,10 @@ pub enum SearchStrategy {
 }
 
 /// Configuration of the §3.4 oracle selective-history analysis.
-#[derive(Debug, Clone, Copy)]
+///
+/// `Hash`/`Eq` cover every field, so the config doubles as its own
+/// memoization fingerprint in the evaluation-engine cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OracleConfig {
     /// Path-window length *n* — how many prior branches are examined
     /// (the paper uses 16 by default, 8–32 in the figure 5 sweep).
@@ -166,24 +169,92 @@ impl OracleSelector {
     }
 }
 
+/// Largest selective pattern table: `3^MAX_SELECTIVE_TAGS` counters. Small
+/// enough to live on the stack for every scoring call.
+const MAX_PATTERNS: usize = 27;
+
+/// Column-major copy of one branch's outcome matrix.
+///
+/// [`BranchMatrix`] is row-major, which suits its streaming construction,
+/// but the subset search reads whole *columns* — roughly `3 × candidates`
+/// full passes per branch. One transpose up front turns every scoring pass
+/// into contiguous scans, and its cost is that of a single pass.
+struct ColumnView<'a> {
+    /// `tags × executions` digits; column `c` at `[c * rows .. (c+1) * rows]`.
+    columns: Vec<u8>,
+    taken: &'a [bool],
+}
+
+impl<'a> ColumnView<'a> {
+    fn new(bm: &'a BranchMatrix) -> Self {
+        let rows = bm.executions();
+        let mut columns = vec![0u8; bm.tags().len() * rows];
+        for e in 0..rows {
+            for (c, &digit) in bm.row(e).iter().enumerate() {
+                columns[c * rows + e] = digit;
+            }
+        }
+        ColumnView {
+            columns,
+            taken: bm.outcomes(),
+        }
+    }
+
+    #[inline]
+    fn column(&self, c: usize) -> &[u8] {
+        let rows = self.taken.len();
+        &self.columns[c * rows..(c + 1) * rows]
+    }
+}
+
 /// Scores the selective-history predictor for one tag set (given as column
 /// indices into the branch matrix): a table of `3^cols` counters, pattern
 /// selected by the tags' ternary outcomes, predicted by the counter's high
 /// bit, trained with the branch outcome.
-fn score_columns(bm: &BranchMatrix, cols: &[usize], init: SaturatingCounter) -> u64 {
-    let mut counters = vec![init; pattern_count(cols.len())];
+///
+/// The loop is specialized per set size — this is the innermost loop of the
+/// whole oracle analysis, so the counter table stays on the stack and each
+/// column is walked as one contiguous slice.
+fn score_columns(view: &ColumnView<'_>, cols: &[usize], init: SaturatingCounter) -> u64 {
+    let mut counters = [init; MAX_PATTERNS];
     let mut correct = 0u64;
-    for e in 0..bm.executions() {
-        let row = bm.row(e);
-        let mut idx = 0usize;
-        for &c in cols {
-            idx = idx * 3 + row[c] as usize;
-        }
-        let taken = bm.taken(e);
-        if counters[idx].predict_taken() == taken {
+    let mut tally = |slot: &mut SaturatingCounter, taken: bool| {
+        if slot.predict_taken() == taken {
             correct += 1;
         }
-        counters[idx].train(taken);
+        slot.train(taken);
+    };
+    match *cols {
+        [] => {
+            let slot = &mut counters[0];
+            for &taken in view.taken {
+                tally(slot, taken);
+            }
+        }
+        [a] => {
+            for (&da, &taken) in view.column(a).iter().zip(view.taken) {
+                tally(&mut counters[da as usize], taken);
+            }
+        }
+        [a, b] => {
+            let zipped = view.column(a).iter().zip(view.column(b)).zip(view.taken);
+            for ((&da, &db), &taken) in zipped {
+                tally(&mut counters[da as usize * 3 + db as usize], taken);
+            }
+        }
+        [a, b, c] => {
+            let zipped = view
+                .column(a)
+                .iter()
+                .zip(view.column(b))
+                .zip(view.column(c))
+                .zip(view.taken);
+            for (((&da, &db), &dc), &taken) in zipped {
+                let idx = (da as usize * 3 + db as usize) * 3 + dc as usize;
+                tally(&mut counters[idx], taken);
+            }
+        }
+        _ => unreachable!("selective histories use at most {MAX_SELECTIVE_TAGS} tags"),
     }
     correct
 }
@@ -196,7 +267,8 @@ fn score_columns(bm: &BranchMatrix, cols: &[usize], init: SaturatingCounter) -> 
 /// *that* a branch was on the path (figure 2) predicts, as opposed to
 /// which way it went.
 fn score_columns_presence(bm: &BranchMatrix, cols: &[usize], init: SaturatingCounter) -> u64 {
-    let mut counters = vec![init; 1 << cols.len()];
+    debug_assert!(cols.len() <= MAX_SELECTIVE_TAGS);
+    let mut counters = [init; 1 << MAX_SELECTIVE_TAGS];
     let mut correct = 0u64;
     let not_in_path = TagOutcome::NotInPath.digit() as u8;
     for e in 0..bm.executions() {
@@ -265,12 +337,13 @@ pub fn presence_stats(
 fn select_for_branch(bm: &BranchMatrix, cfg: &OracleConfig) -> BranchSelection {
     let n_cands = bm.tags().len();
     let executions = bm.executions() as u64;
+    let view = ColumnView::new(bm);
 
     // Size 1: always exhaustive (linear).
     let mut best1_cols: Vec<usize> = Vec::new();
-    let mut best1 = score_columns(bm, &[], cfg.counter);
+    let mut best1 = score_columns(&view, &[], cfg.counter);
     for c in 0..n_cands {
-        let s = score_columns(bm, &[c], cfg.counter);
+        let s = score_columns(&view, &[c], cfg.counter);
         if s > best1 {
             best1 = s;
             best1_cols = vec![c];
@@ -283,16 +356,16 @@ fn select_for_branch(bm: &BranchMatrix, cfg: &OracleConfig) -> BranchSelection {
     };
 
     let (best2_cols, best2) = if exhaustive {
-        best_exhaustive(bm, n_cands, 2, cfg.counter)
+        best_exhaustive(&view, n_cands, 2, cfg.counter)
     } else {
-        best_greedy_step(bm, &best1_cols, best1, n_cands, cfg.counter)
+        best_greedy_step(&view, &best1_cols, best1, n_cands, cfg.counter)
     };
     let (best2_cols, best2) = keep_better((best1_cols.clone(), best1), (best2_cols, best2));
 
     let (best3_cols, best3) = if exhaustive {
-        best_exhaustive(bm, n_cands, 3, cfg.counter)
+        best_exhaustive(&view, n_cands, 3, cfg.counter)
     } else {
-        best_greedy_step(bm, &best2_cols, best2, n_cands, cfg.counter)
+        best_greedy_step(&view, &best2_cols, best2, n_cands, cfg.counter)
     };
     let (best3_cols, best3) = keep_better((best2_cols.clone(), best2), (best3_cols, best3));
 
@@ -313,7 +386,7 @@ fn select_for_branch(bm: &BranchMatrix, cfg: &OracleConfig) -> BranchSelection {
 /// Greedy forward step: extend `base` with the single column that improves
 /// its score most.
 fn best_greedy_step(
-    bm: &BranchMatrix,
+    view: &ColumnView<'_>,
     base: &[usize],
     base_score: u64,
     n_cands: usize,
@@ -328,7 +401,7 @@ fn best_greedy_step(
             continue;
         }
         *trial.last_mut().expect("trial set is non-empty") = c;
-        let s = score_columns(bm, &trial, init);
+        let s = score_columns(view, &trial, init);
         if s > best {
             best = s;
             best_cols = trial.clone();
@@ -339,7 +412,7 @@ fn best_greedy_step(
 
 /// Exhaustive search over all subsets of exactly `size` columns.
 fn best_exhaustive(
-    bm: &BranchMatrix,
+    view: &ColumnView<'_>,
     n_cands: usize,
     size: usize,
     init: SaturatingCounter,
@@ -355,7 +428,7 @@ fn best_exhaustive(
         *slot = i;
     }
     loop {
-        let s = score_columns(bm, &combo, init);
+        let s = score_columns(view, &combo, init);
         if s > best {
             best = s;
             best_cols = combo.clone();
@@ -398,7 +471,9 @@ mod tests {
         let mut recs = Vec::new();
         let mut state = 0x12345678u64;
         for _ in 0..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = (state >> 33) & 1 == 1;
             let z = (state >> 34) & 1 == 1;
             recs.push(BranchRecord::conditional(0x100, y));
@@ -513,7 +588,9 @@ mod tests {
         let mut rec = Recorder::new();
         let mut state = 3u64;
         for _ in 0..600 {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let cond = (state >> 39) & 1 == 1;
             let noise = state & 4 != 0;
             if cond {
@@ -543,7 +620,6 @@ mod tests {
         let presence = presence_stats(&matrix, &oracle, 1, cfg.counter);
         let x = presence.get(0x300).unwrap();
         assert!(x.accuracy() > 0.95, "presence accuracy {}", x.accuracy());
-
     }
 
     #[test]
@@ -555,11 +631,14 @@ mod tests {
         let mut recs = Vec::new();
         let mut state = 7u64;
         for _ in 0..400 {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let d = (state >> 40) & 1 == 1;
             recs.push(BranchRecord::conditional(0x100, d));
             recs.push(BranchRecord::conditional(0x200, d));
-            recs.push(BranchRecord::conditional(0x300, true).with_target(0x100)); // back-edge
+            recs.push(BranchRecord::conditional(0x300, true).with_target(0x100));
+            // back-edge
         }
         let trace = Trace::from_records(recs);
         let oracle = OracleSelector::analyze(&trace, &OracleConfig::default());

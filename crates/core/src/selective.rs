@@ -1,7 +1,9 @@
 use std::collections::HashMap;
 
 use bp_predictors::{BranchSite, Predictor, SaturatingCounter};
-use bp_trace::{pattern_count, pattern_index, BranchRecord, InstanceTag, PathWindow, Pc, TagOutcome};
+use bp_trace::{
+    pattern_count, pattern_index, BranchRecord, InstanceTag, PathWindow, Pc, TagOutcome,
+};
 
 use crate::oracle::OracleResult;
 
@@ -257,10 +259,7 @@ mod tests {
     #[should_panic(expected = "at most")]
     fn too_many_manual_tags_rejected() {
         let tags = (0..4).map(|i| InstanceTag::occurrence(i, 0)).collect();
-        let _ = SelectivePredictor::with_assignments(
-            [(0x1u64, tags)],
-            8,
-            SaturatingCounter::two_bit(),
-        );
+        let _ =
+            SelectivePredictor::with_assignments([(0x1u64, tags)], 8, SaturatingCounter::two_bit());
     }
 }

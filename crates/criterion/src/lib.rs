@@ -1,0 +1,250 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! The build container has no network access, so the real `criterion`
+//! crate cannot be fetched. This shim implements the subset of the API
+//! the `crates/bench` suite uses — `Criterion`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!` — with a simple but honest
+//! timing loop: a short warm-up, then `sample_size` timed samples, and a
+//! one-line report (median / min / mean) per benchmark.
+//!
+//! No statistical regression analysis, outlier classification, or HTML
+//! reports; the numbers are good enough to compare alternatives in the
+//! same process run (which is how BENCH_repro.json entries are made).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark (`name/parameter`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    /// Collected per-sample wall-clock times, filled by `iter`.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`: warm up briefly, then record samples until the
+    /// sample count or the time budget is reached (at least one sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup_deadline = Instant::now() + self.budget.min(Duration::from_millis(200)) / 4;
+        loop {
+            std::hint::black_box(routine());
+            if Instant::now() >= warmup_deadline {
+                break;
+            }
+        }
+        let started = Instant::now();
+        while self.times.len() < self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.times.push(t0.elapsed());
+            if !self.times.is_empty() && started.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the per-benchmark time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<ID: Display, F>(&mut self, id: ID, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let (samples, budget) = (self.sample_size, self.measurement_time);
+        self.criterion.run_one(&label, samples, budget, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<ID: Display, I: ?Sized, F>(
+        &mut self,
+        id: ID,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 30,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Run a standalone benchmark (its own single-entry group).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run_one(id, 30, Duration::from_secs(5), f);
+        self
+    }
+
+    fn run_one<F>(&mut self, label: &str, samples: usize, budget: Duration, f: F)
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples,
+            budget,
+            times: Vec::with_capacity(samples),
+        };
+        f(&mut bencher);
+        report(label, &mut bencher.times);
+    }
+}
+
+fn report(label: &str, times: &mut [Duration]) {
+    if times.is_empty() {
+        println!("{label:<48} (no samples collected)");
+        return;
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let min = times[0];
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    println!(
+        "{label:<48} median {} | min {} | mean {} | {} samples",
+        fmt_duration(median),
+        fmt_duration(min),
+        fmt_duration(mean),
+        times.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` for convenience.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_bounded_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(50));
+        let mut runs = 0u32;
+        group.bench_function("busy", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box((0..100u32).sum::<u32>())
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        assert_eq!(
+            BenchmarkId::new("gshare_bits", 12).to_string(),
+            "gshare_bits/12"
+        );
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert!(fmt_duration(Duration::from_nanos(12)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -17,7 +17,10 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--target" => {
-                cfg.target_branches = args.next().and_then(|v| v.parse().ok()).expect("--target N")
+                cfg.target_branches = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--target N")
             }
             "--seed" => cfg.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
             other => panic!("unknown argument {other}"),
@@ -118,7 +121,12 @@ fn main() {
     );
     {
         use bp_predictors::{Hybrid, Pas};
-        for b in [Benchmark::Gcc, Benchmark::Go, Benchmark::Xlisp, Benchmark::Perl] {
+        for b in [
+            Benchmark::Gcc,
+            Benchmark::Go,
+            Benchmark::Xlisp,
+            Benchmark::Perl,
+        ] {
             let trace = b.generate(&cfg);
             let mut cells = Vec::new();
             for bits in [4u32, 8, 12, 16] {

@@ -44,7 +44,10 @@ fn main() {
             let p = simulate_per_branch(&mut Pas::default(), &trace);
             let mut rows: Vec<_> = g.iter().collect();
             rows.sort_by_key(|(pc, _)| *pc);
-            println!("== {} per-branch (pc, execs, gshare%, IFgshare%, pas%)", b.name());
+            println!(
+                "== {} per-branch (pc, execs, gshare%, IFgshare%, pas%)",
+                b.name()
+            );
             for (pc, sg) in rows {
                 let sig = ig.get(pc).unwrap();
                 let sp = p.get(pc).unwrap();

@@ -7,24 +7,102 @@
 //! repro --target 1000000 all   paper-scale traces
 //! repro --seed 7 fig6       different workload seed
 //! repro --cache DIR all     persist generated traces as .bpt files
+//! repro --jobs 4 all        four worker threads (same output as --jobs 1)
+//! repro --timings OUT.json all   per-experiment wall clock + cache stats
 //! ```
+//!
+//! Experiments share one evaluation [`Engine`]: traces, predictor
+//! simulations, oracle analyses and classifications are memoized across
+//! experiments, and per-benchmark work fans out over `--jobs` worker
+//! threads. Results are reassembled in benchmark order, so stdout is
+//! byte-identical whatever the job count.
 
+use std::io::Write;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use bp_experiments::{
-    ext_adaptivity, ext_distance, ext_family, ext_hybrids, ext_interference, ext_warmup, fig4, fig5, fig6, fig7, fig8,
-    fig9, table1, table2, table3, ExperimentConfig, TraceSet, EXPERIMENT_IDS,
+    ext_adaptivity, ext_distance, ext_family, ext_hybrids, ext_interference, ext_warmup, fig4,
+    fig5, fig6, fig7, fig8, fig9, table1, table2, table3, Engine, ExperimentConfig, TraceSet,
+    EXPERIMENT_IDS,
 };
 
 fn usage() {
-    eprintln!("usage: repro [--quick] [--seed N] [--target N] [--cache DIR] <experiment...|all>");
+    eprintln!(
+        "usage: repro [--quick] [--seed N] [--target N] [--cache DIR] [--jobs N] \
+         [--timings FILE] <experiment...|all>"
+    );
     eprintln!("experiments: {}", EXPERIMENT_IDS.join(" "));
+}
+
+/// One experiment's wall-clock measurement.
+struct Timing {
+    id: String,
+    seconds: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn write_timings(
+    path: &str,
+    cfg: &ExperimentConfig,
+    engine: &Engine,
+    timings: &[Timing],
+    total_seconds: f64,
+) -> std::io::Result<()> {
+    let cache = engine.cache_stats();
+    let fanout = engine.fanout_stats();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"seed\": {},\n", cfg.workload.seed));
+    out.push_str(&format!(
+        "  \"target_branches\": {},\n",
+        cfg.workload.target_branches
+    ));
+    out.push_str(&format!("  \"jobs\": {},\n", engine.jobs()));
+    out.push_str(&format!("  \"total_seconds\": {total_seconds:.3},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let sep = if i + 1 == timings.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"seconds\": {:.3}}}{}\n",
+            json_escape(&t.id),
+            t.seconds,
+            sep
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},\n",
+        cache.hits, cache.misses, cache.entries
+    ));
+    out.push_str(&format!(
+        "  \"threads\": {{\"busy_seconds\": {:.3}, \"fanout_wall_seconds\": {:.3}, \
+         \"utilization\": {:.3}}}\n",
+        fanout.busy_seconds,
+        fanout.wall_seconds,
+        fanout.utilization()
+    ));
+    out.push_str("}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
 }
 
 fn main() -> ExitCode {
     let mut cfg = ExperimentConfig::default();
     let mut ids: Vec<String> = Vec::new();
     let mut cache_dir: Option<String> = None;
+    let mut timings_path: Option<String> = None;
+    let mut jobs: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,6 +110,7 @@ fn main() -> ExitCode {
             "--cache" => match args.next() {
                 Some(dir) => cache_dir = Some(dir),
                 None => {
+                    eprintln!("error: --cache needs a directory");
                     usage();
                     return ExitCode::FAILURE;
                 }
@@ -39,6 +118,7 @@ fn main() -> ExitCode {
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(seed) => cfg.workload.seed = seed,
                 None => {
+                    eprintln!("error: --seed needs an unsigned integer");
                     usage();
                     return ExitCode::FAILURE;
                 }
@@ -46,6 +126,23 @@ fn main() -> ExitCode {
             "--target" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(t) => cfg.workload.target_branches = t,
                 None => {
+                    eprintln!("error: --target needs a branch count");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("error: --jobs needs a worker count of at least 1");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--timings" => match args.next() {
+                Some(path) => timings_path = Some(path),
+                None => {
+                    eprintln!("error: --timings needs a file path");
                     usage();
                     return ExitCode::FAILURE;
                 }
@@ -76,31 +173,74 @@ fn main() -> ExitCode {
         "# Reproduction run: seed={} target={} branches/benchmark\n",
         cfg.workload.seed, cfg.workload.target_branches
     );
-    let mut traces = match cache_dir {
+    let traces = match cache_dir {
         Some(dir) => TraceSet::with_disk_cache(cfg.workload, dir),
         None => TraceSet::new(cfg.workload),
     };
+    let engine = match jobs {
+        Some(n) => Engine::new(traces, n),
+        None => Engine::with_available_parallelism(traces),
+    };
+
+    let run_started = Instant::now();
+    let mut timings: Vec<Timing> = Vec::new();
+
+    // A multi-experiment run warms the shared cache up front: every trace
+    // is generated and the standard predictors are simulated in one batched
+    // pass per trace, so no experiment pays for them again.
+    if ids.len() > 1 {
+        let started = Instant::now();
+        engine.prewarm(&cfg);
+        let seconds = started.elapsed().as_secs_f64();
+        eprintln!("[prewarm done in {seconds:.1}s]\n");
+        timings.push(Timing {
+            id: "prewarm".to_owned(),
+            seconds,
+        });
+    }
+
     for id in &ids {
-        let started = std::time::Instant::now();
+        let started = Instant::now();
         match id.as_str() {
-            "table1" => println!("{}", table1::run(&cfg, &mut traces)),
-            "fig4" => println!("{}", fig4::run(&cfg, &mut traces)),
-            "fig5" => println!("{}", fig5::run(&cfg, &mut traces)),
-            "table2" => println!("{}", table2::run(&cfg, &mut traces)),
-            "fig6" => println!("{}", fig6::run(&cfg, &mut traces)),
-            "table3" => println!("{}", table3::run(&cfg, &mut traces)),
-            "fig7" => println!("{}", fig7::run(&cfg, &mut traces)),
-            "fig8" => println!("{}", fig8::run(&cfg, &mut traces)),
-            "fig9" => println!("{}", fig9::run(&cfg, &mut traces)),
-            "hybrids" => println!("{}", ext_hybrids::run(&cfg, &mut traces)),
-            "interference" => println!("{}", ext_interference::run(&cfg, &mut traces)),
-            "distance" => println!("{}", ext_distance::run(&cfg, &mut traces)),
-            "adaptivity" => println!("{}", ext_adaptivity::run(&cfg, &mut traces)),
-            "family" => println!("{}", ext_family::run(&cfg, &mut traces)),
-            "warmup" => println!("{}", ext_warmup::run(&cfg, &mut traces)),
+            "table1" => println!("{}", table1::run(&cfg, &engine)),
+            "fig4" => println!("{}", fig4::run(&cfg, &engine)),
+            "fig5" => println!("{}", fig5::run(&cfg, &engine)),
+            "table2" => println!("{}", table2::run(&cfg, &engine)),
+            "fig6" => println!("{}", fig6::run(&cfg, &engine)),
+            "table3" => println!("{}", table3::run(&cfg, &engine)),
+            "fig7" => println!("{}", fig7::run(&cfg, &engine)),
+            "fig8" => println!("{}", fig8::run(&cfg, &engine)),
+            "fig9" => println!("{}", fig9::run(&cfg, &engine)),
+            "hybrids" => println!("{}", ext_hybrids::run(&cfg, &engine)),
+            "interference" => println!("{}", ext_interference::run(&cfg, &engine)),
+            "distance" => println!("{}", ext_distance::run(&cfg, &engine)),
+            "adaptivity" => println!("{}", ext_adaptivity::run(&cfg, &engine)),
+            "family" => println!("{}", ext_family::run(&cfg, &engine)),
+            "warmup" => println!("{}", ext_warmup::run(&cfg, &engine)),
             _ => unreachable!("ids validated above"),
         }
-        eprintln!("[{} done in {:.1}s]\n", id, started.elapsed().as_secs_f64());
+        let seconds = started.elapsed().as_secs_f64();
+        eprintln!("[{id} done in {seconds:.1}s]\n");
+        timings.push(Timing {
+            id: id.clone(),
+            seconds,
+        });
+    }
+
+    let total_seconds = run_started.elapsed().as_secs_f64();
+    let cache = engine.cache_stats();
+    eprintln!(
+        "[total {:.1}s, jobs={}, cache {} hits / {} misses]",
+        total_seconds,
+        engine.jobs(),
+        cache.hits,
+        cache.misses
+    );
+    if let Some(path) = timings_path {
+        if let Err(e) = write_timings(&path, &cfg, &engine, &timings, total_seconds) {
+            eprintln!("error: could not write timings to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,568 @@
+//! The evaluation engine: parallel per-benchmark fan-out plus a
+//! cross-experiment memoization cache.
+//!
+//! Every experiment in this crate walks [`Benchmark::ALL`] and derives
+//! artifacts from each benchmark's trace: per-branch predictor statistics
+//! (gshare, interference-free gshare, PAs, …), the §3.4 oracle
+//! selective-history analysis, the §4.1 per-address classification, and
+//! the branch profile. Before this engine existed, each experiment
+//! recomputed all of that from scratch — a `repro all` run performed the
+//! default-config oracle analysis four times and the gshare simulation
+//! six times per benchmark.
+//!
+//! [`Engine`] fixes both axes:
+//!
+//! * **Fan-out** — [`Engine::for_each_benchmark`] runs the per-benchmark
+//!   closure on up to `jobs` worker threads ([`std::thread::scope`], an
+//!   atomic work queue, and index-ordered result reassembly, so results
+//!   are always in [`Benchmark::ALL`] order regardless of scheduling).
+//! * **Memoization** — [`EvalCache`] holds every shared artifact behind
+//!   `(benchmark, config-fingerprint)` keys. Concurrent requests for the
+//!   same key compute the value exactly once (`Mutex`-guarded map of
+//!   `OnceLock` cells); everyone else blocks briefly and shares the
+//!   `Arc`. Hit/miss counters feed `repro --timings`.
+//!
+//! Determinism: cached values are pure functions of (workload config,
+//! benchmark, artifact config) — the engine only changes *when* they are
+//! computed, never *what* — and fan-out reassembles results in input
+//! order, so a parallel run's output is byte-identical to `--jobs 1`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use bp_core::{
+    Classification, Classifier, ClassifierConfig, OracleConfig, OracleResult, OracleSelector,
+};
+use bp_predictors::{
+    simulate_batch, Gshare, GshareInterferenceFree, Pas, PasInterferenceFree, PerBranchStats,
+    Predictor,
+};
+use bp_trace::{BranchProfile, Trace};
+use bp_workloads::Benchmark;
+
+use crate::{ExperimentConfig, TraceSet};
+
+/// Fingerprint of a standard predictor configuration, used as a cache key.
+///
+/// Only predictors shared by two or more experiments earn a variant here;
+/// experiment-specific designs (hybrids, family sweeps, …) simulate
+/// directly and don't pollute the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorKey {
+    /// `Gshare::new(bits)`.
+    Gshare {
+        /// History/index bits.
+        bits: u32,
+    },
+    /// `GshareInterferenceFree::new(bits)`.
+    IfGshare {
+        /// History/index bits.
+        bits: u32,
+    },
+    /// `Pas::default()`.
+    PasDefault,
+    /// `PasInterferenceFree::new(history_bits)`.
+    IfPas {
+        /// Per-address history bits.
+        history_bits: u32,
+    },
+}
+
+impl PredictorKey {
+    fn build(self) -> Box<dyn Predictor> {
+        match self {
+            PredictorKey::Gshare { bits } => Box::new(Gshare::new(bits)),
+            PredictorKey::IfGshare { bits } => Box::new(GshareInterferenceFree::new(bits)),
+            PredictorKey::PasDefault => Box::<Pas>::default(),
+            PredictorKey::IfPas { history_bits } => {
+                Box::new(PasInterferenceFree::new(history_bits))
+            }
+        }
+    }
+}
+
+/// One keyed compute-once map. The outer mutex is held only to find or
+/// insert the cell; the (potentially expensive) computation runs outside
+/// it, serialized per key by the cell's `OnceLock`.
+struct CacheMap<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> CacheMap<K, V> {
+    fn new() -> Self {
+        CacheMap {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn get_or_compute(
+        &self,
+        key: K,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+        compute: impl FnOnce() -> V,
+    ) -> Arc<V> {
+        let cell = {
+            let mut map = self.map.lock().expect("cache map lock");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut computed = false;
+        let value = cell.get_or_init(|| {
+            computed = true;
+            Arc::new(compute())
+        });
+        if computed {
+            misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(value)
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().expect("cache map lock").len()
+    }
+}
+
+impl<K, V> Default for CacheMap<K, V>
+where
+    K: std::hash::Hash + Eq + Clone,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Cache hit/miss totals (reported through `repro --timings`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from a previously computed artifact.
+    pub hits: u64,
+    /// Requests that computed the artifact.
+    pub misses: u64,
+    /// Distinct artifacts currently cached.
+    pub entries: u64,
+}
+
+/// Cross-experiment memoization of shared evaluation artifacts, keyed by
+/// `(benchmark, config fingerprint)`.
+pub struct EvalCache {
+    per_branch: CacheMap<(Benchmark, PredictorKey), PerBranchStats>,
+    oracles: CacheMap<(Benchmark, OracleConfig), OracleResult>,
+    classifications: CacheMap<(Benchmark, ClassifierConfig), Classification>,
+    profiles: CacheMap<Benchmark, BranchProfile>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        EvalCache {
+            per_branch: CacheMap::new(),
+            oracles: CacheMap::new(),
+            classifications: CacheMap::new(),
+            profiles: CacheMap::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Hit/miss totals so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: (self.per_branch.len()
+                + self.oracles.len()
+                + self.classifications.len()
+                + self.profiles.len()) as u64,
+        }
+    }
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Worker-utilization accounting for the fan-out (reported through
+/// `repro --timings`): total busy time inside per-benchmark closures vs
+/// wall time of the fan-out regions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FanoutStats {
+    /// Seconds of worker busy time (summed across threads).
+    pub busy_seconds: f64,
+    /// Seconds of fan-out region wall time.
+    pub wall_seconds: f64,
+}
+
+impl FanoutStats {
+    /// Mean busy workers per fan-out second (`jobs` at perfect scaling,
+    /// 1.0 when everything serializes).
+    pub fn utilization(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.busy_seconds / self.wall_seconds
+        }
+    }
+}
+
+/// Shared evaluation state for a run: the trace set, the memoization
+/// cache, and the worker-thread budget.
+pub struct Engine {
+    traces: Arc<TraceSet>,
+    cache: EvalCache,
+    jobs: usize,
+    busy_nanos: AtomicU64,
+    fanout_wall_nanos: AtomicU64,
+}
+
+impl Engine {
+    /// An engine over `traces` using up to `jobs` worker threads
+    /// (`jobs = 1` means fully sequential). Accepts a `TraceSet` by value
+    /// or an `Arc<TraceSet>` shared with other engines (the artifact cache
+    /// is always per-engine).
+    pub fn new(traces: impl Into<Arc<TraceSet>>, jobs: usize) -> Self {
+        Engine {
+            traces: traces.into(),
+            cache: EvalCache::new(),
+            jobs: jobs.max(1),
+            busy_nanos: AtomicU64::new(0),
+            fanout_wall_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// An engine with one worker per available core.
+    pub fn with_available_parallelism(traces: impl Into<Arc<TraceSet>>) -> Self {
+        let jobs = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(traces, jobs)
+    }
+
+    /// The worker-thread budget.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The underlying trace set.
+    pub fn traces(&self) -> &TraceSet {
+        &self.traces
+    }
+
+    /// The trace for `benchmark` (generated or disk-loaded on first use).
+    pub fn trace(&self, benchmark: Benchmark) -> Arc<Trace> {
+        self.traces.trace(benchmark)
+    }
+
+    /// Cache hit/miss totals.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Fan-out utilization so far.
+    pub fn fanout_stats(&self) -> FanoutStats {
+        FanoutStats {
+            busy_seconds: self.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            wall_seconds: self.fanout_wall_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+
+    /// Runs `f` once per benchmark of [`Benchmark::ALL`], in parallel,
+    /// returning results in that order. See [`Engine::fan_out`].
+    pub fn for_each_benchmark<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Benchmark) -> R + Sync,
+    {
+        self.fan_out(&Benchmark::ALL, f)
+    }
+
+    /// Runs `f` once per benchmark in `benchmarks`, on up to
+    /// [`Engine::jobs`] worker threads, returning results in input order.
+    ///
+    /// Work is claimed from an atomic queue and results carry their input
+    /// index, so the output order — and therefore everything downstream,
+    /// including rendered tables — is independent of thread scheduling.
+    pub fn fan_out<R, F>(&self, benchmarks: &[Benchmark], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Benchmark) -> R + Sync,
+    {
+        let started = Instant::now();
+        let results = if self.jobs == 1 {
+            benchmarks
+                .iter()
+                .map(|&b| {
+                    let t0 = Instant::now();
+                    let r = f(b);
+                    self.busy_nanos
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    r
+                })
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let collected: Mutex<Vec<(usize, R)>> =
+                Mutex::new(Vec::with_capacity(benchmarks.len()));
+            std::thread::scope(|scope| {
+                for _ in 0..self.jobs.min(benchmarks.len()) {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&benchmark) = benchmarks.get(i) else {
+                                break;
+                            };
+                            let t0 = Instant::now();
+                            local.push((i, f(benchmark)));
+                            self.busy_nanos
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }
+                        collected.lock().expect("fan-out results").extend(local);
+                    });
+                }
+            });
+            let mut pairs = collected.into_inner().expect("fan-out results");
+            pairs.sort_by_key(|&(i, _)| i);
+            pairs.into_iter().map(|(_, r)| r).collect()
+        };
+        self.fanout_wall_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        results
+    }
+
+    /// Per-branch stats of a standard predictor, computed at most once per
+    /// `(benchmark, key)` across all experiments.
+    pub fn per_branch(&self, benchmark: Benchmark, key: PredictorKey) -> Arc<PerBranchStats> {
+        self.cache.per_branch.get_or_compute(
+            (benchmark, key),
+            &self.cache.hits,
+            &self.cache.misses,
+            || {
+                let trace = self.trace(benchmark);
+                let mut batch = [key.build()];
+                simulate_batch(&mut batch, &trace)
+                    .pop()
+                    .expect("one result per predictor")
+            },
+        )
+    }
+
+    /// Cached `Gshare::new(bits)` per-branch stats.
+    pub fn gshare(&self, benchmark: Benchmark, bits: u32) -> Arc<PerBranchStats> {
+        self.per_branch(benchmark, PredictorKey::Gshare { bits })
+    }
+
+    /// Cached `GshareInterferenceFree::new(bits)` per-branch stats.
+    pub fn if_gshare(&self, benchmark: Benchmark, bits: u32) -> Arc<PerBranchStats> {
+        self.per_branch(benchmark, PredictorKey::IfGshare { bits })
+    }
+
+    /// Cached `Pas::default()` per-branch stats.
+    pub fn pas_default(&self, benchmark: Benchmark) -> Arc<PerBranchStats> {
+        self.per_branch(benchmark, PredictorKey::PasDefault)
+    }
+
+    /// Cached `PasInterferenceFree::new(history_bits)` per-branch stats.
+    pub fn if_pas(&self, benchmark: Benchmark, history_bits: u32) -> Arc<PerBranchStats> {
+        self.per_branch(benchmark, PredictorKey::IfPas { history_bits })
+    }
+
+    /// Cached oracle selective-history analysis for one configuration.
+    pub fn oracle(&self, benchmark: Benchmark, cfg: &OracleConfig) -> Arc<OracleResult> {
+        self.cache.oracles.get_or_compute(
+            (benchmark, *cfg),
+            &self.cache.hits,
+            &self.cache.misses,
+            || OracleSelector::analyze(&self.trace(benchmark), cfg),
+        )
+    }
+
+    /// Cached per-address classification for one configuration.
+    pub fn classification(
+        &self,
+        benchmark: Benchmark,
+        cfg: &ClassifierConfig,
+    ) -> Arc<Classification> {
+        self.cache.classifications.get_or_compute(
+            (benchmark, *cfg),
+            &self.cache.hits,
+            &self.cache.misses,
+            || Classifier::classify(&self.trace(benchmark), cfg),
+        )
+    }
+
+    /// Cached branch profile.
+    pub fn profile(&self, benchmark: Benchmark) -> Arc<BranchProfile> {
+        self.cache
+            .profiles
+            .get_or_compute(benchmark, &self.cache.hits, &self.cache.misses, || {
+                BranchProfile::of(&self.trace(benchmark))
+            })
+    }
+
+    /// Pre-warms the cache for a multi-experiment run: generates every
+    /// trace (in parallel), then computes the four standard predictors'
+    /// per-branch stats in a *single* batched pass per trace
+    /// ([`simulate_batch`]), so no later experiment pays a separate
+    /// simulation pass for them.
+    pub fn prewarm(&self, cfg: &ExperimentConfig) {
+        self.traces.generate_all(self.jobs);
+        let keys = [
+            PredictorKey::Gshare {
+                bits: cfg.gshare_bits,
+            },
+            PredictorKey::IfGshare {
+                bits: cfg.gshare_bits,
+            },
+            PredictorKey::PasDefault,
+            PredictorKey::IfPas {
+                history_bits: cfg.classifier.pas_history_bits,
+            },
+        ];
+        self.for_each_benchmark(|benchmark| {
+            // Skip the batch when everything is already cached (prewarm is
+            // idempotent and cheap to call twice).
+            let missing: Vec<PredictorKey> = {
+                let map = self.cache.per_branch.map.lock().expect("cache map lock");
+                keys.iter()
+                    .copied()
+                    .filter(|k| {
+                        map.get(&(benchmark, *k))
+                            .map(|cell| cell.get().is_none())
+                            .unwrap_or(true)
+                    })
+                    .collect()
+            };
+            if missing.is_empty() {
+                return;
+            }
+            let trace = self.trace(benchmark);
+            let mut predictors: Vec<Box<dyn Predictor>> =
+                missing.iter().map(|k| k.build()).collect();
+            let results = simulate_batch(&mut predictors, &trace);
+            for (key, stats) in missing.into_iter().zip(results) {
+                self.cache.per_branch.get_or_compute(
+                    (benchmark, key),
+                    &self.cache.hits,
+                    &self.cache.misses,
+                    || stats,
+                );
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_predictors::simulate_per_branch;
+    use bp_workloads::WorkloadConfig;
+
+    fn quick_engine(jobs: usize) -> Engine {
+        let cfg = WorkloadConfig::default().with_target(3_000);
+        Engine::new(TraceSet::new(cfg), jobs)
+    }
+
+    #[test]
+    fn cached_artifacts_compute_exactly_once() {
+        let engine = quick_engine(2);
+        let b = Benchmark::Compress;
+        let first = engine.gshare(b, 10);
+        let second = engine.gshare(b, 10);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+
+        // A different fingerprint is a different artifact.
+        let third = engine.gshare(b, 12);
+        assert!(!Arc::ptr_eq(&first, &third));
+        assert_eq!(engine.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn cached_stats_match_direct_simulation() {
+        let engine = quick_engine(1);
+        let b = Benchmark::Go;
+        let trace = engine.trace(b);
+        let direct = simulate_per_branch(&mut Gshare::new(10), &trace);
+        let cached = engine.gshare(b, 10);
+        assert_eq!(*cached, direct);
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_share_one_computation() {
+        let engine = quick_engine(4);
+        let results: Vec<Arc<PerBranchStats>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| engine.gshare(Benchmark::Gcc, 10)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results[1..] {
+            assert!(Arc::ptr_eq(r, &results[0]));
+        }
+        assert_eq!(engine.cache_stats().misses, 1);
+        assert_eq!(engine.cache_stats().hits, 3);
+    }
+
+    #[test]
+    fn fan_out_preserves_benchmark_order() {
+        for jobs in [1, 2, 8] {
+            let engine = quick_engine(jobs);
+            let names = engine.for_each_benchmark(|b| b.name().to_owned());
+            let expect: Vec<String> = Benchmark::ALL.iter().map(|b| b.name().to_owned()).collect();
+            assert_eq!(names, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn prewarm_populates_standard_predictors_once() {
+        let engine = quick_engine(2);
+        let cfg = ExperimentConfig {
+            workload: *engine.traces().config(),
+            ..ExperimentConfig::default()
+        };
+        engine.prewarm(&cfg);
+        let after_prewarm = engine.cache_stats();
+        // 4 predictors x 8 benchmarks.
+        assert_eq!(after_prewarm.misses, 32);
+
+        // Every later request is a hit, and prewarming again adds nothing.
+        let _ = engine.gshare(Benchmark::Perl, cfg.gshare_bits);
+        engine.prewarm(&cfg);
+        let end = engine.cache_stats();
+        assert_eq!(end.misses, 32);
+        assert!(end.hits >= 1);
+    }
+
+    #[test]
+    fn oracle_and_classification_cache_by_config() {
+        let engine = quick_engine(1);
+        let b = Benchmark::Xlisp;
+        let o1 = engine.oracle(b, &OracleConfig::default());
+        let o2 = engine.oracle(b, &OracleConfig::default());
+        assert!(Arc::ptr_eq(&o1, &o2));
+        let narrow = OracleConfig {
+            window: 8,
+            ..OracleConfig::default()
+        };
+        let o3 = engine.oracle(b, &narrow);
+        assert!(!Arc::ptr_eq(&o1, &o3));
+
+        let c1 = engine.classification(b, &ClassifierConfig::default());
+        let c2 = engine.classification(b, &ClassifierConfig::default());
+        assert!(Arc::ptr_eq(&c1, &c2));
+
+        let p1 = engine.profile(b);
+        let p2 = engine.profile(b);
+        assert!(Arc::ptr_eq(&p1, &p2));
+    }
+}

@@ -3,13 +3,11 @@
 //! 2-bit counters, both interference-free and self-profiled, for the
 //! global and per-address families.
 
-use bp_predictors::{
-    simulate, GshareInterferenceFree, PasInterferenceFree, StaticPhtGshare, StaticPhtPas,
-};
+use bp_predictors::{simulate, StaticPhtGshare, StaticPhtPas};
 use bp_workloads::Benchmark;
 
 use crate::render::{pct, Table};
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// One benchmark's adaptive-vs-static comparison (accuracies 0..=1).
 #[derive(Debug, Clone, Copy)]
@@ -35,31 +33,26 @@ pub struct Result {
 }
 
 /// Runs the adaptivity comparison.
-pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let rows = Benchmark::ALL
-        .into_iter()
-        .map(|benchmark| {
-            let trace = traces.trace(benchmark);
-            let pas_bits = cfg.classifier.pas_history_bits;
-            Row {
-                benchmark,
-                adaptive_global: simulate(
-                    &mut GshareInterferenceFree::new(cfg.gshare_bits),
-                    &trace,
-                )
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let rows = engine.for_each_benchmark(|benchmark| {
+        let trace = engine.trace(benchmark);
+        let pas_bits = cfg.classifier.pas_history_bits;
+        Row {
+            benchmark,
+            adaptive_global: engine
+                .if_gshare(benchmark, cfg.gshare_bits)
+                .total()
                 .accuracy(),
-                static_global: simulate(
-                    &mut StaticPhtGshare::profile(&trace, cfg.gshare_bits),
-                    &trace,
-                )
+            static_global: simulate(
+                &mut StaticPhtGshare::profile(&trace, cfg.gshare_bits),
+                &trace,
+            )
+            .accuracy(),
+            adaptive_per_address: engine.if_pas(benchmark, pas_bits).total().accuracy(),
+            static_per_address: simulate(&mut StaticPhtPas::profile(&trace, pas_bits), &trace)
                 .accuracy(),
-                adaptive_per_address: simulate(&mut PasInterferenceFree::new(pas_bits), &trace)
-                    .accuracy(),
-                static_per_address: simulate(&mut StaticPhtPas::profile(&trace, pas_bits), &trace)
-                    .accuracy(),
-            }
-        })
-        .collect();
+        }
+    });
     Result { rows }
 }
 
@@ -98,14 +91,10 @@ mod tests {
         // majority PHTs perform on par with (and often above) adaptive
         // counters.
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         let mut static_wins = 0;
         for row in &r.rows {
-            assert!(
-                row.static_global > row.adaptive_global - 0.03,
-                "{row:?}"
-            );
+            assert!(row.static_global > row.adaptive_global - 0.03, "{row:?}");
             if row.static_global >= row.adaptive_global {
                 static_wins += 1;
             }

@@ -3,12 +3,11 @@
 //! histories, measure the distribution of distances from each branch to
 //! its correlated instances.
 
-use bp_core::{presence_stats, DistanceHistogram, OracleSelector, OutcomeMatrix, TagCandidates};
-use bp_trace::BranchProfile;
+use bp_core::{presence_stats, DistanceHistogram, OutcomeMatrix, TagCandidates};
 use bp_workloads::Benchmark;
 
 use crate::render::{pct, Table};
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// One benchmark's distance profile.
 #[derive(Debug, Clone)]
@@ -36,27 +35,26 @@ pub struct Result {
 }
 
 /// Runs the distance analysis.
-pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let rows = Benchmark::ALL
-        .into_iter()
-        .map(|benchmark| {
-            let trace = traces.trace(benchmark);
-            let cands =
-                TagCandidates::collect(&trace, cfg.oracle.window, cfg.oracle.candidate_cap);
-            let matrix = OutcomeMatrix::build(&trace, &cands, cfg.oracle.window);
-            let oracle = OracleSelector::analyze_matrix(&matrix, &cfg.oracle);
-            let presence = presence_stats(&matrix, &oracle, 3, cfg.oracle.counter);
-            let profile = BranchProfile::of(&trace);
-            Row {
-                benchmark,
-                one_tag: DistanceHistogram::measure(&trace, &oracle, 1, cfg.oracle.window),
-                three_tag: DistanceHistogram::measure(&trace, &oracle, 3, cfg.oracle.window),
-                full_accuracy: oracle.accuracy(3),
-                presence_accuracy: presence.total().accuracy(),
-                static_accuracy: profile.ideal_static_accuracy(),
-            }
-        })
-        .collect();
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let rows = engine.for_each_benchmark(|benchmark| {
+        let trace = engine.trace(benchmark);
+        // The oracle selection comes from the shared cache (it is the same
+        // analysis figure 4 and table 2 use); only the outcome matrix for
+        // the presence-only re-scoring is rebuilt locally.
+        let oracle = engine.oracle(benchmark, &cfg.oracle);
+        let cands = TagCandidates::collect(&trace, cfg.oracle.window, cfg.oracle.candidate_cap);
+        let matrix = OutcomeMatrix::build(&trace, &cands, cfg.oracle.window);
+        let presence = presence_stats(&matrix, &oracle, 3, cfg.oracle.counter);
+        let profile = engine.profile(benchmark);
+        Row {
+            benchmark,
+            one_tag: DistanceHistogram::measure(&trace, &oracle, 1, cfg.oracle.window),
+            three_tag: DistanceHistogram::measure(&trace, &oracle, 3, cfg.oracle.window),
+            full_accuracy: oracle.accuracy(3),
+            presence_accuracy: presence.total().accuracy(),
+            static_accuracy: profile.ideal_static_accuracy(),
+        }
+    });
     Result { rows }
 }
 
@@ -102,8 +100,7 @@ mod tests {
         // The §3.6.2 claim itself: most chosen instances sit within half
         // the window.
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         assert_eq!(r.rows.len(), 8);
         let mut close = 0;
         for row in &r.rows {
@@ -112,14 +109,25 @@ mod tests {
                 close += 1;
             }
         }
-        assert!(close >= 6, "only {close}/8 benchmarks have close correlation");
+        assert!(
+            close >= 6,
+            "only {close}/8 benchmarks have close correlation"
+        );
         assert!(r.to_string().contains("1-tag mean"));
         for row in &r.rows {
             // Discarding directions can only lose information; knowing the
             // path can only add over a static prediction (both up to
             // counter-warmup noise).
-            assert!(row.presence_accuracy <= row.full_accuracy + 0.01, "{:?}", row.benchmark);
-            assert!(row.presence_accuracy >= row.static_accuracy - 0.03, "{:?}", row.benchmark);
+            assert!(
+                row.presence_accuracy <= row.full_accuracy + 0.01,
+                "{:?}",
+                row.benchmark
+            );
+            assert!(
+                row.presence_accuracy >= row.static_accuracy - 0.03,
+                "{:?}",
+                row.benchmark
+            );
         }
     }
 }

@@ -12,7 +12,7 @@ use bp_predictors::{global_family, per_address_family, simulate};
 use bp_workloads::Benchmark;
 
 use crate::render::{pct, Table};
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// The swept history lengths.
 pub const HISTORY_BITS: [u32; 4] = [4, 8, 12, 16];
@@ -39,10 +39,10 @@ pub struct Result {
 }
 
 /// Runs the family sweep.
-pub fn run(_cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let mut series: Vec<Series> = Vec::new();
-    for benchmark in BENCHMARKS {
-        let trace = traces.trace(benchmark);
+pub fn run(_cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let per_benchmark = engine.fan_out(&BENCHMARKS, |benchmark| {
+        let trace = engine.trace(benchmark);
+        let mut series: Vec<Series> = Vec::new();
         // Family constructors give a fresh set per history length; series
         // are grouped by position within the family vector.
         let family_sizes = [global_family(4).len(), per_address_family(4).len()];
@@ -69,8 +69,11 @@ pub fn run(_cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
                 });
             }
         }
+        series
+    });
+    Result {
+        series: per_benchmark.into_iter().flatten().collect(),
     }
-    Result { series }
 }
 
 impl std::fmt::Display for Result {
@@ -102,8 +105,7 @@ mod tests {
     #[test]
     fn family_sweep_shapes() {
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         assert_eq!(r.series.len(), BENCHMARKS.len() * 7);
         for s in &r.series {
             for &a in &s.accuracy {

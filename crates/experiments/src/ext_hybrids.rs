@@ -7,14 +7,11 @@
 //! The headline check: the gshare+PAs hybrid captures (most of) the
 //! per-branch best-of-both accuracy that figure 9 shows is available.
 
-use bp_predictors::{
-    simulate, ClassHybrid, Gag, Gshare, Gskew, Hybrid, Pag, Pas, PathBased,
-};
-use bp_trace::BranchProfile;
+use bp_predictors::{simulate, ClassHybrid, Gag, Gshare, Gskew, Hybrid, Pag, Pas, PathBased};
 use bp_workloads::Benchmark;
 
 use crate::render::{pct, Table};
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// One benchmark's accuracy row across the predictor zoo (values 0..=1).
 #[derive(Debug, Clone, Copy)]
@@ -47,33 +44,30 @@ pub struct Result {
 }
 
 /// Runs the hybrid/related-designs comparison.
-pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let rows = Benchmark::ALL
-        .into_iter()
-        .map(|benchmark| {
-            let trace = traces.trace(benchmark);
-            let profile = BranchProfile::of(&trace);
-            Row {
-                benchmark,
-                gshare: simulate(&mut Gshare::new(cfg.gshare_bits), &trace).accuracy(),
-                pas: simulate(&mut Pas::default(), &trace).accuracy(),
-                hybrid: simulate(
-                    &mut Hybrid::new(Gshare::new(cfg.gshare_bits), Pas::default(), 12),
-                    &trace,
-                )
-                .accuracy(),
-                class_hybrid: simulate(
-                    &mut ClassHybrid::new(Gshare::new(cfg.gshare_bits), &profile, 0.95),
-                    &trace,
-                )
-                .accuracy(),
-                gskew: simulate(&mut Gskew::new(12, 12), &trace).accuracy(),
-                path: simulate(&mut PathBased::default(), &trace).accuracy(),
-                gag: simulate(&mut Gag::new(12), &trace).accuracy(),
-                pag: simulate(&mut Pag::default(), &trace).accuracy(),
-            }
-        })
-        .collect();
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let rows = engine.for_each_benchmark(|benchmark| {
+        let trace = engine.trace(benchmark);
+        let profile = engine.profile(benchmark);
+        Row {
+            benchmark,
+            gshare: engine.gshare(benchmark, cfg.gshare_bits).total().accuracy(),
+            pas: engine.pas_default(benchmark).total().accuracy(),
+            hybrid: simulate(
+                &mut Hybrid::new(Gshare::new(cfg.gshare_bits), Pas::default(), 12),
+                &trace,
+            )
+            .accuracy(),
+            class_hybrid: simulate(
+                &mut ClassHybrid::new(Gshare::new(cfg.gshare_bits), &profile, 0.95),
+                &trace,
+            )
+            .accuracy(),
+            gskew: simulate(&mut Gskew::new(12, 12), &trace).accuracy(),
+            path: simulate(&mut PathBased::default(), &trace).accuracy(),
+            gag: simulate(&mut Gag::new(12), &trace).accuracy(),
+            pag: simulate(&mut Pag::default(), &trace).accuracy(),
+        }
+    });
     Result { rows }
 }
 
@@ -117,8 +111,7 @@ mod tests {
     #[test]
     fn hybrid_tracks_best_component() {
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         assert_eq!(r.rows.len(), 8);
         let mut hybrid_wins = 0;
         for row in &r.rows {
@@ -130,15 +123,17 @@ mod tests {
         }
         // On most benchmarks the hybrid should at least match the better
         // component outright.
-        assert!(hybrid_wins >= 4, "hybrid only matched best on {hybrid_wins}/8");
+        assert!(
+            hybrid_wins >= 4,
+            "hybrid only matched best on {hybrid_wins}/8"
+        );
     }
 
     #[test]
     fn gag_never_beats_gshare_materially() {
         // GAg is strictly-more-aliased than gshare at equal size.
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         for row in &r.rows {
             assert!(row.gag <= row.gshare + 0.03, "{row:?}");
         }

@@ -3,11 +3,11 @@
 //! constructive against an interference-free shadow twin, and reconcile
 //! the net damage with the measured gshare-vs-IF-gshare gap.
 
-use bp_predictors::{simulate, Gshare, GshareInterferenceFree, InterferenceGshare, InterferenceStats};
+use bp_predictors::{simulate, InterferenceGshare, InterferenceStats};
 use bp_workloads::Benchmark;
 
 use crate::render::{pct, Table};
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// One benchmark's interference breakdown.
 #[derive(Debug, Clone, Copy)]
@@ -43,27 +43,21 @@ pub struct Result {
 }
 
 /// Runs the interference accounting.
-pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let rows = Benchmark::ALL
-        .into_iter()
-        .map(|benchmark| {
-            let trace = traces.trace(benchmark);
-            let mut instrumented = InterferenceGshare::new(cfg.gshare_bits);
-            let g = simulate(&mut instrumented, &trace);
-            let if_g = simulate(&mut GshareInterferenceFree::new(cfg.gshare_bits), &trace);
-            // Instrumentation must not change behavior; sanity-check once.
-            debug_assert_eq!(
-                g,
-                simulate(&mut Gshare::new(cfg.gshare_bits), &trace)
-            );
-            Row {
-                benchmark,
-                stats: instrumented.stats(),
-                gshare: g.accuracy(),
-                if_gshare: if_g.accuracy(),
-            }
-        })
-        .collect();
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let rows = engine.for_each_benchmark(|benchmark| {
+        let trace = engine.trace(benchmark);
+        let mut instrumented = InterferenceGshare::new(cfg.gshare_bits);
+        let g = simulate(&mut instrumented, &trace);
+        let if_g = engine.if_gshare(benchmark, cfg.gshare_bits).total();
+        // Instrumentation must not change behavior; sanity-check once.
+        debug_assert_eq!(g, engine.gshare(benchmark, cfg.gshare_bits).total());
+        Row {
+            benchmark,
+            stats: instrumented.stats(),
+            gshare: g.accuracy(),
+            if_gshare: if_g.accuracy(),
+        }
+    });
     Result { rows }
 }
 
@@ -102,8 +96,7 @@ mod tests {
     #[test]
     fn accounting_brackets_the_measured_gap() {
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         for row in &r.rows {
             let total = row.stats.total();
             assert!(total > 0, "{:?}", row.benchmark);
@@ -133,8 +126,7 @@ mod tests {
         // The large-static-footprint benchmark must show the highest
         // interference rate.
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         let gcc = r
             .rows
             .iter()

@@ -12,7 +12,7 @@ use bp_predictors::{Gshare, GshareInterferenceFree, Pas, Predictor};
 use bp_workloads::Benchmark;
 
 use crate::render::{pct, Table};
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// One (benchmark, predictor) warmup/burstiness row.
 #[derive(Debug, Clone)]
@@ -33,15 +33,15 @@ pub struct Result {
 }
 
 /// Runs the warmup/burstiness measurement.
-pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let mut rows = Vec::new();
-    for benchmark in Benchmark::ALL {
-        let trace = traces.trace(benchmark);
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let per_benchmark = engine.for_each_benchmark(|benchmark| {
+        let trace = engine.trace(benchmark);
         let mut predictors: Vec<Box<dyn Predictor>> = vec![
             Box::new(Gshare::new(cfg.gshare_bits)),
             Box::new(GshareInterferenceFree::new(cfg.gshare_bits)),
             Box::new(Pas::default()),
         ];
+        let mut rows = Vec::new();
         for p in &mut predictors {
             let profile = MispredictProfile::measure(p.as_mut(), &trace);
             rows.push(Row {
@@ -50,8 +50,11 @@ pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
                 profile,
             });
         }
+        rows
+    });
+    Result {
+        rows: per_benchmark.into_iter().flatten().collect(),
     }
-    Result { rows }
 }
 
 impl std::fmt::Display for Result {
@@ -92,8 +95,7 @@ mod tests {
     #[test]
     fn warmup_is_positive_where_training_dominates() {
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         assert_eq!(r.rows.len(), 8 * 3);
         // gcc's huge static footprint must show clear gshare warmup at
         // quick scale.

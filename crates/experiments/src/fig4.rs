@@ -4,12 +4,10 @@
 //! The paper's headline: a 3-branch selective history approaches IF-gshare
 //! — the other 13 outcomes in a 16-deep history contribute mostly noise.
 
-use bp_core::OracleSelector;
-use bp_predictors::{simulate, Gshare, GshareInterferenceFree};
 use bp_workloads::Benchmark;
 
 use crate::render::{pct, Table};
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// One benchmark's figure 4 series (accuracies in 0..=1).
 #[derive(Debug, Clone, Copy)]
@@ -32,21 +30,19 @@ pub struct Result {
 }
 
 /// Runs the figure 4 experiment.
-pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let rows = Benchmark::ALL
-        .into_iter()
-        .map(|benchmark| {
-            let trace = traces.trace(benchmark);
-            let oracle = OracleSelector::analyze(&trace, &cfg.oracle);
-            Row {
-                benchmark,
-                selective: [oracle.accuracy(1), oracle.accuracy(2), oracle.accuracy(3)],
-                if_gshare: simulate(&mut GshareInterferenceFree::new(cfg.gshare_bits), &trace)
-                    .accuracy(),
-                gshare: simulate(&mut Gshare::new(cfg.gshare_bits), &trace).accuracy(),
-            }
-        })
-        .collect();
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let rows = engine.for_each_benchmark(|benchmark| {
+        let oracle = engine.oracle(benchmark, &cfg.oracle);
+        Row {
+            benchmark,
+            selective: [oracle.accuracy(1), oracle.accuracy(2), oracle.accuracy(3)],
+            if_gshare: engine
+                .if_gshare(benchmark, cfg.gshare_bits)
+                .total()
+                .accuracy(),
+            gshare: engine.gshare(benchmark, cfg.gshare_bits).total().accuracy(),
+        }
+    });
     Result { rows }
 }
 
@@ -84,8 +80,7 @@ mod tests {
     #[test]
     fn selective_monotone_and_plot_renders() {
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         for row in &r.rows {
             assert!(row.selective[0] <= row.selective[1] + 1e-12);
             assert!(row.selective[1] <= row.selective[2] + 1e-12);

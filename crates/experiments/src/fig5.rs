@@ -5,11 +5,11 @@
 //! The paper's finding: windows shorter than 12 are limiting, gains flatten
 //! past ~20 — the important correlated branches are close by.
 
-use bp_core::{OracleConfig, OracleSelector};
+use bp_core::OracleConfig;
 use bp_workloads::Benchmark;
 
 use crate::render::{pct, Table};
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// The swept history lengths, matching the paper's x-axis.
 pub const HISTORY_LENGTHS: [usize; 7] = [8, 12, 16, 20, 24, 28, 32];
@@ -31,30 +31,29 @@ pub struct Result {
 }
 
 /// Runs the figure 5 experiment.
-pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let rows = Benchmark::ALL
-        .into_iter()
-        .map(|benchmark| {
-            let trace = traces.trace(benchmark);
-            let mut accuracy = [0f64; 7];
-            for (i, &n) in HISTORY_LENGTHS.iter().enumerate() {
-                let oracle_cfg = OracleConfig {
-                    window: n,
-                    // Both tagging schemes can name up to 2n instances per
-                    // execution; a cap below that drops candidates on
-                    // arbitrary tie-breaks and bends the curve downward.
-                    candidate_cap: cfg.oracle.candidate_cap.max(2 * n + 16),
-                    ..cfg.oracle
-                };
-                let oracle = OracleSelector::analyze(&trace, &oracle_cfg);
-                accuracy[i] = oracle.accuracy(3);
-            }
-            Row {
-                benchmark,
-                accuracy,
-            }
-        })
-        .collect();
+///
+/// At the default window (16) the swept configuration coincides with
+/// [`ExperimentConfig::default`]'s oracle settings, so that point is a
+/// cache hit shared with figure 4, table 2 and the extensions.
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let rows = engine.for_each_benchmark(|benchmark| {
+        let mut accuracy = [0f64; 7];
+        for (i, &n) in HISTORY_LENGTHS.iter().enumerate() {
+            let oracle_cfg = OracleConfig {
+                window: n,
+                // Both tagging schemes can name up to 2n instances per
+                // execution; a cap below that drops candidates on
+                // arbitrary tie-breaks and bends the curve downward.
+                candidate_cap: cfg.oracle.candidate_cap.max(2 * n + 16),
+                ..cfg.oracle
+            };
+            accuracy[i] = engine.oracle(benchmark, &oracle_cfg).accuracy(3);
+        }
+        Row {
+            benchmark,
+            accuracy,
+        }
+    });
     Result { rows }
 }
 
@@ -62,7 +61,16 @@ impl std::fmt::Display for Result {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut t = Table::new(
             "Figure 5: 3-branch selective-history accuracy vs history length (accuracy %)",
-            &["benchmark", "n=8", "n=12", "n=16", "n=20", "n=24", "n=28", "n=32"],
+            &[
+                "benchmark",
+                "n=8",
+                "n=12",
+                "n=16",
+                "n=20",
+                "n=24",
+                "n=28",
+                "n=32",
+            ],
         );
         for row in &self.rows {
             let mut cells = vec![row.benchmark.short_name().to_owned()];
@@ -84,18 +92,13 @@ mod tests {
             workload: WorkloadConfig::default().with_target(15_000),
             ..ExperimentConfig::default()
         };
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         for row in &r.rows {
             // The oracle over a longer window sees a superset of candidate
             // tags; small non-monotonicities can appear through counter
             // warmup, but the end of the sweep should not be materially
             // below its start.
-            assert!(
-                row.accuracy[6] >= row.accuracy[0] - 0.01,
-                "{:?}",
-                row
-            );
+            assert!(row.accuracy[6] >= row.accuracy[0] - 0.01, "{:?}", row);
         }
     }
 }

@@ -1,12 +1,11 @@
 //! Figure 6: fraction of dynamic branches in each per-address
 //! predictability class (ideal static / loop / repeating / non-repeating).
 
-use bp_core::{Classifier, PaClass};
-use bp_trace::BranchProfile;
+use bp_core::PaClass;
 use bp_workloads::Benchmark;
 
 use crate::render::{pct0, Table};
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// One benchmark's class distribution (fractions of dynamic branches).
 #[derive(Debug, Clone, Copy)]
@@ -28,25 +27,21 @@ pub struct Result {
 }
 
 /// Runs the figure 6 experiment.
-pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let rows = Benchmark::ALL
-        .into_iter()
-        .map(|benchmark| {
-            let trace = traces.trace(benchmark);
-            let classification = Classifier::classify(&trace, &cfg.classifier);
-            let profile = BranchProfile::of(&trace);
-            let dist = classification.dynamic_distribution();
-            let mut fractions = [0f64; 4];
-            for (i, class) in PaClass::ALL.iter().enumerate() {
-                fractions[i] = dist.get(class).copied().unwrap_or(0.0);
-            }
-            Row {
-                benchmark,
-                fractions,
-                static_biased: classification.static_class_bias_fraction(&profile, 0.99),
-            }
-        })
-        .collect();
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let rows = engine.for_each_benchmark(|benchmark| {
+        let classification = engine.classification(benchmark, &cfg.classifier);
+        let profile = engine.profile(benchmark);
+        let dist = classification.dynamic_distribution();
+        let mut fractions = [0f64; 4];
+        for (i, class) in PaClass::ALL.iter().enumerate() {
+            fractions[i] = dist.get(class).copied().unwrap_or(0.0);
+        }
+        Row {
+            benchmark,
+            fractions,
+            static_biased: classification.static_class_bias_fraction(&profile, 0.99),
+        }
+    });
     Result { rows }
 }
 
@@ -100,7 +95,10 @@ impl std::fmt::Display for Result {
             String::new(),
         ]);
         t.fmt(f)?;
-        writeln!(f, "\n(S=ideal static, L=loop, R=repeating, N=non-repeating)")?;
+        writeln!(
+            f,
+            "\n(S=ideal static, L=loop, R=repeating, N=non-repeating)"
+        )?;
         for row in &self.rows {
             let segments = [
                 ('S', row.fractions[0]),
@@ -125,8 +123,7 @@ mod tests {
     #[test]
     fn fractions_sum_to_one() {
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         for row in &r.rows {
             let sum: f64 = row.fractions.iter().sum();
             assert!((sum - 1.0).abs() < 1e-9, "{row:?}");

@@ -2,12 +2,10 @@
 //! ideal static predictor, weighted by execution frequency.
 
 use bp_core::{best_of, BestOfDistribution, Contender, IDEAL_STATIC_NAME};
-use bp_predictors::{simulate_per_branch, Gshare, Pas};
-use bp_trace::BranchProfile;
 use bp_workloads::Benchmark;
 
 use crate::render::{pct0, Table};
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// One benchmark's best-of distribution.
 #[derive(Debug, Clone)]
@@ -26,25 +24,21 @@ pub struct Result {
 }
 
 /// Runs the figure 7 experiment.
-pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let rows = Benchmark::ALL
-        .into_iter()
-        .map(|benchmark| {
-            let trace = traces.trace(benchmark);
-            let gshare = simulate_per_branch(&mut Gshare::new(cfg.gshare_bits), &trace);
-            let pas = simulate_per_branch(&mut Pas::default(), &trace);
-            let profile = BranchProfile::of(&trace);
-            let dist = best_of(
-                &[
-                    Contender::new("gshare", &gshare),
-                    Contender::new("pas", &pas),
-                ],
-                &profile,
-                0.99,
-            );
-            Row { benchmark, dist }
-        })
-        .collect();
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let rows = engine.for_each_benchmark(|benchmark| {
+        let gshare = engine.gshare(benchmark, cfg.gshare_bits);
+        let pas = engine.pas_default(benchmark);
+        let profile = engine.profile(benchmark);
+        let dist = best_of(
+            &[
+                Contender::new("gshare", &gshare),
+                Contender::new("pas", &pas),
+            ],
+            &profile,
+            0.99,
+        );
+        Row { benchmark, dist }
+    });
     Result { rows }
 }
 
@@ -118,8 +112,7 @@ mod tests {
     #[test]
     fn distribution_sums_to_one_per_benchmark() {
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         for row in &r.rows {
             let sum: f64 = row.dist.iter().map(|(_, f)| f).sum();
             assert!((sum - 1.0).abs() < 1e-9, "{:?}", row.benchmark);

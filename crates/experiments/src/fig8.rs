@@ -3,16 +3,11 @@
 //! selective history), the per-address class predictors of §4.1, or an
 //! ideal static predictor — weighted by execution frequency.
 
-use bp_core::{
-    best_of, per_branch_max, BestOfDistribution, Classifier, Contender, OracleSelector,
-    IDEAL_STATIC_NAME,
-};
-use bp_predictors::{simulate_per_branch, GshareInterferenceFree};
-use bp_trace::BranchProfile;
+use bp_core::{best_of, per_branch_max, BestOfDistribution, Contender, IDEAL_STATIC_NAME};
 use bp_workloads::Benchmark;
 
 use crate::render::{pct0, Table};
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// One benchmark's best-of distribution.
 #[derive(Debug, Clone)]
@@ -31,34 +26,29 @@ pub struct Result {
 }
 
 /// Runs the figure 8 experiment.
-pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let rows = Benchmark::ALL
-        .into_iter()
-        .map(|benchmark| {
-            let trace = traces.trace(benchmark);
-            let profile = BranchProfile::of(&trace);
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let rows = engine.for_each_benchmark(|benchmark| {
+        let profile = engine.profile(benchmark);
 
-            // Global contender: IF-gshare or 3-tag selective, per branch.
-            let if_gshare =
-                simulate_per_branch(&mut GshareInterferenceFree::new(cfg.gshare_bits), &trace);
-            let oracle = OracleSelector::analyze(&trace, &cfg.oracle);
-            let global = per_branch_max(&if_gshare, &oracle.selective_stats(3));
+        // Global contender: IF-gshare or 3-tag selective, per branch.
+        let if_gshare = engine.if_gshare(benchmark, cfg.gshare_bits);
+        let oracle = engine.oracle(benchmark, &cfg.oracle);
+        let global = per_branch_max(&if_gshare, &oracle.selective_stats(3));
 
-            // Per-address contender: best of loop/repeating/IF-PAs.
-            let classification = Classifier::classify(&trace, &cfg.classifier);
-            let per_address = classification.best_per_address_stats();
+        // Per-address contender: best of loop/repeating/IF-PAs.
+        let classification = engine.classification(benchmark, &cfg.classifier);
+        let per_address = classification.best_per_address_stats();
 
-            let dist = best_of(
-                &[
-                    Contender::new("global", &global),
-                    Contender::new("per-address", &per_address),
-                ],
-                &profile,
-                0.99,
-            );
-            Row { benchmark, dist }
-        })
-        .collect();
+        let dist = best_of(
+            &[
+                Contender::new("global", &global),
+                Contender::new("per-address", &per_address),
+            ],
+            &profile,
+            0.99,
+        );
+        Row { benchmark, dist }
+    });
     Result { rows }
 }
 
@@ -112,7 +102,10 @@ impl std::fmt::Display for Result {
             String::new(),
         ]);
         t.fmt(f)?;
-        writeln!(f, "\n(G=global best, S=ideal static best, P=per-address best)")?;
+        writeln!(
+            f,
+            "\n(G=global best, S=ideal static best, P=per-address best)"
+        )?;
         for row in &self.rows {
             let segments = [
                 ('G', row.dist.fraction("global")),
@@ -136,8 +129,7 @@ mod tests {
     #[test]
     fn distribution_sums_to_one() {
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         for row in &r.rows {
             let sum: f64 = row.dist.iter().map(|(_, f)| f).sum();
             assert!((sum - 1.0).abs() < 1e-9, "{:?}", row.benchmark);
@@ -151,9 +143,9 @@ mod tests {
         // (paper: 55% -> 40%). Interference occasionally helps a branch by
         // accident, hence the small tolerance.
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let f7 = crate::fig7::run(&cfg, &mut traces);
-        let f8 = run(&cfg, &mut traces);
+        let engine = crate::test_engine(&cfg);
+        let f7 = crate::fig7::run(&cfg, &engine);
+        let f8 = run(&cfg, &engine);
         let (_, _, s7) = f7.means();
         let (_, _, s8) = f8.means();
         assert!(s8 <= s7 + 0.02, "fig8 static {s8} vs fig7 static {s7}");

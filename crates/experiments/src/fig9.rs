@@ -6,11 +6,10 @@
 //! paper-quoted tail statistics.
 
 use bp_core::PercentileCurve;
-use bp_predictors::{simulate_per_branch, Gshare, Pas};
 use bp_workloads::Benchmark;
 
 use crate::render::{pp, Table};
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// Percentile sampling resolution (the paper's x-axis runs 0..100 in 5s).
 pub const STEPS: usize = 20;
@@ -32,19 +31,15 @@ pub struct Result {
 }
 
 /// Runs the figure 9 experiment.
-pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let rows = Benchmark::ALL
-        .into_iter()
-        .map(|benchmark| {
-            let trace = traces.trace(benchmark);
-            let gshare = simulate_per_branch(&mut Gshare::new(cfg.gshare_bits), &trace);
-            let pas = simulate_per_branch(&mut Pas::default(), &trace);
-            Row {
-                benchmark,
-                curve: PercentileCurve::accuracy_difference(&gshare, &pas),
-            }
-        })
-        .collect();
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let rows = engine.for_each_benchmark(|benchmark| {
+        let gshare = engine.gshare(benchmark, cfg.gshare_bits);
+        let pas = engine.pas_default(benchmark);
+        Row {
+            benchmark,
+            curve: PercentileCurve::accuracy_difference(&gshare, &pas),
+        }
+    });
     Result { rows }
 }
 
@@ -53,7 +48,17 @@ impl std::fmt::Display for Result {
         let mut t = Table::new(
             "Figure 9: gshare − PAs accuracy by percentile of dynamic branches (pp)",
             &[
-                "benchmark", "p0", "p10", "p20", "p30", "p40", "p50", "p60", "p70", "p80", "p90",
+                "benchmark",
+                "p0",
+                "p10",
+                "p20",
+                "p30",
+                "p40",
+                "p50",
+                "p60",
+                "p70",
+                "p80",
+                "p90",
                 "p100",
             ],
         );
@@ -96,8 +101,7 @@ mod tests {
     #[test]
     fn curves_are_monotone_and_render() {
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         for row in &r.rows {
             let samples = row.curve.sample(STEPS);
             assert!(samples.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-9));

@@ -1,15 +1,20 @@
 //! Experiment harness: regenerates every table and figure of the paper's
 //! evaluation from the synthetic workloads.
 //!
-//! Each experiment is a module with a `run(&ExperimentConfig) -> …Result`
-//! function whose result renders (via `Display`) the same rows/series the
-//! paper reports, alongside the paper's own numbers where applicable. The
+//! Each experiment is a module with a
+//! `run(&ExperimentConfig, &Engine) -> …Result` function whose result
+//! renders (via `Display`) the same rows/series the paper reports,
+//! alongside the paper's own numbers where applicable. The shared
+//! [`Engine`] fans work out across benchmarks and memoizes every artifact
+//! two experiments would otherwise both compute (see [`engine`]). The
 //! `repro` binary drives any subset:
 //!
 //! ```text
 //! repro all            # every experiment
 //! repro table2 fig4    # a subset
 //! repro --quick fig6   # shorter traces
+//! repro --jobs 4 all   # four worker threads (output identical to --jobs 1)
+//! repro --timings t.json all   # machine-readable timings + cache stats
 //! ```
 //!
 //! | id | paper artifact | module |
@@ -33,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod ext_adaptivity;
 pub mod ext_distance;
 pub mod ext_family;
@@ -52,6 +58,7 @@ pub mod table3;
 
 mod traceset;
 
+pub use engine::{CacheStats, Engine, EvalCache, FanoutStats, PredictorKey};
 pub use traceset::TraceSet;
 
 use bp_core::{ClassifierConfig, OracleConfig};
@@ -89,6 +96,13 @@ impl ExperimentConfig {
             ..ExperimentConfig::default()
         }
     }
+}
+
+/// A two-worker engine over `cfg`'s workload, for the module smoke tests
+/// (two workers so the parallel fan-out path is exercised everywhere).
+#[cfg(test)]
+pub(crate) fn test_engine(cfg: &ExperimentConfig) -> Engine {
+    Engine::new(TraceSet::new(cfg.workload), 2)
 }
 
 /// Identifiers of every reproducible experiment, in paper order, followed

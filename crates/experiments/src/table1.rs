@@ -5,7 +5,7 @@ use bp_trace::TraceStats;
 use bp_workloads::Benchmark;
 
 use crate::render::Table;
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// One benchmark's Table 1 row.
 #[derive(Debug, Clone, Copy)]
@@ -26,15 +26,12 @@ pub struct Result {
 }
 
 /// Runs the Table 1 experiment.
-pub fn run(_cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let rows = Benchmark::ALL
-        .into_iter()
-        .map(|benchmark| Row {
-            benchmark,
-            paper_branches: benchmark.paper_branch_count(),
-            stats: TraceStats::of(&traces.trace(benchmark)),
-        })
-        .collect();
+pub fn run(_cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let rows = engine.for_each_benchmark(|benchmark| Row {
+        benchmark,
+        paper_branches: benchmark.paper_branch_count(),
+        stats: TraceStats::of(&engine.trace(benchmark)),
+    });
     Result { rows }
 }
 
@@ -75,8 +72,7 @@ mod tests {
             workload: bp_workloads::WorkloadConfig::default().with_target(1_000),
             ..ExperimentConfig::default()
         };
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         assert_eq!(r.rows.len(), 8);
         for row in &r.rows {
             assert!(row.stats.dynamic_conditional >= 1_000);

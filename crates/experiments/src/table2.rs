@@ -7,12 +7,11 @@
 //! gshare elsewhere — an a-posteriori per-branch max, showing how much
 //! correlation gshare leaves unexploited (§3.6.3).
 
-use bp_core::{combined_correct, OracleSelector};
-use bp_predictors::{simulate_per_branch, Gshare, GshareInterferenceFree};
+use bp_core::combined_correct;
 use bp_workloads::Benchmark;
 
 use crate::render::{pct, Table};
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// Paper Table 2 values (accuracy %), in [`Benchmark::ALL`] order:
 /// (gshare, gshare w/ Corr, IF gshare, IF gshare w/ Corr).
@@ -50,25 +49,20 @@ pub struct Result {
 }
 
 /// Runs the Table 2 experiment.
-pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let rows = Benchmark::ALL
-        .into_iter()
-        .map(|benchmark| {
-            let trace = traces.trace(benchmark);
-            let gshare = simulate_per_branch(&mut Gshare::new(cfg.gshare_bits), &trace);
-            let if_gshare =
-                simulate_per_branch(&mut GshareInterferenceFree::new(cfg.gshare_bits), &trace);
-            let oracle = OracleSelector::analyze(&trace, &cfg.oracle);
-            let sel1 = oracle.selective_stats(1);
-            Row {
-                benchmark,
-                gshare: gshare.total().accuracy(),
-                gshare_with_corr: combined_correct(&gshare, &sel1).accuracy(),
-                if_gshare: if_gshare.total().accuracy(),
-                if_gshare_with_corr: combined_correct(&if_gshare, &sel1).accuracy(),
-            }
-        })
-        .collect();
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let rows = engine.for_each_benchmark(|benchmark| {
+        let gshare = engine.gshare(benchmark, cfg.gshare_bits);
+        let if_gshare = engine.if_gshare(benchmark, cfg.gshare_bits);
+        let oracle = engine.oracle(benchmark, &cfg.oracle);
+        let sel1 = oracle.selective_stats(1);
+        Row {
+            benchmark,
+            gshare: gshare.total().accuracy(),
+            gshare_with_corr: combined_correct(&gshare, &sel1).accuracy(),
+            if_gshare: if_gshare.total().accuracy(),
+            if_gshare_with_corr: combined_correct(&if_gshare, &sel1).accuracy(),
+        }
+    });
     Result { rows }
 }
 
@@ -104,8 +98,7 @@ mod tests {
     #[test]
     fn invariants_hold_on_quick_run() {
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         assert_eq!(r.rows.len(), 8);
         for row in &r.rows {
             // The combined predictor can never lose to its base.

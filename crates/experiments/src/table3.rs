@@ -5,12 +5,12 @@
 //! *class-based*: the loop predictor serves every branch classified
 //! loop-type (§4.1.1) and PAs serves all others.
 
-use bp_core::{Classification, Classifier, PaClass};
-use bp_predictors::{simulate_per_branch, Pas, PasInterferenceFree, PerBranchStats, PredictionStats};
+use bp_core::{Classification, PaClass};
+use bp_predictors::{PerBranchStats, PredictionStats};
 use bp_workloads::Benchmark;
 
 use crate::render::{pct, Table};
-use crate::{ExperimentConfig, TraceSet};
+use crate::{Engine, ExperimentConfig};
 
 /// Paper Table 3 values (accuracy %), in [`Benchmark::ALL`] order:
 /// (PAs, PAs w/ Loop, IF PAs, IF PAs w/ Loop).
@@ -66,26 +66,19 @@ fn class_combined(base: &PerBranchStats, classification: &Classification) -> Pre
 }
 
 /// Runs the Table 3 experiment.
-pub fn run(cfg: &ExperimentConfig, traces: &mut TraceSet) -> Result {
-    let rows = Benchmark::ALL
-        .into_iter()
-        .map(|benchmark| {
-            let trace = traces.trace(benchmark);
-            let pas = simulate_per_branch(&mut Pas::default(), &trace);
-            let if_pas = simulate_per_branch(
-                &mut PasInterferenceFree::new(cfg.classifier.pas_history_bits),
-                &trace,
-            );
-            let classification = Classifier::classify(&trace, &cfg.classifier);
-            Row {
-                benchmark,
-                pas: pas.total().accuracy(),
-                pas_with_loop: class_combined(&pas, &classification).accuracy(),
-                if_pas: if_pas.total().accuracy(),
-                if_pas_with_loop: class_combined(&if_pas, &classification).accuracy(),
-            }
-        })
-        .collect();
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let rows = engine.for_each_benchmark(|benchmark| {
+        let pas = engine.pas_default(benchmark);
+        let if_pas = engine.if_pas(benchmark, cfg.classifier.pas_history_bits);
+        let classification = engine.classification(benchmark, &cfg.classifier);
+        Row {
+            benchmark,
+            pas: pas.total().accuracy(),
+            pas_with_loop: class_combined(&pas, &classification).accuracy(),
+            if_pas: if_pas.total().accuracy(),
+            if_pas_with_loop: class_combined(&if_pas, &classification).accuracy(),
+        }
+    });
     Result { rows }
 }
 
@@ -115,8 +108,7 @@ mod tests {
     #[test]
     fn quick_run_sane() {
         let cfg = ExperimentConfig::quick();
-        let mut traces = TraceSet::new(cfg.workload);
-        let r = run(&cfg, &mut traces);
+        let r = run(&cfg, &crate::test_engine(&cfg));
         assert_eq!(r.rows.len(), 8);
         for row in &r.rows {
             assert!(row.pas > 0.5 && row.pas <= 1.0, "{row:?}");

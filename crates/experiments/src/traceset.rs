@@ -1,11 +1,18 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::{Arc, RwLock};
 
 use bp_trace::{io, Trace};
 use bp_workloads::{Benchmark, WorkloadConfig};
 
 /// Lazily generated, cached traces for all benchmarks, shared across the
 /// experiments of one run so each workload is generated once.
+///
+/// The set is accessed through `&self` (interior locking), so a single
+/// pre-warmed instance can be shared read-only across worker threads —
+/// the evaluation engine's per-benchmark fan-out depends on this.
+/// [`TraceSet::trace`] hands out `Arc<Trace>` handles; the underlying
+/// record buffer is never copied.
 ///
 /// With [`TraceSet::with_disk_cache`], traces also persist across *runs*
 /// as `.bpt` files (the `bp-trace` binary format), keyed by benchmark,
@@ -14,7 +21,7 @@ use bp_workloads::{Benchmark, WorkloadConfig};
 #[derive(Debug)]
 pub struct TraceSet {
     cfg: WorkloadConfig,
-    traces: HashMap<Benchmark, Trace>,
+    traces: RwLock<HashMap<Benchmark, Arc<Trace>>>,
     cache_dir: Option<PathBuf>,
 }
 
@@ -23,7 +30,7 @@ impl TraceSet {
     pub fn new(cfg: WorkloadConfig) -> Self {
         TraceSet {
             cfg,
-            traces: HashMap::new(),
+            traces: RwLock::new(HashMap::new()),
             cache_dir: None,
         }
     }
@@ -33,7 +40,7 @@ impl TraceSet {
     pub fn with_disk_cache(cfg: WorkloadConfig, dir: impl Into<PathBuf>) -> Self {
         TraceSet {
             cfg,
-            traces: HashMap::new(),
+            traces: RwLock::new(HashMap::new()),
             cache_dir: Some(dir.into()),
         }
     }
@@ -54,7 +61,11 @@ impl TraceSet {
         })
     }
 
-    fn load_or_generate(cfg: &WorkloadConfig, benchmark: Benchmark, path: Option<&PathBuf>) -> Trace {
+    fn load_or_generate(
+        cfg: &WorkloadConfig,
+        benchmark: Benchmark,
+        path: Option<&PathBuf>,
+    ) -> Trace {
         if let Some(path) = path {
             if let Ok(file) = std::fs::File::open(path) {
                 if let Ok(trace) = io::read_trace(std::io::BufReader::new(file)) {
@@ -83,39 +94,54 @@ impl TraceSet {
     }
 
     /// The trace for `benchmark`, generating (or loading from the disk
-    /// cache) on first use. Clones are cheap (shared storage).
-    pub fn trace(&mut self, benchmark: Benchmark) -> Trace {
-        if let Some(t) = self.traces.get(&benchmark) {
-            return t.clone();
+    /// cache) on first use.
+    ///
+    /// Generation happens outside the lock so concurrent callers for
+    /// *different* benchmarks proceed in parallel; if two threads race on
+    /// the same benchmark, the first insertion wins (generation is
+    /// deterministic, so both candidates are identical anyway).
+    pub fn trace(&self, benchmark: Benchmark) -> Arc<Trace> {
+        if let Some(t) = self.traces.read().expect("trace map lock").get(&benchmark) {
+            return Arc::clone(t);
         }
         let path = self.cache_path(benchmark);
-        let trace = Self::load_or_generate(&self.cfg, benchmark, path.as_ref());
-        self.traces.insert(benchmark, trace.clone());
-        trace
+        let trace = Arc::new(Self::load_or_generate(&self.cfg, benchmark, path.as_ref()));
+        let mut map = self.traces.write().expect("trace map lock");
+        Arc::clone(map.entry(benchmark).or_insert(trace))
     }
 
-    /// Eagerly generates every benchmark, using one thread per benchmark
+    /// Eagerly generates every benchmark, using up to `jobs` threads
     /// (a no-op win on single-core machines, a real one elsewhere).
-    pub fn generate_all(&mut self) {
-        let cfg = self.cfg;
-        let missing: Vec<(Benchmark, Option<PathBuf>)> = Benchmark::ALL
-            .into_iter()
-            .filter(|b| !self.traces.contains_key(b))
-            .map(|b| (b, self.cache_path(b)))
-            .collect();
-        let generated: Vec<(Benchmark, Trace)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = missing
-                .iter()
-                .map(|(b, path)| {
-                    scope.spawn(move || (*b, Self::load_or_generate(&cfg, *b, path.as_ref())))
-                })
-                .collect();
-            handles
+    pub fn generate_all(&self, jobs: usize) {
+        let jobs = jobs.max(1);
+        let missing: Vec<Benchmark> = {
+            let map = self.traces.read().expect("trace map lock");
+            Benchmark::ALL
                 .into_iter()
-                .map(|h| h.join().expect("workload generation does not panic"))
+                .filter(|b| !map.contains_key(b))
                 .collect()
+        };
+        if missing.is_empty() {
+            return;
+        }
+        if jobs == 1 {
+            for b in missing {
+                self.trace(b);
+            }
+            return;
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(missing.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    match missing.get(i) {
+                        Some(&b) => self.trace(b),
+                        None => break,
+                    };
+                });
+            }
         });
-        self.traces.extend(generated);
     }
 }
 
@@ -126,10 +152,14 @@ mod tests {
     #[test]
     fn caches_and_is_deterministic() {
         let cfg = WorkloadConfig::default().with_target(2_000);
-        let mut set = TraceSet::new(cfg);
+        let set = TraceSet::new(cfg);
         let a = set.trace(Benchmark::Compress);
         let b = set.trace(Benchmark::Compress);
         assert_eq!(a, b);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second lookup must reuse the cached Arc"
+        );
         assert_eq!(set.config().target_branches, 2_000);
     }
 
@@ -138,17 +168,17 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("bp-tracecache-{}", std::process::id()));
         let cfg = WorkloadConfig::default().with_target(1_500);
 
-        let mut a = TraceSet::with_disk_cache(cfg, &dir);
+        let a = TraceSet::with_disk_cache(cfg, &dir);
         let first = a.trace(Benchmark::Compress);
 
         // A fresh set must load the identical trace from disk.
-        let mut b = TraceSet::with_disk_cache(cfg, &dir);
+        let b = TraceSet::with_disk_cache(cfg, &dir);
         assert_eq!(b.trace(Benchmark::Compress), first);
 
         // Corrupt the cache file: the set regenerates instead of failing.
         let path = b.cache_path(Benchmark::Compress).expect("cache path");
         std::fs::write(&path, b"garbage").expect("overwrite cache");
-        let mut c = TraceSet::with_disk_cache(cfg, &dir);
+        let c = TraceSet::with_disk_cache(cfg, &dir);
         assert_eq!(c.trace(Benchmark::Compress), first);
 
         std::fs::remove_dir_all(&dir).ok();
@@ -157,10 +187,25 @@ mod tests {
     #[test]
     fn generate_all_covers_every_benchmark() {
         let cfg = WorkloadConfig::default().with_target(500);
-        let mut set = TraceSet::new(cfg);
-        set.generate_all();
+        let set = TraceSet::new(cfg);
+        set.generate_all(4);
         for b in Benchmark::ALL {
             assert!(set.trace(b).conditional_count() >= 500);
+        }
+    }
+
+    #[test]
+    fn shared_access_from_threads_yields_one_trace() {
+        let cfg = WorkloadConfig::default().with_target(800);
+        let set = TraceSet::new(cfg);
+        let traces: Vec<Arc<Trace>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| set.trace(Benchmark::Go)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for t in &traces[1..] {
+            assert_eq!(**t, *traces[0]);
         }
     }
 }

@@ -14,7 +14,9 @@ fn table1_runs_and_prints_all_benchmarks() {
         .expect("run repro");
     assert!(out.status.success(), "{out:?}");
     let text = String::from_utf8_lossy(&out.stdout);
-    for name in ["compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "vortex", "xlisp"] {
+    for name in [
+        "compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "vortex", "xlisp",
+    ] {
         assert!(text.contains(name), "missing {name}: {text}");
     }
     assert!(text.contains("Table 1"));
@@ -40,7 +42,13 @@ fn no_arguments_fails_with_usage() {
 fn cache_flag_persists_traces() {
     let dir = std::env::temp_dir().join(format!("repro-cache-{}", std::process::id()));
     let out = repro()
-        .args(["--target", "2000", "--cache", dir.to_str().unwrap(), "table1"])
+        .args([
+            "--target",
+            "2000",
+            "--cache",
+            dir.to_str().unwrap(),
+            "table1",
+        ])
         .output()
         .expect("run repro");
     assert!(out.status.success(), "{out:?}");
@@ -60,4 +68,90 @@ fn seed_flag_changes_results() {
         String::from_utf8_lossy(&out.stdout).into_owned()
     };
     assert_ne!(run("1"), run("2"));
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    // The engine's fan-out must not change stdout in any way: a
+    // multi-experiment run (prewarm + shared cache active) at --jobs 4
+    // produces the same bytes as --jobs 1.
+    let run = |jobs: &str| {
+        let out = repro()
+            .args(["--target", "3000", "--jobs", jobs, "table2", "fig4", "fig7"])
+            .output()
+            .expect("run repro");
+        assert!(out.status.success(), "{out:?}");
+        out.stdout
+    };
+    let serial = run("1");
+    assert_eq!(serial, run("4"));
+    assert_eq!(serial, run("2"));
+}
+
+#[test]
+fn timings_report_shared_results_computed_once() {
+    let path = std::env::temp_dir().join(format!("repro-timings-{}.json", std::process::id()));
+    let out = repro()
+        .args([
+            "--target",
+            "3000",
+            "--jobs",
+            "2",
+            "--timings",
+            path.to_str().unwrap(),
+            // Three experiments that all want the default-config oracle and
+            // the gshare simulations.
+            "fig4",
+            "table2",
+            "fig7",
+        ])
+        .output()
+        .expect("run repro");
+    assert!(out.status.success(), "{out:?}");
+    let json = std::fs::read_to_string(&path).expect("timings file written");
+    std::fs::remove_file(&path).ok();
+
+    // Structural spot checks on the hand-rolled JSON.
+    for key in [
+        "\"seed\"",
+        "\"jobs\": 2",
+        "\"experiments\"",
+        "\"prewarm\"",
+        "\"fig4\"",
+        "\"table2\"",
+        "\"fig7\"",
+        "\"cache\"",
+        "\"hits\"",
+        "\"misses\"",
+        "\"utilization\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+
+    let count = |key: &str| -> u64 {
+        json.split(key)
+            .nth(1)
+            .and_then(|rest| {
+                rest.trim_start_matches(": ")
+                    .chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse()
+                    .ok()
+            })
+            .unwrap_or(u64::MAX)
+    };
+    let hits = count("\"hits\"");
+    let misses = count("\"misses\"");
+    // Prewarm: 8 benchmarks x 4 standard predictors = 32 misses. Then, per
+    // benchmark: one oracle analysis (miss) and one profile (miss), reused
+    // across the three experiments — everything else must hit.
+    assert_eq!(
+        misses,
+        32 + 8 + 8,
+        "shared artifacts computed more than once"
+    );
+    // fig4 (oracle+gshare+IF-gshare), table2 (gshare+IF-gshare+oracle),
+    // fig7 (gshare+pas+profile): at least a dozen hits on 8 benchmarks.
+    assert!(hits >= 5 * 8, "expected heavy cache reuse, got {hits} hits");
 }

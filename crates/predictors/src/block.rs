@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use bp_trace::fx::FxHashMap;
 
 use crate::loop_pred::MAX_TRIP;
 use crate::{BranchSite, Predictor};
@@ -31,7 +31,7 @@ struct BlockState {
 /// this and the fixed-length [`crate::KthAgo`] sweep.
 #[derive(Debug, Clone, Default)]
 pub struct BlockPattern {
-    states: HashMap<Pc, BlockState>,
+    states: FxHashMap<Pc, BlockState>,
 }
 
 impl BlockPattern {

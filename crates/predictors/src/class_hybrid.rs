@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use bp_trace::fx::FxHashMap;
 
 use bp_trace::{BranchProfile, Pc};
 
@@ -32,7 +32,7 @@ use crate::{BranchSite, Predictor};
 #[derive(Debug, Clone)]
 pub struct ClassHybrid<D> {
     dynamic: D,
-    static_directions: HashMap<Pc, bool>,
+    static_directions: FxHashMap<Pc, bool>,
     threshold: f64,
 }
 
@@ -120,8 +120,7 @@ mod tests {
         let profile = BranchProfile::of(&trace);
         let hybrid = ClassHybrid::new(Gshare::new(8), &profile, 0.95);
         assert_eq!(hybrid.static_count(), 1);
-        assert!(hybrid
-            .predict(BranchSite::new(0x10, 0x14)));
+        assert!(hybrid.predict(BranchSite::new(0x10, 0x14)));
     }
 
     #[test]
@@ -134,15 +133,15 @@ mod tests {
         for i in 0..20_000u64 {
             let j = i % 64;
             // Branch j: strongly biased, direction depends on j.
-            recs.push(BranchRecord::conditional(0x1000 + j * 4, rng.gen_bool(if j % 2 == 0 { 0.98 } else { 0.02 })));
+            recs.push(BranchRecord::conditional(
+                0x1000 + j * 4,
+                rng.gen_bool(if j % 2 == 0 { 0.98 } else { 0.02 }),
+            ));
         }
         let trace = Trace::from_records(recs);
         let profile = BranchProfile::of(&trace);
         let plain = simulate(&mut Smith::new(3), &trace);
-        let classed = simulate(
-            &mut ClassHybrid::new(Smith::new(3), &profile, 0.9),
-            &trace,
-        );
+        let classed = simulate(&mut ClassHybrid::new(Smith::new(3), &profile, 0.9), &trace);
         assert!(
             classed.correct > plain.correct,
             "classed {} vs plain {}",

@@ -27,11 +27,19 @@ impl Gas {
     /// Panics if `history_bits` is not in `1..=28` or `table_select_bits`
     /// exceeds 12.
     pub fn new(history_bits: u32, table_select_bits: u32) -> Self {
-        Gas::with_counter(history_bits, table_select_bits, SaturatingCounter::two_bit())
+        Gas::with_counter(
+            history_bits,
+            table_select_bits,
+            SaturatingCounter::two_bit(),
+        )
     }
 
     /// As [`Gas::new`] with a custom counter.
-    pub fn with_counter(history_bits: u32, table_select_bits: u32, init: SaturatingCounter) -> Self {
+    pub fn with_counter(
+        history_bits: u32,
+        table_select_bits: u32,
+        init: SaturatingCounter,
+    ) -> Self {
         assert!(table_select_bits <= 12, "at most 4096 PHTs");
         let tables = (0..(1usize << table_select_bits))
             .map(|_| PatternHistoryTable::new(history_bits, init))

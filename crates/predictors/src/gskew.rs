@@ -110,15 +110,15 @@ impl Predictor for Gskew {
         if majority == taken {
             // Partial update: only the banks that agreed strengthen; a
             // dissenting bank keeps what some other branch taught it.
-            for i in 0..3 {
-                if votes[i] == taken {
-                    self.banks[i].train(idx[i], taken);
+            for ((bank, &index), &vote) in self.banks.iter_mut().zip(&idx).zip(&votes) {
+                if vote == taken {
+                    bank.train(index, taken);
                 }
             }
         } else {
             // Mispredict: retrain everything.
-            for i in 0..3 {
-                self.banks[i].train(idx[i], taken);
+            for (bank, &index) in self.banks.iter_mut().zip(&idx) {
+                bank.train(index, taken);
             }
         }
         self.history.push(taken);

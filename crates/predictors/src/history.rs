@@ -31,7 +31,11 @@ impl ShiftHistory {
     /// Panics if `len` is not in `1..=64`.
     pub fn new(len: u32) -> Self {
         assert!((1..=64).contains(&len), "history length must be 1..=64");
-        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        let mask = if len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        };
         ShiftHistory { bits: 0, mask, len }
     }
 

@@ -128,8 +128,14 @@ mod tests {
         let trace = Trace::from_records(recs);
         let g = simulate(&mut Gshare::new(10), &trace);
         let l = simulate(&mut LoopPredictor::new(), &trace);
-        let h = simulate(&mut Hybrid::new(Gshare::new(10), LoopPredictor::new(), 10), &trace);
-        assert!(h.correct + 5 >= g.correct.max(l.correct), "hybrid should rival the best component");
+        let h = simulate(
+            &mut Hybrid::new(Gshare::new(10), LoopPredictor::new(), 10),
+            &trace,
+        );
+        assert!(
+            h.correct + 5 >= g.correct.max(l.correct),
+            "hybrid should rival the best component"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use bp_trace::fx::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -66,7 +66,7 @@ pub struct InterferenceGshare {
     /// Who last trained each PHT slot.
     last_writer: Vec<Option<(Pc, u64)>>,
     /// The interference-free shadow twin.
-    shadow: HashMap<(Pc, u64), SaturatingCounter>,
+    shadow: FxHashMap<(Pc, u64), SaturatingCounter>,
     init: SaturatingCounter,
     stats: InterferenceStats,
 }
@@ -84,7 +84,7 @@ impl InterferenceGshare {
             history: ShiftHistory::new(history_bits),
             pht: PatternHistoryTable::new(history_bits, init),
             last_writer: vec![None; 1 << history_bits],
-            shadow: HashMap::new(),
+            shadow: FxHashMap::default(),
             init,
             stats: InterferenceStats::default(),
         }

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use bp_trace::fx::FxHashMap;
 
 use crate::{BranchSite, Predictor};
 use bp_trace::Pc;
@@ -21,7 +21,7 @@ pub const MAX_PERIOD: u32 = 64;
 #[derive(Debug, Clone)]
 pub struct KthAgo {
     k: u32,
-    rings: HashMap<Pc, Ring>,
+    rings: FxHashMap<Pc, Ring>,
 }
 
 #[derive(Debug, Clone)]
@@ -43,7 +43,7 @@ impl KthAgo {
         );
         KthAgo {
             k,
-            rings: HashMap::new(),
+            rings: FxHashMap::default(),
         }
     }
 
@@ -66,7 +66,10 @@ impl Predictor for KthAgo {
     }
 
     fn update(&mut self, site: BranchSite, taken: bool) {
-        let r = self.rings.entry(site.pc).or_insert(Ring { bits: 0, len: 0 });
+        let r = self
+            .rings
+            .entry(site.pc)
+            .or_insert(Ring { bits: 0, len: 0 });
         r.bits = (r.bits << 1) | u64::from(taken);
         if r.len < MAX_PERIOD {
             r.len += 1;

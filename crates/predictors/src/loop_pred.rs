@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use bp_trace::fx::FxHashMap;
 
 use crate::{BranchSite, Predictor};
 use bp_trace::Pc;
@@ -47,7 +47,7 @@ struct LoopState {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LoopPredictor {
-    states: HashMap<Pc, LoopState>,
+    states: FxHashMap<Pc, LoopState>,
 }
 
 impl LoopPredictor {
@@ -103,7 +103,11 @@ impl Predictor for LoopPredictor {
                 state.run = 1;
                 state.trip = None;
             } else {
-                state.trip = if state.overflowed { None } else { Some(state.run) };
+                state.trip = if state.overflowed {
+                    None
+                } else {
+                    Some(state.run)
+                };
                 state.run = 0;
             }
             state.overflowed = false;

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use bp_trace::fx::FxHashMap;
 
 use crate::counter::SaturatingCounter;
 use crate::pht::{KeyedCounters, PatternHistoryTable};
@@ -137,7 +137,7 @@ impl Predictor for Pas {
 #[derive(Debug, Clone)]
 pub struct PasInterferenceFree {
     history_bits: u32,
-    histories: HashMap<Pc, u64>,
+    histories: FxHashMap<Pc, u64>,
     counters: KeyedCounters,
 }
 
@@ -160,7 +160,7 @@ impl PasInterferenceFree {
         );
         PasInterferenceFree {
             history_bits,
-            histories: HashMap::new(),
+            histories: FxHashMap::default(),
             counters: KeyedCounters::new(init),
         }
     }
@@ -285,8 +285,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "history length")]
-    fn if_pas_rejects_zero_history()
-    {
+    fn if_pas_rejects_zero_history() {
         let _ = PasInterferenceFree::new(0);
     }
 }

@@ -69,10 +69,18 @@ impl Predictor for PathBased {
         let idx = self.index(site);
         self.pht.train(idx, taken);
         // The executed-path element for this branch: where it actually went.
-        let next = if taken { site.target } else { site.pc.wrapping_add(4) };
+        let next = if taken {
+            site.target
+        } else {
+            site.pc.wrapping_add(4)
+        };
         let elem = (next >> 2) & ((1u64 << self.bits_per_branch) - 1);
         let width = self.depth * self.bits_per_branch;
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         self.path = ((self.path << self.bits_per_branch) | elem) & mask;
     }
 }

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use bp_trace::fx::FxHashMap;
 
 use crate::counter::SaturatingCounter;
 
@@ -72,7 +72,7 @@ impl PatternHistoryTable {
 /// analytically clean structure of §2.2).
 #[derive(Debug, Clone, Default)]
 pub struct KeyedCounters {
-    counters: HashMap<(u64, u64), SaturatingCounter>,
+    counters: FxHashMap<(u64, u64), SaturatingCounter>,
     init: SaturatingCounter,
 }
 
@@ -80,7 +80,7 @@ impl KeyedCounters {
     /// Creates an empty store whose counters start as `init`.
     pub fn new(init: SaturatingCounter) -> Self {
         KeyedCounters {
-            counters: HashMap::new(),
+            counters: FxHashMap::default(),
             init,
         }
     }

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use bp_trace::fx::FxHashMap;
 
 use bp_trace::{BranchProfile, Pc, Trace};
 
@@ -23,9 +23,9 @@ pub struct StaticPhtGshare {
     history_bits: u32,
     history: ShiftHistory,
     /// Majority direction per (pc, history pattern).
-    table: HashMap<(Pc, u64), bool>,
+    table: FxHashMap<(Pc, u64), bool>,
     /// Per-branch fallback for patterns unseen in training.
-    fallback: HashMap<Pc, bool>,
+    fallback: FxHashMap<Pc, bool>,
 }
 
 impl StaticPhtGshare {
@@ -36,7 +36,7 @@ impl StaticPhtGshare {
     ///
     /// Panics if `history_bits` is not in `1..=64`.
     pub fn profile(trace: &Trace, history_bits: u32) -> Self {
-        let mut counts: HashMap<(Pc, u64), (u64, u64)> = HashMap::new();
+        let mut counts: FxHashMap<(Pc, u64), (u64, u64)> = FxHashMap::default();
         let mut history = ShiftHistory::new(history_bits);
         for rec in trace.conditionals() {
             let e = counts.entry((rec.pc, history.value())).or_insert((0, 0));
@@ -99,9 +99,9 @@ impl Predictor for StaticPhtGshare {
 #[derive(Debug, Clone)]
 pub struct StaticPhtPas {
     history_bits: u32,
-    histories: HashMap<Pc, u64>,
-    table: HashMap<(Pc, u64), bool>,
-    fallback: HashMap<Pc, bool>,
+    histories: FxHashMap<Pc, u64>,
+    table: FxHashMap<(Pc, u64), bool>,
+    fallback: FxHashMap<Pc, bool>,
 }
 
 impl StaticPhtPas {
@@ -117,8 +117,8 @@ impl StaticPhtPas {
             "history length must be 1..=63"
         );
         let mask = (1u64 << history_bits) - 1;
-        let mut counts: HashMap<(Pc, u64), (u64, u64)> = HashMap::new();
-        let mut histories: HashMap<Pc, u64> = HashMap::new();
+        let mut counts: FxHashMap<(Pc, u64), (u64, u64)> = FxHashMap::default();
+        let mut histories: FxHashMap<Pc, u64> = FxHashMap::default();
         for rec in trace.conditionals() {
             let h = histories.entry(rec.pc).or_insert(0);
             let e = counts.entry((rec.pc, *h)).or_insert((0, 0));
@@ -140,7 +140,7 @@ impl StaticPhtPas {
             .collect();
         StaticPhtPas {
             history_bits,
-            histories: HashMap::new(),
+            histories: FxHashMap::default(),
             table,
             fallback,
         }
@@ -250,7 +250,7 @@ mod tests {
             p.update(BranchSite::new(0x10, 0x14), false);
         }
         assert!(p.predict(BranchSite::new(0x10, 0x14))); // majority taken
-        // A branch never profiled at all predicts taken.
+                                                         // A branch never profiled at all predicts taken.
         assert!(p.predict(BranchSite::new(0x999, 0x99d)));
     }
 

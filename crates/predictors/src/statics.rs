@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use bp_trace::fx::FxHashMap;
 
 use bp_trace::{BranchProfile, Pc};
 
@@ -76,7 +76,7 @@ impl Predictor for BackwardTaken {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct IdealStatic {
-    directions: HashMap<Pc, bool>,
+    directions: FxHashMap<Pc, bool>,
 }
 
 impl IdealStatic {

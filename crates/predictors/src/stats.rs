@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use bp_trace::fx::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -60,7 +60,7 @@ impl PredictionStats {
 /// branch* using exactly these counts.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PerBranchStats {
-    per_branch: HashMap<Pc, PredictionStats>,
+    per_branch: FxHashMap<Pc, PredictionStats>,
     total: PredictionStats,
 }
 
@@ -142,6 +142,28 @@ pub fn simulate_per_branch<P: Predictor + ?Sized>(
         let pred = predictor.predict(site);
         stats.record(rec.pc, pred == rec.taken);
         predictor.update(site, rec.taken);
+    }
+    stats
+}
+
+/// Runs N predictors over one trace in a *single* pass, returning one
+/// [`PerBranchStats`] per predictor (in input order).
+///
+/// Equivalent to calling [`simulate_per_branch`] once per predictor — each
+/// predictor sees the identical record sequence and trains independently —
+/// but the trace is decoded and iterated once instead of N times, keeping
+/// the record stream hot in cache while the (much smaller) predictor state
+/// tables absorb the working-set pressure. This is the entry point the
+/// evaluation engine in `bp-experiments` uses to pre-warm its cache.
+pub fn simulate_batch(predictors: &mut [Box<dyn Predictor>], trace: &Trace) -> Vec<PerBranchStats> {
+    let mut stats: Vec<PerBranchStats> = predictors.iter().map(|_| PerBranchStats::new()).collect();
+    for rec in trace.conditionals() {
+        let site = BranchSite::from(rec);
+        for (predictor, stat) in predictors.iter_mut().zip(stats.iter_mut()) {
+            let pred = predictor.predict(site);
+            stat.record(rec.pc, pred == rec.taken);
+            predictor.update(site, rec.taken);
+        }
     }
     stats
 }

@@ -4,10 +4,10 @@
 use proptest::prelude::*;
 
 use bp_predictors::{
-    simulate, simulate_per_branch, BackwardTaken, BlockPattern, BranchSite, Gag, Gas, Gshare,
-    GshareInterferenceFree, Gskew, Hybrid, IdealStatic, InterferenceGshare, KthAgo, LoopPredictor,
-    Pag, Pas, PasInterferenceFree, PathBased, PatternHistoryTable, Predictor, SaturatingCounter,
-    ShiftHistory, Smith, StaticNotTaken, StaticTaken,
+    simulate, simulate_batch, simulate_per_branch, BackwardTaken, BlockPattern, BranchSite, Gag,
+    Gas, Gshare, GshareInterferenceFree, Gskew, Hybrid, IdealStatic, InterferenceGshare, KthAgo,
+    LoopPredictor, Pag, Pas, PasInterferenceFree, PathBased, PatternHistoryTable, Predictor,
+    SaturatingCounter, ShiftHistory, Smith, StaticNotTaken, StaticTaken,
 };
 use bp_trace::{BranchProfile, BranchRecord, Trace};
 
@@ -133,6 +133,20 @@ proptest! {
             let ra = simulate(a.as_mut(), &trace);
             let rb = simulate(b.as_mut(), &trace);
             prop_assert_eq!(ra, rb, "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn batch_simulation_matches_sequential(trace in arb_trace(300)) {
+        // One single-pass batch over N predictors must equal N independent
+        // sequential runs, predictor by predictor and branch by branch —
+        // the evaluation engine's prewarm correctness rests on this.
+        let mut batch = all_predictors();
+        let batched = simulate_batch(&mut batch, &trace);
+        prop_assert_eq!(batched.len(), batch.len());
+        for (mut p, batched_stats) in all_predictors().into_iter().zip(batched) {
+            let sequential = simulate_per_branch(p.as_mut(), &trace);
+            prop_assert_eq!(&batched_stats, &sequential, "{}", p.name());
         }
     }
 

@@ -1,0 +1,77 @@
+//! Standard-distribution sampling (`rng.gen::<T>()`), matching
+//! `rand 0.8.5`'s `Standard` impls for the types this workspace uses.
+
+use crate::RngCore;
+
+/// Types samplable by `Rng::gen` (the `Standard` distribution).
+pub trait StandardSample {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u8 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl StandardSample for u16 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 64-bit platforms draw a full u64 (rand's `impl_int_from_uint!`).
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for i32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl StandardSample for i64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // rand 0.8.5: one u32 draw, low bit decides.
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // Multiply-based [0, 1) conversion with 53 bits of precision.
+        let value = rng.next_u64() >> (64 - 53);
+        const SCALE: f64 = 1.0 / ((1u64 << 53) as f64);
+        SCALE * value as f64
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> (32 - 24);
+        const SCALE: f32 = 1.0 / ((1u32 << 24) as f32);
+        SCALE * value as f32
+    }
+}

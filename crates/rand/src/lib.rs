@@ -1,0 +1,190 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build container for this repository has no network access, so the
+//! real `rand 0.8` crate cannot be fetched from crates.io. The calibrated
+//! synthetic workloads in `bp-workloads` (and the golden values in
+//! `tests/determinism.rs`) were generated with `rand 0.8.5`'s `StdRng`, so
+//! this shim reimplements — **bit-exactly** — the subset of `rand 0.8.5`
+//! the workspace uses:
+//!
+//! * `rngs::StdRng` = ChaCha12 with `rand_core`'s `BlockRng` buffering
+//!   semantics (64-word buffer, 4 blocks per refill, the exact
+//!   `next_u64`-straddling-a-refill behaviour).
+//! * `SeedableRng::seed_from_u64` = the PCG32-based seed expansion from
+//!   `rand_core 0.6`.
+//! * `Rng::gen_range` = Lemire widening-multiply rejection sampling with
+//!   `rand 0.8.5`'s exact zone computation and `u_large` type mapping.
+//! * `Rng::gen_bool` = fixed-point Bernoulli.
+//! * `Rng::gen::<f64>()` = 53-bit multiply-based conversion.
+//! * `seq::SliceRandom::shuffle` = Fisher–Yates with the `u32` index
+//!   fast path.
+//!
+//! The golden determinism tests at the workspace root act as the
+//! conformance suite: they pin trace statistics that only reproduce if
+//! this shim matches `rand 0.8.5` output stream-for-stream.
+
+#![forbid(unsafe_code)]
+
+pub mod rngs;
+pub mod seq;
+
+mod chacha;
+mod distributions;
+mod uniform;
+
+/// The core of a random number generator: raw word output.
+///
+/// Mirrors `rand_core::RngCore` (minus the fallible API, which this
+/// workspace never uses).
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A random number generator that can be seeded deterministically.
+pub trait SeedableRng: Sized {
+    /// Seed material type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with PCG32 exactly as
+    /// `rand_core 0.6` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let bytes = pcg32(&mut state);
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub use distributions::StandardSample;
+pub use uniform::{SampleRange, SampleUniform};
+
+/// User-facing convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution (`rand`'s `Standard`).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Return `true` with probability `p` (fixed-point Bernoulli,
+    /// matching `rand 0.8`'s `Bernoulli::new`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        const ALWAYS_TRUE: u64 = u64::MAX;
+        // SCALE = 2^64 as an f64; p_int = round-toward-zero of p * 2^64.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p={p} is outside range [0.0, 1.0]"
+        );
+        let p_int = if p == 1.0 {
+            ALWAYS_TRUE
+        } else {
+            (p * SCALE) as u64
+        };
+        if p_int == ALWAYS_TRUE {
+            return true;
+        }
+        let v: u64 = self.next_u64();
+        v < p_int
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seed_expansion_is_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn float_samples_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.gen_range(0f64..1f64);
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let v = rng.gen_range(-9..10);
+            assert!((-9..10).contains(&v));
+            let u = rng.gen_range(b'a'..=b'z');
+            assert!(u.is_ascii_lowercase());
+            let w = rng.gen_range(0..32u64);
+            assert!(w < 32);
+            let s = rng.gen_range(0..7usize);
+            assert!(s < 7);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+}

@@ -1,0 +1,137 @@
+//! The standard RNG: ChaCha12 behind `BlockRng` buffering.
+//!
+//! `rand 0.8.5`'s `StdRng` is `ChaCha12Rng`, which wraps the ChaCha core
+//! in `rand_core::block::BlockRng`: a 64-word (`4 × 16`) results buffer
+//! refilled four blocks at a time. The buffering details are observable —
+//! in particular `next_u64`'s behaviour when it straddles a refill — so
+//! they are reproduced here exactly.
+
+use crate::chacha::block;
+use crate::{RngCore, SeedableRng};
+
+const BUF_WORDS: usize = 64;
+const BLOCKS_PER_REFILL: u64 = 4;
+
+/// The standard deterministic RNG (ChaCha12, as in `rand 0.8.5`).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    key: [u32; 8],
+    /// Next block index to generate on refill.
+    counter: u64,
+    buf: [u32; BUF_WORDS],
+    /// Next unread word in `buf`; `BUF_WORDS` means "empty".
+    index: usize,
+}
+
+impl StdRng {
+    /// Refill the buffer with four sequential blocks, leaving `index` at
+    /// `offset` (mirrors `BlockRng::generate_and_set`).
+    fn generate_and_set(&mut self, offset: usize) {
+        for i in 0..BLOCKS_PER_REFILL {
+            let words = block(&self.key, self.counter + i);
+            let at = (i as usize) * 16;
+            self.buf[at..at + 16].copy_from_slice(&words);
+        }
+        self.counter += BLOCKS_PER_REFILL;
+        self.index = offset;
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        StdRng {
+            key,
+            counter: 0,
+            buf: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate_and_set(0);
+        }
+        let value = self.buf[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index += 2;
+            (u64::from(self.buf[index + 1]) << 32) | u64::from(self.buf[index])
+        } else if index >= BUF_WORDS {
+            self.generate_and_set(2);
+            (u64::from(self.buf[1]) << 32) | u64::from(self.buf[0])
+        } else {
+            // One word left: low half from the tail, high half from the
+            // freshly generated buffer.
+            let low = u64::from(self.buf[BUF_WORDS - 1]);
+            self.generate_and_set(1);
+            let high = u64::from(self.buf[0]);
+            (high << 32) | low
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // Word-at-a-time fill (matches `fill_via_u32_chunks` for the
+        // aligned case; unaligned tails take the leading bytes of the
+        // next word, as `rand_core` does).
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let tail = chunks.into_remainder();
+        if !tail.is_empty() {
+            let word = self.next_u32().to_le_bytes();
+            tail.copy_from_slice(&word[..tail.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refill_boundary_next_u64_consumes_straddled_words() {
+        let mut rng = StdRng::seed_from_u64(99);
+        // Advance to index 63.
+        for _ in 0..63 {
+            rng.next_u32();
+        }
+        assert_eq!(rng.index, 63);
+        let straddled = rng.next_u64();
+        // Low half must be the old word 63; after the call the index
+        // points at word 1 of the fresh buffer.
+        assert_eq!(rng.index, 1);
+        let mut replay = StdRng::seed_from_u64(99);
+        let mut words = Vec::new();
+        for _ in 0..66 {
+            words.push(replay.next_u32());
+        }
+        assert_eq!(straddled & 0xffff_ffff, u64::from(words[63]));
+        assert_eq!(straddled >> 32, u64::from(words[64]));
+    }
+
+    #[test]
+    fn u32_stream_is_four_blocks_per_refill() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let first: Vec<u32> = (0..BUF_WORDS).map(|_| rng.next_u32()).collect();
+        let key = rng.key;
+        let mut expect = Vec::new();
+        for c in 0..4u64 {
+            expect.extend_from_slice(&block(&key, c));
+        }
+        assert_eq!(first, expect);
+    }
+}

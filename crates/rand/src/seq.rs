@@ -1,0 +1,52 @@
+//! Slice shuffling (`rand::seq::SliceRandom`), Fisher–Yates as in
+//! `rand 0.8.5` (including the `u32` index fast path, which affects the
+//! consumed random stream).
+
+use crate::{Rng, RngCore};
+
+/// Extension trait providing random slice operations.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffle the slice in place.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, gen_index(rng, i + 1));
+        }
+    }
+}
+
+fn gen_index<R: RngCore>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        rng.gen_range(0..ubound as u32) as usize
+    } else {
+        rng.gen_range(0..ubound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_permutes_deterministically() {
+        let mut a: Vec<u32> = (0..32).collect();
+        let mut b: Vec<u32> = (0..32).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(42));
+        b.shuffle(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "seeded shuffle should move something");
+    }
+}

@@ -1,0 +1,178 @@
+//! Uniform range sampling (`rng.gen_range(a..b)` / `a..=b`), reproducing
+//! `rand 0.8.5`'s `UniformInt::sample_single_inclusive` (Lemire widening
+//! multiply with conservative zone) and `UniformFloat::sample_single`.
+//!
+//! Type mapping follows rand's `uniform_int_impl!` table: 8/16/32-bit
+//! integers widen to `u32`, 64-bit to `u64`, `usize`/`isize` to the
+//! pointer width (this workspace targets 64-bit).
+
+use crate::{RngCore, StandardSample};
+
+/// A range usable with `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draw one uniformly distributed value from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform single-sample implementation.
+pub trait SampleUniform: Sized {
+    /// Sample from `[low, high)`.
+    fn sample_single<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Sample from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Widening multiply: `(hi, lo)` halves of the double-width product.
+trait WideMul: Copy {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WideMul for u32 {
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let product = u64::from(self) * u64::from(other);
+        ((product >> 32) as u32, product as u32)
+    }
+}
+
+impl WideMul for u64 {
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let product = u128::from(self) * u128::from(other);
+        ((product >> 64) as u64, product as u64)
+    }
+}
+
+impl WideMul for usize {
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let (hi, lo) = (self as u64).wmul(other as u64);
+        (hi as usize, lo as usize)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                // Wrapped to zero: the range covers the whole type.
+                if range == 0 {
+                    return <$u_large as StandardSample>::sample_standard(rng) as $ty;
+                }
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    // Small types: exact rejection zone via modulus.
+                    let unsigned_max: $u_large = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    // Conservative zone: top bits of the largest multiple.
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = <$u_large as StandardSample>::sample_standard(rng);
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl! { i8, u8, u32 }
+uniform_int_impl! { i16, u16, u32 }
+uniform_int_impl! { i32, u32, u32 }
+uniform_int_impl! { i64, u64, u64 }
+uniform_int_impl! { isize, usize, usize }
+uniform_int_impl! { u8, u8, u32 }
+uniform_int_impl! { u16, u16, u32 }
+uniform_int_impl! { u32, u32, u32 }
+uniform_int_impl! { u64, u64, u64 }
+uniform_int_impl! { usize, usize, usize }
+
+impl SampleUniform for f64 {
+    fn sample_single<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low < high, "cannot sample empty range");
+        let mut scale = high - low;
+        assert!(scale.is_finite(), "range overflow");
+        loop {
+            // 52 fraction bits: value1_2 is uniform in [1, 2).
+            let fraction = rng.next_u64() >> (64 - 52);
+            let value1_2 = f64::from_bits((1023u64 << 52) | fraction);
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+            // Shrink scale by one ulp and retry (edge-case handling as in
+            // rand's `decrease_masked`).
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+    }
+
+    fn sample_single_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+        // rand 0.8 samples inclusive float ranges identically to
+        // half-open ones (`gen_range(a..=b)` uses `sample_single_inclusive`
+        // only for ints); delegate for completeness.
+        assert!(low <= high, "cannot sample empty range");
+        if low == high {
+            return low;
+        }
+        Self::sample_single(low, high, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn full_u8_inclusive_range_does_not_reject() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..512 {
+            let _: u8 = rng.gen_range(0..=u8::MAX);
+        }
+    }
+
+    #[test]
+    fn signed_ranges_cover_both_signs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut neg = false;
+        let mut pos = false;
+        for _ in 0..256 {
+            let v = rng.gen_range(-100..100);
+            assert!((-100..100).contains(&v));
+            neg |= v < 0;
+            pos |= v >= 0;
+        }
+        assert!(neg && pos);
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace decorates many types with `#[derive(Serialize,
+//! Deserialize)]` for downstream consumers, but nothing in-tree actually
+//! serializes through serde (trace persistence uses the hand-rolled
+//! binary format in `bp-trace::io`). Since the build container has no
+//! network access, this facade re-exports no-op derive macros so the
+//! annotations compile without pulling the real crate.
+//!
+//! If a future PR needs real serialization, replace this crate's path
+//! entry in the workspace `Cargo.toml` with the crates.io dependency —
+//! the annotation surface is already compatible.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -73,7 +73,10 @@ fn cmd_biases(path: &str, n: usize) -> Result<(), String> {
     let profile = BranchProfile::of(&trace);
     let mut rows: Vec<_> = profile.iter().collect();
     rows.sort_by_key(|(pc, e)| (std::cmp::Reverse(e.executions), *pc));
-    println!("{:>12} {:>10} {:>7} {:>7}", "pc", "execs", "taken%", "bias%");
+    println!(
+        "{:>12} {:>10} {:>7} {:>7}",
+        "pc", "execs", "taken%", "bias%"
+    );
     for (pc, e) in rows.into_iter().take(n) {
         println!(
             "{pc:>#12x} {:>10} {:>7.2} {:>7.2}",

@@ -1,0 +1,130 @@
+//! A fast, fixed-seed hasher for the workspace's hot hash maps.
+//!
+//! The simulation inner loops are dominated by hash-map operations on tiny
+//! keys — branch addresses, `(address, pattern)` pairs, instance tags. The
+//! standard library's SipHash is DoS-resistant but costs tens of cycles per
+//! key; none of these maps ever see attacker-controlled input, so a
+//! multiply-rotate hash (the scheme popularized by rustc's FxHash) is the
+//! right trade: a couple of cycles per word and *deterministic across
+//! processes*, which also makes behaviour easier to reproduce than the
+//! per-process random SipHash seeds.
+//!
+//! Only use these maps for internal keys derived from traces; anything
+//! touching untrusted input should stay on the default hasher.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the splitmix64/fxhash family: odd, with well-mixed bits.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiply-rotate [`Hasher`] with a fixed seed.
+///
+/// Not cryptographic and not DoS-resistant — see the module docs for when
+/// that trade is acceptable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// [`HashMap`] keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// [`HashSet`] keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(0x1234u64), hash_of(0x1234u64));
+        assert_ne!(hash_of(0x1234u64), hash_of(0x1235u64));
+        assert_ne!(hash_of((1u64, 2u64)), hash_of((2u64, 1u64)));
+    }
+
+    #[test]
+    fn byte_slices_hash_by_content() {
+        assert_eq!(hash_of([1u8, 2, 3]), hash_of([1u8, 2, 3]));
+        assert_ne!(hash_of([1u8, 2, 3]), hash_of([1u8, 2, 4]));
+        // Tail shorter than a word still contributes.
+        assert_ne!(
+            hash_of(b"abcdefgh-x".as_slice()),
+            hash_of(b"abcdefgh-y".as_slice())
+        );
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&500), Some(&1000));
+        assert_eq!(m.get(&1001), None);
+    }
+}

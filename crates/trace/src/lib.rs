@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fx;
 pub mod io;
 mod profile;
 mod record;
@@ -44,6 +45,7 @@ mod tag;
 mod trace;
 mod window;
 
+pub use fx::{FxHashMap, FxHashSet};
 pub use profile::{BranchProfile, ProfileEntry};
 pub use record::{BranchKind, BranchRecord, Pc};
 pub use recorder::Recorder;

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use crate::fx::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -65,14 +65,14 @@ impl ProfileEntry {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BranchProfile {
-    entries: HashMap<Pc, ProfileEntry>,
+    entries: FxHashMap<Pc, ProfileEntry>,
     total_dynamic: u64,
 }
 
 impl BranchProfile {
     /// Builds the profile of a trace in one pass.
     pub fn of(trace: &Trace) -> Self {
-        let mut entries: HashMap<Pc, ProfileEntry> = HashMap::new();
+        let mut entries: FxHashMap<Pc, ProfileEntry> = FxHashMap::default();
         let mut total = 0u64;
         for rec in trace.conditionals() {
             let e = entries.entry(rec.pc).or_default();
@@ -111,7 +111,10 @@ impl BranchProfile {
     /// Total correct predictions of the ideal static predictor across the
     /// whole trace.
     pub fn ideal_static_correct(&self) -> u64 {
-        self.entries.values().map(|e| e.ideal_static_correct()).sum()
+        self.entries
+            .values()
+            .map(|e| e.ideal_static_correct())
+            .sum()
     }
 
     /// Ideal-static prediction accuracy in `[0, 1]`; zero for an empty

@@ -13,8 +13,9 @@ pub type Pc = u64;
 /// trace format carries calls, returns, and unconditional jumps too so the
 /// path (and in-path correlation across subroutine boundaries, §3.1) is
 /// fully represented by workloads that want it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum BranchKind {
     /// A conditional direct branch; the only kind predictors are scored on.
     #[default]
@@ -34,7 +35,6 @@ impl BranchKind {
         matches!(self, BranchKind::Conditional)
     }
 }
-
 
 /// One dynamic branch execution in a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -187,7 +187,9 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let t: Trace = (0..5).map(|i| BranchRecord::conditional(i, i % 2 == 0)).collect();
+        let t: Trace = (0..5)
+            .map(|i| BranchRecord::conditional(i, i % 2 == 0))
+            .collect();
         assert_eq!(t.len(), 5);
     }
 

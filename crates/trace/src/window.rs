@@ -146,13 +146,11 @@ impl PathWindow {
     /// sits, and hence how much history a real predictor would need to
     /// reach it.
     pub fn distance(&self, tag: InstanceTag) -> Option<usize> {
-        let position = match tag.scheme {
-            TagScheme::Occurrence => {
-                let mut seen = 0u16;
-                self.entries
-                    .iter()
-                    .rev()
-                    .position(|e| {
+        let position =
+            match tag.scheme {
+                TagScheme::Occurrence => {
+                    let mut seen = 0u16;
+                    self.entries.iter().rev().position(|e| {
                         if e.pc == tag.pc {
                             let hit = seen == tag.index;
                             seen += 1;
@@ -161,13 +159,11 @@ impl PathWindow {
                             false
                         }
                     })
-            }
-            TagScheme::Iteration => self
-                .entries
-                .iter()
-                .rev()
-                .position(|e| e.pc == tag.pc && self.backwards_since(e) == u64::from(tag.index)),
-        };
+                }
+                TagScheme::Iteration => self.entries.iter().rev().position(|e| {
+                    e.pc == tag.pc && self.backwards_since(e) == u64::from(tag.index)
+                }),
+            };
         position.map(|p| p + 1)
     }
 
@@ -202,7 +198,9 @@ impl PathWindow {
 
             let since = self.backwards_since(e);
             if since <= u64::from(u16::MAX)
-                && !seen_iteration.iter().any(|&(pc, s)| pc == e.pc && s == since)
+                && !seen_iteration
+                    .iter()
+                    .any(|&(pc, s)| pc == e.pc && s == since)
             {
                 seen_iteration.push((e.pc, since));
                 out.push((InstanceTag::iteration(e.pc, since as u16), e.taken));
@@ -272,11 +270,11 @@ mod tests {
         w.push(&bwd(20, true)); // iter 0: back-edge
         w.push(&fwd(10, false)); // iter 1: body
         w.push(&bwd(20, true)); // iter 1: back-edge
-        // Body branch of the previous iteration: 2 back-edges since it
-        // (its own iteration's back-edge plus the next one)... count the
-        // back-edges executed after each instance:
-        //   pc=10 taken=true  -> back-edges after it: 2
-        //   pc=10 taken=false -> back-edges after it: 1
+                                // Body branch of the previous iteration: 2 back-edges since it
+                                // (its own iteration's back-edge plus the next one)... count the
+                                // back-edges executed after each instance:
+                                //   pc=10 taken=true  -> back-edges after it: 2
+                                //   pc=10 taken=false -> back-edges after it: 1
         assert_eq!(w.lookup(InstanceTag::iteration(10, 1)), Some(false));
         assert_eq!(w.lookup(InstanceTag::iteration(10, 2)), Some(true));
         assert_eq!(w.lookup(InstanceTag::iteration(10, 0)), None);

@@ -11,10 +11,10 @@ use bp_trace::{
 
 fn arb_record() -> impl Strategy<Value = BranchRecord> {
     (
-        0u64..64,       // small pc space to force instance collisions
-        0u64..64,       // target
-        any::<bool>(),  // taken
-        0u8..4,         // kind
+        0u64..64,      // small pc space to force instance collisions
+        0u64..64,      // target
+        any::<bool>(), // taken
+        0u8..4,        // kind
     )
         .prop_map(|(pc, target, taken, kind)| BranchRecord {
             pc: pc * 4,
@@ -42,11 +42,11 @@ fn reference_tags(window: &[BranchRecord]) -> Vec<(InstanceTag, bool)> {
     let mut iteration_seen: Vec<(Pc, u64)> = Vec::new();
     // Walk most-recent first.
     for (i, rec) in window.iter().enumerate().rev() {
-        let backwards_since = window[i + 1..]
+        let backwards_since = window[i + 1..].iter().filter(|r| r.is_backward()).count() as u64;
+        let occ = occurrence_seen
             .iter()
-            .filter(|r| r.is_backward())
-            .count() as u64;
-        let occ = occurrence_seen.iter().filter(|(pc, _)| *pc == rec.pc).count() as u16;
+            .filter(|(pc, _)| *pc == rec.pc)
+            .count() as u16;
         occurrence_seen.push((rec.pc, occ));
         out.push((InstanceTag::occurrence(rec.pc, occ), rec.taken));
         if !iteration_seen

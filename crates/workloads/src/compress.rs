@@ -40,8 +40,7 @@ const ALPHABET: usize = 20;
 
 /// Generates the compress trace.
 pub fn generate(cfg: &WorkloadConfig) -> Trace {
-    let mut rng = StdRng::seed_from_u64(salted_seed(cfg, 0xC0))
-;
+    let mut rng = StdRng::seed_from_u64(salted_seed(cfg, 0xC0));
     let mut rec = Recorder::with_capacity(cfg.target_branches + 1024);
     while rec.conditional_len() < cfg.target_branches {
         let input = markov_text(&mut rng, 6000);
@@ -241,7 +240,9 @@ fn lzw_compress(rec: &mut Recorder, input: &[u8]) -> (Vec<u16>, usize) {
                 bits += width;
                 emitted += 1;
                 while rec.cond(PC_FLUSH_BITS, bits >= 8) {
-                    out_hash = out_hash.wrapping_mul(31).wrapping_add(u64::from(bitbuf & 0xFF));
+                    out_hash = out_hash
+                        .wrapping_mul(31)
+                        .wrapping_add(u64::from(bitbuf & 0xFF));
                     bitbuf >>= 8;
                     bits -= 8;
                     rec.loop_back(PC_FLUSH_LOOP, bits >= 8);
@@ -319,7 +320,10 @@ mod tests {
         // Several distinct static sites, a healthy taken rate, and real
         // back-edges.
         assert!(stats.static_conditional >= 8, "{stats:?}");
-        assert!(stats.taken_rate() > 0.3 && stats.taken_rate() < 0.95, "{stats:?}");
+        assert!(
+            stats.taken_rate() > 0.3 && stats.taken_rate() < 0.95,
+            "{stats:?}"
+        );
         assert!(stats.backward > 0);
     }
 }

@@ -138,12 +138,11 @@ fn dce_pass(rec: &mut Recorder, f: &mut Function) -> u32 {
         let dead = ins.uses == 0 && !ins.has_side_effect;
         // Side-effect guard: correlated with the fold pass's opcode tests
         // (stores/calls took the `site(t,3)` path there).
-        if !rec.cond(site(t, 6), ins.has_side_effect)
-            && rec.cond(site(t, 7), dead) {
-                f.body[i].op = Op::Phi;
-                f.body[i].uses = u8::MAX; // tombstone
-                removed += 1;
-            }
+        if !rec.cond(site(t, 6), ins.has_side_effect) && rec.cond(site(t, 7), dead) {
+            f.body[i].op = Op::Phi;
+            f.body[i].uses = u8::MAX; // tombstone
+            removed += 1;
+        }
         rec.loop_back(site(t, 8), i > 0);
     }
     removed

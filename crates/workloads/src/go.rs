@@ -114,8 +114,10 @@ fn evaluate(rec: &mut Recorder, board: &Board, rng: &mut StdRng, ladder_len: usi
                 // Liberty scan: count empty neighbors (short variable loop).
                 let mut libs = 0;
                 for (i, (dr, dc)) in [(0, 1), (0, -1), (1, 0), (-1, 0)].iter().enumerate() {
-                    if rec.cond(PC_LIBERTY, board.at(r as isize + dr, c as isize + dc) == Point::Empty)
-                    {
+                    if rec.cond(
+                        PC_LIBERTY,
+                        board.at(r as isize + dr, c as isize + dc) == Point::Empty,
+                    ) {
                         libs += 1;
                     }
                     rec.loop_back(PC_LIBERTY_LOOP, i < 3);
@@ -209,7 +211,11 @@ mod tests {
         // go's signature: ideal static is weak relative to the other
         // workloads. (The loop back-edges are biased, the evaluations are
         // not.)
-        assert!(profile.ideal_static_accuracy() < 0.92, "{}", profile.ideal_static_accuracy());
+        assert!(
+            profile.ideal_static_accuracy() < 0.92,
+            "{}",
+            profile.ideal_static_accuracy()
+        );
         let stats = TraceStats::of(&t);
         assert!(stats.static_conditional >= 10);
     }

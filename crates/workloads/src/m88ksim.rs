@@ -47,14 +47,38 @@ enum GuestOp {
 fn checksum_kernel(len: i32) -> Vec<GuestOp> {
     vec![
         // r1 = len (loop counter), r2 = pointer, r3 = accumulator
-        GuestOp::Addi { rd: 1, rs1: 0, imm: len },
-        GuestOp::Addi { rd: 2, rs1: 0, imm: 0x100 },
-        GuestOp::Addi { rd: 3, rs1: 0, imm: 0 },
+        GuestOp::Addi {
+            rd: 1,
+            rs1: 0,
+            imm: len,
+        },
+        GuestOp::Addi {
+            rd: 2,
+            rs1: 0,
+            imm: 0x100,
+        },
+        GuestOp::Addi {
+            rd: 3,
+            rs1: 0,
+            imm: 0,
+        },
         // loop: r4 = mem[r2]; r3 += r4; r2 += 4; r1 -= 1; bnez r1, loop
         GuestOp::Load { rd: 4, rs1: 2 },
-        GuestOp::Addi { rd: 3, rs1: 4, imm: 0 },
-        GuestOp::Addi { rd: 2, rs1: 2, imm: 4 },
-        GuestOp::Addi { rd: 1, rs1: 1, imm: -1 },
+        GuestOp::Addi {
+            rd: 3,
+            rs1: 4,
+            imm: 0,
+        },
+        GuestOp::Addi {
+            rd: 2,
+            rs1: 2,
+            imm: 4,
+        },
+        GuestOp::Addi {
+            rd: 1,
+            rs1: 1,
+            imm: -1,
+        },
         GuestOp::Bnez { rs1: 1, off: -4 },
         // epilogue: store result
         GuestOp::Store { rs1: 2, rs2: 3 },
@@ -94,7 +118,10 @@ impl Machine {
                 rec.cond(PC_ZERO_RESULT, v % 16 == 0);
                 self.regs[rd as usize] = v;
             }
-        } else if rec.cond(PC_IS_MEM, matches!(op, GuestOp::Load { .. } | GuestOp::Store { .. })) {
+        } else if rec.cond(
+            PC_IS_MEM,
+            matches!(op, GuestOp::Load { .. } | GuestOp::Store { .. }),
+        ) {
             let addr = match op {
                 GuestOp::Load { rs1, .. } | GuestOp::Store { rs1, .. } => {
                     self.regs[rs1 as usize] as usize

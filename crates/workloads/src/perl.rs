@@ -38,9 +38,13 @@ enum Bytecode {
     Add,
     Sub,
     /// Scan the dictionary word at `word` for the current rack letter.
-    Match { word: u8 },
+    Match {
+        word: u8,
+    },
     /// Jump back `off` ops while the counter is positive.
-    LoopJump { off: u8 },
+    LoopJump {
+        off: u8,
+    },
     /// Decrement the loop counter.
     Dec,
 }
@@ -103,10 +107,7 @@ fn run_script(rec: &mut Recorder, script: &Script, rng: &mut StdRng) {
                 Bytecode::Dec => counter -= 1,
                 _ => unreachable!(),
             }
-        } else if rec.cond(
-            PC_IS_ARITH,
-            matches!(op, Bytecode::Add | Bytecode::Sub),
-        ) {
+        } else if rec.cond(PC_IS_ARITH, matches!(op, Bytecode::Add | Bytecode::Sub)) {
             let b = stack.pop().unwrap_or(0);
             let a = stack.pop().unwrap_or(0);
             let v = match op {

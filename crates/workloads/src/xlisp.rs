@@ -66,8 +66,16 @@ fn gen_expr(rng: &mut StdRng, depth: u32, fns: u8) -> Expr {
         };
     }
     match rng.gen_range(0..10) {
-        0..=2 => Expr::Add((0..rng.gen_range(2..4)).map(|_| gen_expr(rng, depth - 1, fns)).collect()),
-        3..=4 => Expr::Mul((0..rng.gen_range(2..4)).map(|_| gen_expr(rng, depth - 1, fns)).collect()),
+        0..=2 => Expr::Add(
+            (0..rng.gen_range(2..4))
+                .map(|_| gen_expr(rng, depth - 1, fns))
+                .collect(),
+        ),
+        3..=4 => Expr::Mul(
+            (0..rng.gen_range(2..4))
+                .map(|_| gen_expr(rng, depth - 1, fns))
+                .collect(),
+        ),
         5..=6 => Expr::If(
             Box::new(gen_expr(rng, depth - 1, fns)),
             Box::new(gen_expr(rng, depth - 1, fns)),
@@ -80,7 +88,9 @@ fn gen_expr(rng: &mut StdRng, depth: u32, fns: u8) -> Expr {
         ),
         _ if fns > 0 => Expr::CallFn(
             rng.gen_range(0..fns),
-            (0..rng.gen_range(1..3)).map(|_| gen_expr(rng, depth - 1, fns)).collect(),
+            (0..rng.gen_range(1..3))
+                .map(|_| gen_expr(rng, depth - 1, fns))
+                .collect(),
         ),
         _ => Expr::Num(rng.gen_range(-9..10)),
     }

@@ -7,7 +7,7 @@
 //! ```
 
 use correlation_predictability::core::{OracleConfig, OracleSelector};
-use correlation_predictability::trace::{TagScheme};
+use correlation_predictability::trace::TagScheme;
 use correlation_predictability::workloads::{Benchmark, WorkloadConfig};
 
 fn main() {
@@ -61,7 +61,10 @@ fn main() {
                 TagScheme::Occurrence => "occurrence",
                 TagScheme::Iteration => "iteration",
             };
-            println!("      correlated with {:#x} [{scheme} #{}]", tag.pc, tag.index);
+            println!(
+                "      correlated with {:#x} [{scheme} #{}]",
+                tag.pc, tag.index
+            );
         }
     }
 }

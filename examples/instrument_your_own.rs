@@ -79,9 +79,15 @@ fn main() {
     );
 
     for (name, acc) in [
-        ("gshare(16)", simulate(&mut Gshare::default(), &trace).accuracy()),
+        (
+            "gshare(16)",
+            simulate(&mut Gshare::default(), &trace).accuracy(),
+        ),
         ("pas", simulate(&mut Pas::default(), &trace).accuracy()),
-        ("loop", simulate(&mut LoopPredictor::new(), &trace).accuracy()),
+        (
+            "loop",
+            simulate(&mut LoopPredictor::new(), &trace).accuracy(),
+        ),
     ] {
         println!("{name:<12} {:.2}%", acc * 100.0);
     }

@@ -60,9 +60,12 @@ fn seeds_change_traces_but_not_the_shape() {
     let mut orderings = Vec::new();
     for cfg in [a, b] {
         let go = simulate(&mut Gshare::default(), &Benchmark::Go.generate(&cfg)).accuracy();
-        let vortex =
-            simulate(&mut Gshare::default(), &Benchmark::Vortex.generate(&cfg)).accuracy();
-        assert!(vortex > go, "vortex must stay easier than go (seed {:x})", cfg.seed);
+        let vortex = simulate(&mut Gshare::default(), &Benchmark::Vortex.generate(&cfg)).accuracy();
+        assert!(
+            vortex > go,
+            "vortex must stay easier than go (seed {:x})",
+            cfg.seed
+        );
         orderings.push((go, vortex));
     }
     assert_ne!(

@@ -19,7 +19,10 @@ fn every_benchmark_generates_deterministically() {
         let a = b.generate(&cfg);
         let c = b.generate(&cfg);
         assert_eq!(a, c, "{b} not deterministic");
-        assert!(a.conditional_count() >= cfg.target_branches, "{b} too short");
+        assert!(
+            a.conditional_count() >= cfg.target_branches,
+            "{b} too short"
+        );
         let stats = TraceStats::of(&a);
         assert!(stats.static_conditional >= 6, "{b}: {stats:?}");
         assert!(stats.backward > 0, "{b} has no loop back-edges");

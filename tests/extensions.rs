@@ -7,7 +7,7 @@ use correlation_predictability::core::{
     SelectivePredictor,
 };
 use correlation_predictability::predictors::{
-    simulate, ClassHybrid, Gag, Gshare, Gskew, InterferenceGshare, Pag, Pas, StaticPhtGshare,
+    simulate, ClassHybrid, Gag, Gshare, Gskew, InterferenceGshare, Pag, StaticPhtGshare,
 };
 use correlation_predictability::trace::BranchProfile;
 use correlation_predictability::workloads::micro::{MicroPattern, MicroTrace};
@@ -25,7 +25,10 @@ fn predictor_zoo_runs_on_every_workload() {
             simulate(&mut Pag::default(), &trace),
             simulate(&mut Gskew::default(), &trace),
             simulate(&mut InterferenceGshare::new(12), &trace),
-            simulate(&mut ClassHybrid::new(Gshare::default(), &profile, 0.95), &trace),
+            simulate(
+                &mut ClassHybrid::new(Gshare::default(), &profile, 0.95),
+                &trace,
+            ),
             simulate(&mut StaticPhtGshare::profile(&trace, 12), &trace),
         ];
         for r in results {
@@ -70,7 +73,10 @@ fn micro_patterns_classify_as_designed() {
             },
             PaClass::RepeatingPattern,
         ),
-        (MicroPattern::Biased { taken_rate: 0.995 }, PaClass::IdealStatic),
+        (
+            MicroPattern::Biased { taken_rate: 0.995 },
+            PaClass::IdealStatic,
+        ),
     ];
     for (pattern, expected) in cases {
         let trace = MicroTrace::new(3).with(pattern.clone()).generate(6_000);

@@ -98,8 +98,16 @@ fn both_predictor_families_have_strongholds() {
     let g = simulate_per_branch(&mut Gshare::default(), &trace);
     let p = simulate_per_branch(&mut Pas::default(), &trace);
     let curve = PercentileCurve::accuracy_difference(&g, &p);
-    assert!(curve.value_at(5.0) < -1.0, "PAs stronghold missing: {}", curve.value_at(5.0));
-    assert!(curve.value_at(95.0) > 1.0, "gshare stronghold missing: {}", curve.value_at(95.0));
+    assert!(
+        curve.value_at(5.0) < -1.0,
+        "PAs stronghold missing: {}",
+        curve.value_at(5.0)
+    );
+    assert!(
+        curve.value_at(95.0) > 1.0,
+        "gshare stronghold missing: {}",
+        curve.value_at(95.0)
+    );
     assert!(curve.loss_if_only_first() > 0.0);
     assert!(curve.loss_if_only_second() > 0.0);
 }

@@ -1,0 +1,56 @@
+//! `oracle_kernel`: the §3.4 selective-history scoring kernel — word-wise
+//! bit-plane scoring vs the digit-at-a-time reference scorer
+//! (`bp_core::reference`, built here via the `reference-scorer` feature) —
+//! driven through the identical per-branch subset search on the same
+//! fixed synthetic matrices. The two produce bit-identical selections
+//! (the property tests in `bp-core` pin that); this bench measures the
+//! kernel's speedup.
+//!
+//! Two workloads bracket the kernel's operating range: `gcc` (large
+//! static footprint, few executions per branch — per-branch overhead
+//! dominates) and `m88ksim` (small footprint, long strongly-biased
+//! columns — the uniform-run word fast path dominates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use bp_bench::bench_workload_config;
+use bp_core::{reference, OracleConfig, OracleSelector, OutcomeMatrix, TagCandidates};
+use bp_workloads::Benchmark;
+
+fn bench_oracle_kernel(c: &mut Criterion) {
+    let cfg = OracleConfig {
+        candidate_cap: 12,
+        ..OracleConfig::default()
+    };
+    let mut group = c.benchmark_group("oracle_kernel");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+
+    for benchmark in [Benchmark::Gcc, Benchmark::M88ksim] {
+        let trace = benchmark.generate(&bench_workload_config());
+        let candidates = TagCandidates::collect(&trace, cfg.window, cfg.candidate_cap);
+        let matrix = OutcomeMatrix::build(&trace, &candidates, cfg.window);
+
+        let label = benchmark.short_name();
+        group.bench_function(BenchmarkId::new("bit_plane", label), |b| {
+            b.iter(|| {
+                for (_, bm) in matrix.iter() {
+                    black_box(OracleSelector::select_branch(bm, &cfg));
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("reference", label), |b| {
+            b.iter(|| {
+                for (_, bm) in matrix.iter() {
+                    black_box(reference::select_branch(bm, &cfg));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_kernel);
+criterion_main!(benches);

@@ -50,7 +50,11 @@ mod gaps;
 mod matrix;
 mod oracle;
 mod percentile;
+#[cfg(any(test, feature = "reference-scorer"))]
+#[allow(missing_docs)]
+pub mod reference;
 mod selective;
+mod sweep;
 
 pub use bestof::{
     best_of, combined_correct, per_branch_max, BestOfDistribution, Contender, IDEAL_STATIC_NAME,
@@ -67,3 +71,4 @@ pub use oracle::{
 };
 pub use percentile::PercentileCurve;
 pub use selective::SelectivePredictor;
+pub use sweep::{SweepMatrix, MAX_SWEEP_WINDOWS};

@@ -4,22 +4,113 @@ use bp_trace::{InstanceTag, PathWindow, Pc, TagOutcome, Trace};
 use crate::candidates::TagCandidates;
 
 /// For one static branch: the ternary outcome of every candidate tag at
-/// every dynamic execution, packed flat.
+/// every dynamic execution, stored as packed bit-planes.
 ///
-/// Row *e* (execution *e* of the branch) holds one [`TagOutcome`] digit per
-/// candidate; the branch's own outcome is in `taken[e]`. Selective-history
-/// tag sets are scored by replaying these rows through small counter tables
-/// — no further trace passes needed.
+/// Each candidate column holds two `u64` planes over the branch's
+/// executions — an **in-path** plane (bit set when the tag resolved inside
+/// the window) and a **direction** plane (bit set when that resolved
+/// instance was taken; always a subset of the in-path plane). The branch's
+/// own outcomes are a third plane. The ternary digit of §3.4
+/// (0 = taken, 1 = not-taken, 2 = not-in-path) is recovered from the two
+/// column planes, and the oracle scoring kernel consumes whole 64-execution
+/// words of them at a time (see `oracle.rs`), which is why the planes —
+/// not a byte-per-digit array — are the storage of record. Selective-
+/// history tag sets are scored by replaying these planes through small
+/// counter tables; no further trace passes are needed.
 #[derive(Debug, Clone)]
 pub struct BranchMatrix {
     tags: Vec<InstanceTag>,
-    /// `executions × tags.len()` outcome digits (0 = taken, 1 = not-taken,
-    /// 2 = not-in-path).
-    digits: Vec<u8>,
-    taken: Vec<bool>,
+    executions: usize,
+    /// One in-path plane per candidate column, `words()` u64s each.
+    inpath: Vec<Vec<u64>>,
+    /// One direction plane per candidate column; `dir[c] ⊆ inpath[c]`.
+    dir: Vec<Vec<u64>>,
+    /// The branch's own outcome plane.
+    taken: Vec<u64>,
+}
+
+#[inline]
+fn get_bit(plane: &[u64], i: usize) -> bool {
+    plane[i / 64] >> (i % 64) & 1 == 1
+}
+
+#[inline]
+fn set_bit(plane: &mut [u64], i: usize) {
+    plane[i / 64] |= 1u64 << (i % 64);
 }
 
 impl BranchMatrix {
+    /// An empty matrix for `tags` columns, ready for
+    /// [`BranchMatrix::push_execution`] calls.
+    pub(crate) fn with_tags(tags: Vec<InstanceTag>) -> Self {
+        let columns = tags.len();
+        BranchMatrix {
+            tags,
+            executions: 0,
+            inpath: vec![Vec::new(); columns],
+            dir: vec![Vec::new(); columns],
+            taken: Vec::new(),
+        }
+    }
+
+    /// Assembles a matrix directly from pre-packed planes (the sweep
+    /// artifact's materialization path).
+    ///
+    /// Each column's planes must hold `executions.div_ceil(64)` words, with
+    /// `dir` a subset of `inpath` and no bits set at or beyond
+    /// `executions`.
+    pub(crate) fn from_planes(
+        tags: Vec<InstanceTag>,
+        executions: usize,
+        inpath: Vec<Vec<u64>>,
+        dir: Vec<Vec<u64>>,
+        taken: Vec<u64>,
+    ) -> Self {
+        let words = executions.div_ceil(64);
+        debug_assert_eq!(inpath.len(), tags.len());
+        debug_assert_eq!(dir.len(), tags.len());
+        debug_assert_eq!(taken.len(), words);
+        debug_assert!(inpath.iter().all(|p| p.len() == words));
+        debug_assert!(inpath
+            .iter()
+            .zip(&dir)
+            .all(|(ip, d)| ip.iter().zip(d.iter()).all(|(ip, d)| d & !ip == 0)));
+        BranchMatrix {
+            tags,
+            executions,
+            inpath,
+            dir,
+            taken,
+        }
+    }
+
+    /// Appends one execution: the branch outcome plus the resolved tag
+    /// outcomes, as `(column, taken)` pairs for the candidates that were in
+    /// the path (every other column records not-in-path).
+    pub(crate) fn push_execution(
+        &mut self,
+        taken: bool,
+        in_path: impl Iterator<Item = (usize, bool)>,
+    ) {
+        let e = self.executions;
+        self.executions += 1;
+        if e.is_multiple_of(64) {
+            self.taken.push(0);
+            for plane in self.inpath.iter_mut().chain(self.dir.iter_mut()) {
+                plane.push(0);
+            }
+        }
+        if taken {
+            set_bit(&mut self.taken, e);
+        }
+        for (c, tag_taken) in in_path {
+            set_bit(&mut self.inpath[c], e);
+            if tag_taken {
+                set_bit(&mut self.dir[c], e);
+            }
+        }
+    }
+
     /// The candidate tags (columns), most-visible first.
     pub fn tags(&self) -> &[InstanceTag] {
         &self.tags
@@ -27,7 +118,13 @@ impl BranchMatrix {
 
     /// Number of dynamic executions (rows).
     pub fn executions(&self) -> usize {
-        self.taken.len()
+        self.executions
+    }
+
+    /// Words per plane (`executions` packed 64 to a `u64`, rounded up).
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.executions.div_ceil(64)
     }
 
     /// The branch outcome at execution `e`.
@@ -36,7 +133,38 @@ impl BranchMatrix {
     ///
     /// Panics if `e` is out of range.
     pub fn taken(&self, e: usize) -> bool {
-        self.taken[e]
+        assert!(e < self.executions, "execution out of range");
+        get_bit(&self.taken, e)
+    }
+
+    /// The branch's outcome plane, one bit per execution.
+    #[inline]
+    pub fn taken_plane(&self) -> &[u64] {
+        &self.taken
+    }
+
+    /// Column `c`'s in-path plane: bit `e` set when the tag resolved inside
+    /// the window at execution `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[inline]
+    pub fn inpath_plane(&self, c: usize) -> &[u64] {
+        assert!(c < self.tags.len(), "candidate column out of range");
+        &self.inpath[c]
+    }
+
+    /// Column `c`'s direction plane: bit `e` set when the resolved instance
+    /// was taken (a subset of [`BranchMatrix::inpath_plane`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[inline]
+    pub fn dir_plane(&self, c: usize) -> &[u64] {
+        assert!(c < self.tags.len(), "candidate column out of range");
+        &self.dir[c]
     }
 
     /// The tag outcome of candidate column `c` at execution `e`.
@@ -45,21 +173,14 @@ impl BranchMatrix {
     ///
     /// Panics if `e` or `c` is out of range.
     pub fn outcome(&self, e: usize, c: usize) -> TagOutcome {
-        assert!(c < self.tags.len(), "candidate column out of range");
-        TagOutcome::from_digit(self.digits[e * self.tags.len() + c] as usize)
-    }
-
-    /// Raw digit row for execution `e` (one digit per candidate column).
-    #[inline]
-    pub fn row(&self, e: usize) -> &[u8] {
-        let w = self.tags.len();
-        &self.digits[e * w..(e + 1) * w]
-    }
-
-    /// The branch's outcome at every execution, as one flat slice.
-    #[inline]
-    pub fn outcomes(&self) -> &[bool] {
-        &self.taken
+        assert!(e < self.executions, "execution out of range");
+        if !get_bit(self.inpath_plane(c), e) {
+            TagOutcome::NotInPath
+        } else if get_bit(self.dir_plane(c), e) {
+            TagOutcome::Taken
+        } else {
+            TagOutcome::NotTaken
+        }
     }
 }
 
@@ -82,45 +203,41 @@ impl OutcomeMatrix {
     /// of `window` branches (use the same window length the candidates were
     /// collected with).
     pub fn build(trace: &Trace, candidates: &TagCandidates, window: usize) -> Self {
-        let mut builders: FxHashMap<Pc, BranchMatrix> = candidates
+        let mut builders: FxHashMap<Pc, (BranchMatrix, FxHashMap<InstanceTag, usize>)> = candidates
             .iter()
             .map(|(pc, tags)| {
-                (
-                    pc,
-                    BranchMatrix {
-                        tags: tags.to_vec(),
-                        digits: Vec::new(),
-                        taken: Vec::new(),
-                    },
-                )
+                let columns: FxHashMap<InstanceTag, usize> =
+                    tags.iter().enumerate().map(|(c, tag)| (*tag, c)).collect();
+                (pc, (BranchMatrix::with_tags(tags.to_vec()), columns))
             })
             .collect();
 
         let mut path = PathWindow::new(window);
         let mut visible = Vec::new();
-        let mut lookup: FxHashMap<InstanceTag, bool> = FxHashMap::default();
         for rec in trace.iter() {
             if rec.is_conditional() {
-                if let Some(bm) = builders.get_mut(&rec.pc) {
+                if let Some((bm, columns)) = builders.get_mut(&rec.pc) {
                     path.visible_tags(&mut visible);
-                    lookup.clear();
-                    lookup.extend(visible.iter().copied());
-                    for tag in &bm.tags {
-                        let digit = match lookup.get(tag) {
-                            Some(&t) => TagOutcome::from_taken(t).digit(),
-                            None => TagOutcome::NotInPath.digit(),
-                        };
-                        bm.digits.push(digit as u8);
-                    }
-                    bm.taken.push(rec.taken);
+                    bm.push_execution(
+                        rec.taken,
+                        visible
+                            .iter()
+                            .filter_map(|(tag, taken)| columns.get(tag).map(|&c| (c, *taken))),
+                    );
                 }
             }
             path.push(rec);
         }
         OutcomeMatrix {
-            branches: builders,
+            branches: builders.into_iter().map(|(pc, (bm, _))| (pc, bm)).collect(),
             window,
         }
+    }
+
+    /// Assembles a matrix from per-branch parts (the sweep artifact's
+    /// materialization path).
+    pub(crate) fn from_parts(branches: FxHashMap<Pc, BranchMatrix>, window: usize) -> Self {
+        OutcomeMatrix { branches, window }
     }
 
     /// The window length the matrix was built with.
@@ -176,6 +293,8 @@ mod tests {
         let bm = m.branch(0x200).unwrap();
         assert_eq!(bm.executions(), 20);
         assert_eq!(bm.tags().len(), cands.tags(0x200).len());
+        assert_eq!(bm.words(), 1);
+        assert_eq!(bm.taken_plane().len(), 1);
     }
 
     #[test]
@@ -194,6 +313,12 @@ mod tests {
             let expect = TagOutcome::from_taken(bm.taken(e));
             assert_eq!(tag_outcome, expect, "execution {e}");
         }
+        // A perfectly correlated column's planes coincide with the outcome
+        // plane: always in path, direction equals the branch outcome.
+        assert_eq!(bm.dir_plane(col), bm.taken_plane());
+        let tail = bm.executions() % 64;
+        let full = if tail == 0 { !0u64 } else { (1u64 << tail) - 1 };
+        assert_eq!(bm.inpath_plane(col), &[full]);
     }
 
     #[test]
@@ -206,12 +331,28 @@ mod tests {
         // candidate must be not-in-path.
         for c in 0..bm.tags().len() {
             assert_eq!(bm.outcome(0, c), TagOutcome::NotInPath);
+            assert_eq!(bm.inpath_plane(c)[0] & 1, 0);
         }
-        // Row accessor agrees with outcome accessor.
-        let row = bm.row(0);
-        assert!(row
-            .iter()
-            .all(|&d| d == TagOutcome::NotInPath.digit() as u8));
+    }
+
+    #[test]
+    fn planes_span_word_boundaries() {
+        let trace = copy_trace(100); // 100 executions -> 2 words per plane
+        let cands = TagCandidates::collect(&trace, 8, 16);
+        let m = OutcomeMatrix::build(&trace, &cands, 8);
+        let bm = m.branch(0x200).unwrap();
+        assert_eq!(bm.words(), 2);
+        for c in 0..bm.tags().len() {
+            assert_eq!(bm.inpath_plane(c).len(), 2);
+            // dir is a subset of inpath everywhere.
+            for w in 0..2 {
+                assert_eq!(bm.dir_plane(c)[w] & !bm.inpath_plane(c)[w], 0);
+            }
+        }
+        // Bits past 64 land in the second word and read back correctly.
+        for e in [63, 64, 65, 99] {
+            assert_eq!(bm.taken(e), e % 3 == 0);
+        }
     }
 
     #[test]

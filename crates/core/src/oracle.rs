@@ -3,7 +3,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use bp_predictors::{PerBranchStats, PredictionStats, SaturatingCounter};
-use bp_trace::{InstanceTag, Pc, TagOutcome, Trace};
+use bp_trace::{InstanceTag, Pc, Trace};
 
 use crate::candidates::TagCandidates;
 use crate::matrix::{BranchMatrix, OutcomeMatrix};
@@ -137,6 +137,16 @@ impl OracleResult {
     }
 }
 
+impl FromIterator<(Pc, BranchSelection)> for OracleResult {
+    /// Assembles a result from per-branch selections — the merge step of
+    /// the engine's branch-sharded oracle scheduler.
+    fn from_iter<I: IntoIterator<Item = (Pc, BranchSelection)>>(iter: I) -> Self {
+        OracleResult {
+            per_branch: iter.into_iter().collect(),
+        }
+    }
+}
+
 /// The §3.4 oracle: for every static branch, finds the 1, 2 and 3 most
 /// important prior branch instances and scores the selective-history
 /// predictor built on them.
@@ -161,11 +171,17 @@ impl OracleSelector {
     /// matrix across strategies, e.g. for the greedy-vs-exhaustive
     /// ablation).
     pub fn analyze_matrix(matrix: &OutcomeMatrix, cfg: &OracleConfig) -> OracleResult {
-        let per_branch = matrix
+        matrix
             .iter()
-            .map(|(pc, bm)| (pc, select_for_branch(bm, cfg)))
-            .collect();
-        OracleResult { per_branch }
+            .map(|(pc, bm)| (pc, Self::select_branch(bm, cfg)))
+            .collect()
+    }
+
+    /// Runs the subset search for a single branch — the unit of work the
+    /// engine shards across its thread pool. Collect `(pc, selection)`
+    /// pairs back into an [`OracleResult`] via `FromIterator`.
+    pub fn select_branch(bm: &BranchMatrix, cfg: &OracleConfig) -> BranchSelection {
+        select_for_branch(bm, cfg)
     }
 }
 
@@ -173,37 +189,54 @@ impl OracleSelector {
 /// enough to live on the stack for every scoring call.
 const MAX_PATTERNS: usize = 27;
 
-/// Column-major copy of one branch's outcome matrix.
-///
-/// [`BranchMatrix`] is row-major, which suits its streaming construction,
-/// but the subset search reads whole *columns* — roughly `3 × candidates`
-/// full passes per branch. One transpose up front turns every scoring pass
-/// into contiguous scans, and its cost is that of a single pass.
-struct ColumnView<'a> {
-    /// `tags × executions` digits; column `c` at `[c * rows .. (c+1) * rows]`.
-    columns: Vec<u8>,
-    taken: &'a [bool],
+/// Valid-bit mask of a plane's final word.
+#[inline]
+fn tail_mask(executions: usize) -> u64 {
+    match executions % 64 {
+        0 => !0,
+        r => (1u64 << r) - 1,
+    }
 }
 
-impl<'a> ColumnView<'a> {
-    fn new(bm: &'a BranchMatrix) -> Self {
-        let rows = bm.executions();
-        let mut columns = vec![0u8; bm.tags().len() * rows];
-        for e in 0..rows {
-            for (c, &digit) in bm.row(e).iter().enumerate() {
-                columns[c * rows + e] = digit;
-            }
-        }
-        ColumnView {
-            columns,
-            taken: bm.outcomes(),
-        }
-    }
+/// One column's per-word ternary-outcome masks, indexed by digit:
+/// `[taken, not-taken, not-in-path]`. The planes carry no bits past the
+/// last execution, so only the complemented terms need `valid` masking.
+#[inline]
+fn ternary_masks(ip: u64, dir: u64, valid: u64) -> [u64; 3] {
+    [ip & dir, ip & !dir & valid, !ip & valid]
+}
 
-    #[inline]
-    fn column(&self, c: usize) -> &[u8] {
-        let rows = self.taken.len();
-        &self.columns[c * rows..(c + 1) * rows]
+/// Replays one pattern's executions within one 64-execution word: `m`
+/// masks the executions selecting this counter, `t` is the branch-outcome
+/// word.
+///
+/// Counters of different patterns are independent, so a word can be
+/// processed pattern-by-pattern; within a pattern the executions run in
+/// trace order (LSB first). When the masked outcomes are uniform — by far
+/// the common case for strongly biased branches — the whole run collapses
+/// into one O(1) [`SaturatingCounter::train_run`] jump; mixed words fall
+/// back to bit-serial replay.
+#[inline]
+fn tally_word(slot: &mut SaturatingCounter, m: u64, t: u64, correct: &mut u64) {
+    if m == 0 {
+        return;
+    }
+    let tm = t & m;
+    if tm == 0 {
+        *correct += slot.train_run(u64::from(m.count_ones()), false);
+    } else if tm == m {
+        *correct += slot.train_run(u64::from(m.count_ones()), true);
+    } else {
+        let mut rem = m;
+        while rem != 0 {
+            let b = rem.trailing_zeros();
+            rem &= rem - 1;
+            let taken = tm >> b & 1 == 1;
+            if slot.predict_taken() == taken {
+                *correct += 1;
+            }
+            slot.train(taken);
+        }
     }
 }
 
@@ -212,46 +245,81 @@ impl<'a> ColumnView<'a> {
 /// selected by the tags' ternary outcomes, predicted by the counter's high
 /// bit, trained with the branch outcome.
 ///
-/// The loop is specialized per set size — this is the innermost loop of the
-/// whole oracle analysis, so the counter table stays on the stack and each
-/// column is walked as one contiguous slice.
-fn score_columns(view: &ColumnView<'_>, cols: &[usize], init: SaturatingCounter) -> u64 {
-    let mut counters = [init; MAX_PATTERNS];
+/// This is the innermost loop of the whole oracle analysis. It walks the
+/// packed bit-planes a 64-execution word at a time: each word is split into
+/// per-pattern masks with a handful of AND/ANDNOT ops, and every mask is
+/// replayed through its counter via [`tally_word`]'s uniform-run jump.
+/// Exactly equivalent to the digit-at-a-time reference scorer
+/// (`crate::reference`), which the property tests hold it to.
+pub(crate) fn score_tag_set(bm: &BranchMatrix, cols: &[usize], init: SaturatingCounter) -> u64 {
+    let words = bm.words();
+    let taken = bm.taken_plane();
+    let tail = tail_mask(bm.executions());
+    let valid_at = |w: usize| if w + 1 == words { tail } else { !0 };
     let mut correct = 0u64;
-    let mut tally = |slot: &mut SaturatingCounter, taken: bool| {
-        if slot.predict_taken() == taken {
-            correct += 1;
-        }
-        slot.train(taken);
-    };
     match *cols {
         [] => {
-            let slot = &mut counters[0];
-            for &taken in view.taken {
-                tally(slot, taken);
+            let mut counter = init;
+            for (w, &t) in taken.iter().enumerate() {
+                tally_word(&mut counter, valid_at(w), t, &mut correct);
             }
         }
         [a] => {
-            for (&da, &taken) in view.column(a).iter().zip(view.taken) {
-                tally(&mut counters[da as usize], taken);
+            let (ipa, da) = (bm.inpath_plane(a), bm.dir_plane(a));
+            let mut counters = [init; 3];
+            for w in 0..words {
+                let t = taken[w];
+                let ma = ternary_masks(ipa[w], da[w], valid_at(w));
+                for (slot, &m) in counters.iter_mut().zip(&ma) {
+                    tally_word(slot, m, t, &mut correct);
+                }
             }
         }
         [a, b] => {
-            let zipped = view.column(a).iter().zip(view.column(b)).zip(view.taken);
-            for ((&da, &db), &taken) in zipped {
-                tally(&mut counters[da as usize * 3 + db as usize], taken);
+            let (ipa, da) = (bm.inpath_plane(a), bm.dir_plane(a));
+            let (ipb, db) = (bm.inpath_plane(b), bm.dir_plane(b));
+            let mut counters = [init; 9];
+            for w in 0..words {
+                let t = taken[w];
+                let valid = valid_at(w);
+                let ma = ternary_masks(ipa[w], da[w], valid);
+                let mb = ternary_masks(ipb[w], db[w], valid);
+                for (i, &ma) in ma.iter().enumerate() {
+                    if ma == 0 {
+                        continue;
+                    }
+                    for (j, &mb) in mb.iter().enumerate() {
+                        tally_word(&mut counters[i * 3 + j], ma & mb, t, &mut correct);
+                    }
+                }
             }
         }
         [a, b, c] => {
-            let zipped = view
-                .column(a)
-                .iter()
-                .zip(view.column(b))
-                .zip(view.column(c))
-                .zip(view.taken);
-            for (((&da, &db), &dc), &taken) in zipped {
-                let idx = (da as usize * 3 + db as usize) * 3 + dc as usize;
-                tally(&mut counters[idx], taken);
+            let (ipa, da) = (bm.inpath_plane(a), bm.dir_plane(a));
+            let (ipb, db) = (bm.inpath_plane(b), bm.dir_plane(b));
+            let (ipc, dc) = (bm.inpath_plane(c), bm.dir_plane(c));
+            let mut counters = [init; MAX_PATTERNS];
+            for w in 0..words {
+                let t = taken[w];
+                let valid = valid_at(w);
+                let ma = ternary_masks(ipa[w], da[w], valid);
+                let mb = ternary_masks(ipb[w], db[w], valid);
+                let mc = ternary_masks(ipc[w], dc[w], valid);
+                for (i, &ma) in ma.iter().enumerate() {
+                    if ma == 0 {
+                        continue;
+                    }
+                    for (j, &mb) in mb.iter().enumerate() {
+                        let mab = ma & mb;
+                        if mab == 0 {
+                            continue;
+                        }
+                        for (k, &mc) in mc.iter().enumerate() {
+                            let slot = &mut counters[(i * 3 + j) * 3 + k];
+                            tally_word(slot, mab & mc, t, &mut correct);
+                        }
+                    }
+                }
             }
         }
         _ => unreachable!("selective histories use at most {MAX_SELECTIVE_TAGS} tags"),
@@ -265,23 +333,35 @@ fn score_columns(view: &ColumnView<'_>, cols: &[usize], init: SaturatingCounter)
 ///
 /// This isolates §3.1's **in-path correlation** — what knowing merely
 /// *that* a branch was on the path (figure 2) predicts, as opposed to
-/// which way it went.
-fn score_columns_presence(bm: &BranchMatrix, cols: &[usize], init: SaturatingCounter) -> u64 {
+/// which way it went. Same word-wise plane walk as [`score_tag_set`], over
+/// in-path planes only.
+pub(crate) fn score_columns_presence(
+    bm: &BranchMatrix,
+    cols: &[usize],
+    init: SaturatingCounter,
+) -> u64 {
     debug_assert!(cols.len() <= MAX_SELECTIVE_TAGS);
+    let words = bm.words();
+    let taken = bm.taken_plane();
+    let tail = tail_mask(bm.executions());
     let mut counters = [init; 1 << MAX_SELECTIVE_TAGS];
     let mut correct = 0u64;
-    let not_in_path = TagOutcome::NotInPath.digit() as u8;
-    for e in 0..bm.executions() {
-        let row = bm.row(e);
-        let mut idx = 0usize;
-        for &c in cols {
-            idx = (idx << 1) | usize::from(row[c] != not_in_path);
+    let n_patterns = 1usize << cols.len();
+    for (w, &t) in taken.iter().enumerate() {
+        let valid = if w + 1 == words { tail } else { !0 };
+        // Pattern index composes in-path bits MSB-first over `cols`.
+        for (p, slot) in counters.iter_mut().enumerate().take(n_patterns) {
+            let mut m = valid;
+            for (i, &c) in cols.iter().enumerate() {
+                let ip = bm.inpath_plane(c)[w];
+                m &= if p >> (cols.len() - 1 - i) & 1 == 1 {
+                    ip
+                } else {
+                    !ip
+                };
+            }
+            tally_word(slot, m, t, &mut correct);
         }
-        let taken = bm.taken(e);
-        if counters[idx].predict_taken() == taken {
-            correct += 1;
-        }
-        counters[idx].train(taken);
     }
     correct
 }
@@ -337,13 +417,12 @@ pub fn presence_stats(
 fn select_for_branch(bm: &BranchMatrix, cfg: &OracleConfig) -> BranchSelection {
     let n_cands = bm.tags().len();
     let executions = bm.executions() as u64;
-    let view = ColumnView::new(bm);
 
     // Size 1: always exhaustive (linear).
     let mut best1_cols: Vec<usize> = Vec::new();
-    let mut best1 = score_columns(&view, &[], cfg.counter);
+    let mut best1 = score_tag_set(bm, &[], cfg.counter);
     for c in 0..n_cands {
-        let s = score_columns(&view, &[c], cfg.counter);
+        let s = score_tag_set(bm, &[c], cfg.counter);
         if s > best1 {
             best1 = s;
             best1_cols = vec![c];
@@ -356,16 +435,16 @@ fn select_for_branch(bm: &BranchMatrix, cfg: &OracleConfig) -> BranchSelection {
     };
 
     let (best2_cols, best2) = if exhaustive {
-        best_exhaustive(&view, n_cands, 2, cfg.counter)
+        best_exhaustive(bm, n_cands, 2, cfg.counter)
     } else {
-        best_greedy_step(&view, &best1_cols, best1, n_cands, cfg.counter)
+        best_greedy_step(bm, &best1_cols, best1, n_cands, cfg.counter)
     };
     let (best2_cols, best2) = keep_better((best1_cols.clone(), best1), (best2_cols, best2));
 
     let (best3_cols, best3) = if exhaustive {
-        best_exhaustive(&view, n_cands, 3, cfg.counter)
+        best_exhaustive(bm, n_cands, 3, cfg.counter)
     } else {
-        best_greedy_step(&view, &best2_cols, best2, n_cands, cfg.counter)
+        best_greedy_step(bm, &best2_cols, best2, n_cands, cfg.counter)
     };
     let (best3_cols, best3) = keep_better((best2_cols.clone(), best2), (best3_cols, best3));
 
@@ -386,7 +465,7 @@ fn select_for_branch(bm: &BranchMatrix, cfg: &OracleConfig) -> BranchSelection {
 /// Greedy forward step: extend `base` with the single column that improves
 /// its score most.
 fn best_greedy_step(
-    view: &ColumnView<'_>,
+    bm: &BranchMatrix,
     base: &[usize],
     base_score: u64,
     n_cands: usize,
@@ -401,7 +480,7 @@ fn best_greedy_step(
             continue;
         }
         *trial.last_mut().expect("trial set is non-empty") = c;
-        let s = score_columns(view, &trial, init);
+        let s = score_tag_set(bm, &trial, init);
         if s > best {
             best = s;
             best_cols = trial.clone();
@@ -412,7 +491,7 @@ fn best_greedy_step(
 
 /// Exhaustive search over all subsets of exactly `size` columns.
 fn best_exhaustive(
-    view: &ColumnView<'_>,
+    bm: &BranchMatrix,
     n_cands: usize,
     size: usize,
     init: SaturatingCounter,
@@ -428,7 +507,7 @@ fn best_exhaustive(
         *slot = i;
     }
     loop {
-        let s = score_columns(view, &combo, init);
+        let s = score_tag_set(bm, &combo, init);
         if s > best {
             best = s;
             best_cols = combo.clone();

@@ -1,0 +1,383 @@
+//! Reference byte-matrix oracle scorer.
+//!
+//! The production kernel in `oracle.rs` scores tag sets word-wise over
+//! packed bit-planes. This module retains the pre-bit-plane implementation
+//! — ternary digits expanded to one byte each, replayed one execution at a
+//! time — as an executable specification: the property tests assert exact
+//! agreement between the two on random traces, and the `oracle_kernel`
+//! Criterion bench measures the speedup against it.
+//!
+//! Compiled only for tests and under the `reference-scorer` feature; it is
+//! not part of the crate's supported API surface.
+
+use bp_predictors::SaturatingCounter;
+
+use crate::matrix::BranchMatrix;
+use crate::oracle::{
+    BranchSelection, OracleConfig, SearchStrategy, TagSetScore, MAX_SELECTIVE_TAGS,
+};
+
+const MAX_PATTERNS: usize = 27;
+
+/// Column-major byte expansion of one branch's outcome matrix: ternary
+/// digit per (candidate, execution), plus the branch's own outcomes.
+pub struct ColumnView {
+    /// `tags × executions` digits; column `c` at `[c * rows .. (c+1) * rows]`.
+    columns: Vec<u8>,
+    taken: Vec<bool>,
+}
+
+impl ColumnView {
+    /// Expands `bm`'s bit-planes into bytes.
+    pub fn new(bm: &BranchMatrix) -> Self {
+        let rows = bm.executions();
+        let mut columns = vec![0u8; bm.tags().len() * rows];
+        for c in 0..bm.tags().len() {
+            for e in 0..rows {
+                columns[c * rows + e] = bm.outcome(e, c).digit() as u8;
+            }
+        }
+        ColumnView {
+            columns,
+            taken: (0..rows).map(|e| bm.taken(e)).collect(),
+        }
+    }
+
+    #[inline]
+    fn column(&self, c: usize) -> &[u8] {
+        let rows = self.taken.len();
+        &self.columns[c * rows..(c + 1) * rows]
+    }
+}
+
+/// Digit-at-a-time scoring of one tag set: a table of `3^cols` counters,
+/// pattern selected by the tags' ternary outcomes, predicted by the
+/// counter's high bit, trained with the branch outcome — one execution per
+/// loop iteration, in trace order.
+pub fn score_tag_set(view: &ColumnView, cols: &[usize], init: SaturatingCounter) -> u64 {
+    let mut counters = [init; MAX_PATTERNS];
+    let mut correct = 0u64;
+    let mut tally = |slot: &mut SaturatingCounter, taken: bool| {
+        if slot.predict_taken() == taken {
+            correct += 1;
+        }
+        slot.train(taken);
+    };
+    match *cols {
+        [] => {
+            let slot = &mut counters[0];
+            for &taken in &view.taken {
+                tally(slot, taken);
+            }
+        }
+        [a] => {
+            for (&da, &taken) in view.column(a).iter().zip(&view.taken) {
+                tally(&mut counters[da as usize], taken);
+            }
+        }
+        [a, b] => {
+            let zipped = view.column(a).iter().zip(view.column(b)).zip(&view.taken);
+            for ((&da, &db), &taken) in zipped {
+                tally(&mut counters[da as usize * 3 + db as usize], taken);
+            }
+        }
+        [a, b, c] => {
+            let zipped = view
+                .column(a)
+                .iter()
+                .zip(view.column(b))
+                .zip(view.column(c))
+                .zip(&view.taken);
+            for (((&da, &db), &dc), &taken) in zipped {
+                let idx = (da as usize * 3 + db as usize) * 3 + dc as usize;
+                tally(&mut counters[idx], taken);
+            }
+        }
+        _ => unreachable!("selective histories use at most {MAX_SELECTIVE_TAGS} tags"),
+    }
+    correct
+}
+
+/// Digit-at-a-time presence-only scoring (in-path / not-in-path patterns,
+/// directions discarded).
+pub fn score_presence(bm: &BranchMatrix, cols: &[usize], init: SaturatingCounter) -> u64 {
+    debug_assert!(cols.len() <= MAX_SELECTIVE_TAGS);
+    let mut counters = [init; 1 << MAX_SELECTIVE_TAGS];
+    let mut correct = 0u64;
+    for e in 0..bm.executions() {
+        let mut idx = 0usize;
+        for &c in cols {
+            let in_path = bm.outcome(e, c) != bp_trace::TagOutcome::NotInPath;
+            idx = (idx << 1) | usize::from(in_path);
+        }
+        let taken = bm.taken(e);
+        if counters[idx].predict_taken() == taken {
+            correct += 1;
+        }
+        counters[idx].train(taken);
+    }
+    correct
+}
+
+/// Full per-branch subset search over the byte-expanded matrix — the same
+/// search as [`crate::OracleSelector::select_branch`], driven by the
+/// reference scorer. Since the scorers agree exactly, so do the selections.
+pub fn select_branch(bm: &BranchMatrix, cfg: &OracleConfig) -> BranchSelection {
+    let n_cands = bm.tags().len();
+    let executions = bm.executions() as u64;
+    let view = ColumnView::new(bm);
+
+    // Size 1: always exhaustive (linear).
+    let mut best1_cols: Vec<usize> = Vec::new();
+    let mut best1 = score_tag_set(&view, &[], cfg.counter);
+    for c in 0..n_cands {
+        let s = score_tag_set(&view, &[c], cfg.counter);
+        if s > best1 {
+            best1 = s;
+            best1_cols = vec![c];
+        }
+    }
+
+    let exhaustive = match cfg.search {
+        SearchStrategy::Exhaustive { max_candidates } => n_cands <= max_candidates,
+        SearchStrategy::Greedy => false,
+    };
+
+    let (best2_cols, best2) = if exhaustive {
+        best_exhaustive(&view, n_cands, 2, cfg.counter)
+    } else {
+        best_greedy_step(&view, &best1_cols, best1, n_cands, cfg.counter)
+    };
+    let (best2_cols, best2) = keep_better((best1_cols.clone(), best1), (best2_cols, best2));
+
+    let (best3_cols, best3) = if exhaustive {
+        best_exhaustive(&view, n_cands, 3, cfg.counter)
+    } else {
+        best_greedy_step(&view, &best2_cols, best2, n_cands, cfg.counter)
+    };
+    let (best3_cols, best3) = keep_better((best2_cols.clone(), best2), (best3_cols, best3));
+
+    let to_score = |cols: &[usize], correct: u64| TagSetScore {
+        tags: cols.iter().map(|&c| bm.tags()[c]).collect(),
+        correct,
+    };
+    BranchSelection {
+        executions,
+        best: [
+            to_score(&best1_cols, best1),
+            to_score(&best2_cols, best2),
+            to_score(&best3_cols, best3),
+        ],
+    }
+}
+
+fn best_greedy_step(
+    view: &ColumnView,
+    base: &[usize],
+    base_score: u64,
+    n_cands: usize,
+    init: SaturatingCounter,
+) -> (Vec<usize>, u64) {
+    let mut best_cols = base.to_vec();
+    let mut best = base_score;
+    let mut trial = base.to_vec();
+    trial.push(0);
+    for c in 0..n_cands {
+        if base.contains(&c) {
+            continue;
+        }
+        *trial.last_mut().expect("trial set is non-empty") = c;
+        let s = score_tag_set(view, &trial, init);
+        if s > best {
+            best = s;
+            best_cols = trial.clone();
+        }
+    }
+    (best_cols, best)
+}
+
+fn best_exhaustive(
+    view: &ColumnView,
+    n_cands: usize,
+    size: usize,
+    init: SaturatingCounter,
+) -> (Vec<usize>, u64) {
+    let mut best_cols: Vec<usize> = Vec::new();
+    let mut best = 0u64;
+    let mut combo = vec![0usize; size];
+    if n_cands < size {
+        return (Vec::new(), 0);
+    }
+    for (i, slot) in combo.iter_mut().enumerate() {
+        *slot = i;
+    }
+    loop {
+        let s = score_tag_set(view, &combo, init);
+        if s > best {
+            best = s;
+            best_cols = combo.clone();
+        }
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return (best_cols, best);
+            }
+            i -= 1;
+            if combo[i] < n_cands - (size - i) {
+                combo[i] += 1;
+                for j in i + 1..size {
+                    combo[j] = combo[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn keep_better(a: (Vec<usize>, u64), b: (Vec<usize>, u64)) -> (Vec<usize>, u64) {
+    if b.1 > a.1 {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+
+    use bp_trace::{BranchRecord, Trace};
+
+    use super::*;
+    use crate::candidates::TagCandidates;
+    use crate::matrix::OutcomeMatrix;
+    use crate::oracle;
+    use crate::OracleSelector;
+
+    fn arb_trace(max: usize) -> impl Strategy<Value = Trace> {
+        prop::collection::vec(
+            (0u64..10, any::<bool>(), any::<bool>()).prop_map(|(pc, taken, backward)| {
+                let rec = BranchRecord::conditional(pc * 4 + 0x100, taken);
+                if backward {
+                    rec.with_target(0x80)
+                } else {
+                    rec
+                }
+            }),
+            1..max,
+        )
+        .prop_map(Trace::from_records)
+    }
+
+    fn matrix_for(trace: &Trace, window: usize, cap: usize) -> OutcomeMatrix {
+        let cands = TagCandidates::collect(trace, window, cap);
+        OutcomeMatrix::build(trace, &cands, window)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The word-wise bit-plane scorer and the digit-at-a-time reference
+        /// agree exactly on every tag set of size 0..=3, across counter
+        /// widths.
+        #[test]
+        fn bit_plane_scorer_matches_reference(trace in arb_trace(400), bits in 1u8..=3) {
+            let init = SaturatingCounter::new(bits, 0);
+            let matrix = matrix_for(&trace, 8, 10);
+            for (_, bm) in matrix.iter() {
+                let view = ColumnView::new(bm);
+                let n = bm.tags().len();
+                prop_assert_eq!(
+                    oracle::score_tag_set(bm, &[], init),
+                    score_tag_set(&view, &[], init)
+                );
+                for a in 0..n {
+                    prop_assert_eq!(
+                        oracle::score_tag_set(bm, &[a], init),
+                        score_tag_set(&view, &[a], init)
+                    );
+                    for b in a + 1..n {
+                        prop_assert_eq!(
+                            oracle::score_tag_set(bm, &[a, b], init),
+                            score_tag_set(&view, &[a, b], init)
+                        );
+                        for c in b + 1..n {
+                            prop_assert_eq!(
+                                oracle::score_tag_set(bm, &[a, b, c], init),
+                                score_tag_set(&view, &[a, b, c], init)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Same agreement for the presence-only scorer (in-path patterns,
+        /// directions discarded).
+        #[test]
+        fn presence_scorer_matches_reference(trace in arb_trace(300)) {
+            let init = SaturatingCounter::two_bit();
+            let matrix = matrix_for(&trace, 8, 6);
+            for (_, bm) in matrix.iter() {
+                let n = bm.tags().len();
+                for a in 0..n {
+                    prop_assert_eq!(
+                        oracle::score_columns_presence(bm, &[a], init),
+                        score_presence(bm, &[a], init)
+                    );
+                    for b in a + 1..n {
+                        prop_assert_eq!(
+                            oracle::score_columns_presence(bm, &[a, b], init),
+                            score_presence(bm, &[a, b], init)
+                        );
+                        for c in b + 1..n {
+                            prop_assert_eq!(
+                                oracle::score_columns_presence(bm, &[a, b, c], init),
+                                score_presence(bm, &[a, b, c], init)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Because the scorers agree, so do full per-branch selections —
+        /// tags and scores, for both search strategies.
+        #[test]
+        fn search_selections_match_reference(trace in arb_trace(300)) {
+            for search in [
+                SearchStrategy::Greedy,
+                SearchStrategy::Exhaustive { max_candidates: 12 },
+            ] {
+                let cfg = OracleConfig {
+                    window: 6,
+                    candidate_cap: 8,
+                    search,
+                    ..OracleConfig::default()
+                };
+                let matrix = matrix_for(&trace, cfg.window, cfg.candidate_cap);
+                for (pc, bm) in matrix.iter() {
+                    let got = OracleSelector::select_branch(bm, &cfg);
+                    let want = select_branch(bm, &cfg);
+                    prop_assert_eq!(got.executions, want.executions, "{:#x}", pc);
+                    for k in 0..3 {
+                        prop_assert_eq!(
+                            &got.best[k].tags,
+                            &want.best[k].tags,
+                            "{:#x} k={}",
+                            pc,
+                            k
+                        );
+                        prop_assert_eq!(
+                            got.best[k].correct,
+                            want.best[k].correct,
+                            "{:#x} k={}",
+                            pc,
+                            k
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

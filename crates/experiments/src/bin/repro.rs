@@ -81,6 +81,22 @@ fn write_timings(
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"oracle\": [\n");
+    let phases = engine.oracle_phase_stats();
+    for (i, (benchmark, p)) in phases.iter().enumerate() {
+        let sep = if i + 1 == phases.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"benchmark\": \"{}\", \"analyses\": {}, \"shards\": {}, \
+             \"matrix_seconds\": {:.3}, \"search_seconds\": {:.3}}}{}\n",
+            benchmark.short_name(),
+            p.analyses,
+            p.shards,
+            p.matrix_seconds,
+            p.search_seconds,
+            sep
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},\n",
         cache.hits, cache.misses, cache.entries

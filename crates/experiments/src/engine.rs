@@ -33,13 +33,14 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use bp_core::{
-    Classification, Classifier, ClassifierConfig, OracleConfig, OracleResult, OracleSelector,
+    BranchSelection, Classification, Classifier, ClassifierConfig, OracleConfig, OracleResult,
+    OracleSelector, OutcomeMatrix, SweepMatrix, TagCandidates,
 };
 use bp_predictors::{
     simulate_batch, Gshare, GshareInterferenceFree, Pas, PasInterferenceFree, PerBranchStats,
     Predictor,
 };
-use bp_trace::{BranchProfile, Trace};
+use bp_trace::{BranchProfile, Pc, Trace};
 use bp_workloads::Benchmark;
 
 use crate::{ExperimentConfig, TraceSet};
@@ -151,6 +152,10 @@ pub struct CacheStats {
 pub struct EvalCache {
     per_branch: CacheMap<(Benchmark, PredictorKey), PerBranchStats>,
     oracles: CacheMap<(Benchmark, OracleConfig), OracleResult>,
+    /// Shared window-sweep artifacts, keyed by the sweep's window list and
+    /// candidate cap (the artifact is independent of counter and search
+    /// strategy — those only affect the per-point subset search).
+    sweeps: CacheMap<(Benchmark, Vec<usize>, Vec<usize>), SweepMatrix>,
     classifications: CacheMap<(Benchmark, ClassifierConfig), Classification>,
     profiles: CacheMap<Benchmark, BranchProfile>,
     hits: AtomicU64,
@@ -163,6 +168,7 @@ impl EvalCache {
         EvalCache {
             per_branch: CacheMap::new(),
             oracles: CacheMap::new(),
+            sweeps: CacheMap::new(),
             classifications: CacheMap::new(),
             profiles: CacheMap::new(),
             hits: AtomicU64::new(0),
@@ -177,6 +183,7 @@ impl EvalCache {
             misses: self.misses.load(Ordering::Relaxed),
             entries: (self.per_branch.len()
                 + self.oracles.len()
+                + self.sweeps.len()
                 + self.classifications.len()
                 + self.profiles.len()) as u64,
         }
@@ -212,6 +219,24 @@ impl FanoutStats {
     }
 }
 
+/// Per-benchmark oracle phase accounting (reported through
+/// `repro --timings`): where an oracle analysis spends its time —
+/// candidate collection + matrix packing vs the subset search — and how
+/// finely the search was sharded over the worker pool.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OraclePhaseStats {
+    /// Seconds spent collecting candidates and packing outcome matrices
+    /// (including sweep-artifact builds and sub-window materialization).
+    pub matrix_seconds: f64,
+    /// Seconds spent in the per-branch subset search.
+    pub search_seconds: f64,
+    /// Branch-chunk work units the searches were split into (1 per
+    /// analysis when the search ran serially).
+    pub shards: u64,
+    /// Oracle analyses performed (cache misses only).
+    pub analyses: u64,
+}
+
 /// Shared evaluation state for a run: the trace set, the memoization
 /// cache, and the worker-thread budget.
 pub struct Engine {
@@ -220,6 +245,10 @@ pub struct Engine {
     jobs: usize,
     busy_nanos: AtomicU64,
     fanout_wall_nanos: AtomicU64,
+    /// Threads currently executing fan-out work; the difference to `jobs`
+    /// is the budget a nested shard-level fan-out may claim.
+    active_workers: AtomicUsize,
+    oracle_phases: Mutex<HashMap<Benchmark, OraclePhaseStats>>,
 }
 
 impl Engine {
@@ -234,6 +263,8 @@ impl Engine {
             jobs: jobs.max(1),
             busy_nanos: AtomicU64::new(0),
             fanout_wall_nanos: AtomicU64::new(0),
+            active_workers: AtomicUsize::new(0),
+            oracle_phases: Mutex::new(HashMap::new()),
         }
     }
 
@@ -296,7 +327,8 @@ impl Engine {
     {
         let started = Instant::now();
         let results = if self.jobs == 1 {
-            benchmarks
+            self.active_workers.fetch_add(1, Ordering::Relaxed);
+            let results = benchmarks
                 .iter()
                 .map(|&b| {
                     let t0 = Instant::now();
@@ -305,7 +337,9 @@ impl Engine {
                         .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     r
                 })
-                .collect()
+                .collect();
+            self.active_workers.fetch_sub(1, Ordering::Relaxed);
+            results
         } else {
             let next = AtomicUsize::new(0);
             let collected: Mutex<Vec<(usize, R)>> =
@@ -320,7 +354,9 @@ impl Engine {
                                 break;
                             };
                             let t0 = Instant::now();
+                            self.active_workers.fetch_add(1, Ordering::Relaxed);
                             local.push((i, f(benchmark)));
+                            self.active_workers.fetch_sub(1, Ordering::Relaxed);
                             self.busy_nanos
                                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         }
@@ -375,13 +411,198 @@ impl Engine {
     }
 
     /// Cached oracle selective-history analysis for one configuration.
+    ///
+    /// On a miss, the per-branch subset search is sharded over any worker
+    /// budget the benchmark-level fan-out has left idle (see
+    /// [`Engine::jobs`]) — `--jobs N` helps even when a single benchmark's
+    /// oracle dominates the run.
     pub fn oracle(&self, benchmark: Benchmark, cfg: &OracleConfig) -> Arc<OracleResult> {
         self.cache.oracles.get_or_compute(
             (benchmark, *cfg),
             &self.cache.hits,
             &self.cache.misses,
-            || OracleSelector::analyze(&self.trace(benchmark), cfg),
+            || {
+                let trace = self.trace(benchmark);
+                let t0 = Instant::now();
+                let candidates = TagCandidates::collect(&trace, cfg.window, cfg.candidate_cap);
+                let matrix = OutcomeMatrix::build(&trace, &candidates, cfg.window);
+                let matrix_seconds = t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let (result, shards) = self.sharded_select(&matrix, cfg);
+                self.record_oracle_phases(
+                    benchmark,
+                    matrix_seconds,
+                    t1.elapsed().as_secs_f64(),
+                    shards,
+                    1,
+                );
+                result
+            },
         )
+    }
+
+    /// Cached oracle analyses for a whole window sweep, sharing one
+    /// incremental artifact: candidates and matrix are computed once at the
+    /// largest window ([`SweepMatrix::build`]) and every shorter window is
+    /// materialized by masking — no extra trace passes. Results are
+    /// byte-identical to per-window [`Engine::oracle`] calls and are
+    /// inserted into the same cache, so either entry point can hit the
+    /// other's work.
+    ///
+    /// `base.window` and `base.candidate_cap` are ignored; sweep point `i`
+    /// uses `base` with `windows[i]` and `caps[i]`. Per-point caps keep
+    /// each point's config (and so its cache key and result) exactly what
+    /// a direct [`Engine::oracle`] call at that point would use, while the
+    /// shared artifact still packs all points' candidate columns at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is not strictly ascending, exceeds
+    /// [`bp_core::MAX_SWEEP_WINDOWS`] entries, or differs in length from
+    /// `caps`.
+    pub fn oracle_sweep(
+        &self,
+        benchmark: Benchmark,
+        windows: &[usize],
+        caps: &[usize],
+        base: &OracleConfig,
+    ) -> Vec<Arc<OracleResult>> {
+        windows
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let point = OracleConfig {
+                    window: n,
+                    candidate_cap: caps[i],
+                    ..*base
+                };
+                self.cache.oracles.get_or_compute(
+                    (benchmark, point),
+                    &self.cache.hits,
+                    &self.cache.misses,
+                    || {
+                        // The artifact is built lazily on the first miss,
+                        // then shared by every other point (and run).
+                        let sweep = self.cache.sweeps.get_or_compute(
+                            (benchmark, windows.to_vec(), caps.to_vec()),
+                            &self.cache.hits,
+                            &self.cache.misses,
+                            || {
+                                let t0 = Instant::now();
+                                let sweep =
+                                    SweepMatrix::build(&self.trace(benchmark), windows, caps);
+                                self.record_oracle_phases(
+                                    benchmark,
+                                    t0.elapsed().as_secs_f64(),
+                                    0.0,
+                                    0,
+                                    0,
+                                );
+                                sweep
+                            },
+                        );
+                        let t0 = Instant::now();
+                        let matrix = sweep.materialize(i);
+                        let matrix_seconds = t0.elapsed().as_secs_f64();
+                        let t1 = Instant::now();
+                        let (result, shards) = self.sharded_select(&matrix, &point);
+                        self.record_oracle_phases(
+                            benchmark,
+                            matrix_seconds,
+                            t1.elapsed().as_secs_f64(),
+                            shards,
+                            1,
+                        );
+                        result
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Per-branch subset search over `matrix`, sharded across whatever
+    /// worker budget is currently idle. Returns the result and the number
+    /// of work units it was split into.
+    ///
+    /// Determinism: each branch's selection is a pure function of its
+    /// matrix, branches are enumerated in PC order, and the merge is
+    /// key-addressed — thread count and scheduling cannot change the
+    /// result. Shard boundaries derive from the `--jobs` budget (not the
+    /// momentary idle count), so reported shard counts are stable too.
+    fn sharded_select(&self, matrix: &OutcomeMatrix, cfg: &OracleConfig) -> (OracleResult, u64) {
+        let mut branches: Vec<(Pc, &bp_core::BranchMatrix)> = matrix.iter().collect();
+        branches.sort_unstable_by_key(|&(pc, _)| pc);
+        let spare = self
+            .jobs
+            .saturating_sub(self.active_workers.load(Ordering::Relaxed));
+        let threads = (spare + 1).min(self.jobs).min(branches.len().max(1));
+        if threads <= 1 {
+            let result = branches
+                .iter()
+                .map(|&(pc, bm)| (pc, OracleSelector::select_branch(bm, cfg)))
+                .collect();
+            return (result, 1);
+        }
+        let chunk = branches.len().div_ceil(self.jobs * 8).max(1);
+        let shards = branches.len().div_ceil(chunk) as u64;
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(Pc, BranchSelection)>> =
+            Mutex::new(Vec::with_capacity(branches.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    self.active_workers.fetch_add(1, Ordering::Relaxed);
+                    let mut local: Vec<(Pc, BranchSelection)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(1, Ordering::Relaxed) * chunk;
+                        if start >= branches.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(branches.len());
+                        for &(pc, bm) in &branches[start..end] {
+                            local.push((pc, OracleSelector::select_branch(bm, cfg)));
+                        }
+                    }
+                    self.active_workers.fetch_sub(1, Ordering::Relaxed);
+                    collected
+                        .lock()
+                        .expect("oracle shard results")
+                        .extend(local);
+                });
+            }
+        });
+        let result = collected
+            .into_inner()
+            .expect("oracle shard results")
+            .into_iter()
+            .collect();
+        (result, shards)
+    }
+
+    fn record_oracle_phases(
+        &self,
+        benchmark: Benchmark,
+        matrix_seconds: f64,
+        search_seconds: f64,
+        shards: u64,
+        analyses: u64,
+    ) {
+        let mut phases = self.oracle_phases.lock().expect("oracle phase stats");
+        let entry = phases.entry(benchmark).or_default();
+        entry.matrix_seconds += matrix_seconds;
+        entry.search_seconds += search_seconds;
+        entry.shards += shards;
+        entry.analyses += analyses;
+    }
+
+    /// Per-benchmark oracle phase accounting so far, in [`Benchmark::ALL`]
+    /// order (benchmarks without oracle analyses are omitted).
+    pub fn oracle_phase_stats(&self) -> Vec<(Benchmark, OraclePhaseStats)> {
+        let phases = self.oracle_phases.lock().expect("oracle phase stats");
+        Benchmark::ALL
+            .iter()
+            .filter_map(|b| phases.get(b).map(|s| (*b, *s)))
+            .collect()
     }
 
     /// Cached per-address classification for one configuration.
@@ -541,6 +762,85 @@ mod tests {
         let end = engine.cache_stats();
         assert_eq!(end.misses, 32);
         assert!(end.hits >= 1);
+    }
+
+    #[test]
+    fn sharded_oracle_matches_serial_analysis() {
+        // The branch-sharded search must agree exactly with the serial
+        // reference whatever the worker budget.
+        let serial = quick_engine(1);
+        let sharded = quick_engine(4);
+        let cfg = OracleConfig::default();
+        for b in [Benchmark::Compress, Benchmark::Go] {
+            let direct = OracleSelector::analyze(&serial.trace(b), &cfg);
+            for engine in [&serial, &sharded] {
+                let got = engine.oracle(b, &cfg);
+                assert_eq!(got.branch_count(), direct.branch_count());
+                for (pc, sel) in direct.iter() {
+                    let g = got.selection(pc).expect("branch present");
+                    assert_eq!(g.executions, sel.executions, "{b:?} {pc:#x}");
+                    for k in 0..3 {
+                        assert_eq!(g.best[k].tags, sel.best[k].tags, "{b:?} {pc:#x} k={k}");
+                        assert_eq!(
+                            g.best[k].correct, sel.best[k].correct,
+                            "{b:?} {pc:#x} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_sweep_matches_per_window_oracles() {
+        let windows = [8usize, 12, 16];
+        let caps = [32usize, 40, 48];
+        let base = OracleConfig::default();
+        let swept = quick_engine(2);
+        let plain = quick_engine(2);
+        let b = Benchmark::Ijpeg;
+        let sweep_results = swept.oracle_sweep(b, &windows, &caps, &base);
+        for ((&n, &cap), swept_r) in windows.iter().zip(&caps).zip(&sweep_results) {
+            let point = OracleConfig {
+                window: n,
+                candidate_cap: cap,
+                ..base
+            };
+            let direct = plain.oracle(b, &point);
+            assert_eq!(swept_r.branch_count(), direct.branch_count(), "n={n}");
+            for (pc, sel) in direct.iter() {
+                let g = swept_r.selection(pc).expect("branch present");
+                for k in 0..3 {
+                    assert_eq!(g.best[k].tags, sel.best[k].tags, "n={n} {pc:#x} k={k}");
+                    assert_eq!(
+                        g.best[k].correct, sel.best[k].correct,
+                        "n={n} {pc:#x} k={k}"
+                    );
+                }
+            }
+        }
+        // The sweep's points land in the ordinary oracle cache: asking for
+        // one directly is a hit, not a recomputation.
+        let misses_before = swept.cache_stats().misses;
+        let again = swept.oracle(
+            b,
+            &OracleConfig {
+                window: 12,
+                candidate_cap: 40,
+                ..base
+            },
+        );
+        assert_eq!(swept.cache_stats().misses, misses_before);
+        assert!(Arc::ptr_eq(&again, &sweep_results[1]));
+        // And the phase accounting saw the analyses.
+        let phases = swept.oracle_phase_stats();
+        let (_, stats) = phases
+            .iter()
+            .find(|(bench, _)| *bench == b)
+            .expect("phase stats recorded");
+        assert_eq!(stats.analyses, windows.len() as u64);
+        assert!(stats.shards >= windows.len() as u64);
+        assert!(stats.matrix_seconds >= 0.0 && stats.search_seconds >= 0.0);
     }
 
     #[test]

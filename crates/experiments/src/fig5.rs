@@ -5,7 +5,6 @@
 //! The paper's finding: windows shorter than 12 are limiting, gains flatten
 //! past ~20 — the important correlated branches are close by.
 
-use bp_core::OracleConfig;
 use bp_workloads::Benchmark;
 
 use crate::render::{pct, Table};
@@ -32,22 +31,25 @@ pub struct Result {
 
 /// Runs the figure 5 experiment.
 ///
-/// At the default window (16) the swept configuration coincides with
-/// [`ExperimentConfig::default`]'s oracle settings, so that point is a
-/// cache hit shared with figure 4, table 2 and the extensions.
+/// The whole sweep shares one incremental artifact per benchmark
+/// ([`Engine::oracle_sweep`]): candidates and outcome matrix are built
+/// once at the largest window and each shorter point is derived by
+/// masking. The per-point candidate caps are derived once, up front, as a
+/// pure function of the sweep spec — both tagging schemes can name up to
+/// 2n instances per execution, so a cap below `2n + 16` drops candidates
+/// on arbitrary tie-breaks and bends the curve downward. Point n=16 at
+/// the default cap coincides with [`ExperimentConfig::default`]'s oracle
+/// settings, so that entry is shared with figure 4 and table 2.
 pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let caps: Vec<usize> = HISTORY_LENGTHS
+        .iter()
+        .map(|&n| cfg.oracle.candidate_cap.max(2 * n + 16))
+        .collect();
     let rows = engine.for_each_benchmark(|benchmark| {
+        let points = engine.oracle_sweep(benchmark, &HISTORY_LENGTHS, &caps, &cfg.oracle);
         let mut accuracy = [0f64; 7];
-        for (i, &n) in HISTORY_LENGTHS.iter().enumerate() {
-            let oracle_cfg = OracleConfig {
-                window: n,
-                // Both tagging schemes can name up to 2n instances per
-                // execution; a cap below that drops candidates on
-                // arbitrary tie-breaks and bends the curve downward.
-                candidate_cap: cfg.oracle.candidate_cap.max(2 * n + 16),
-                ..cfg.oracle
-            };
-            accuracy[i] = engine.oracle(benchmark, &oracle_cfg).accuracy(3);
+        for (slot, oracle) in accuracy.iter_mut().zip(&points) {
+            *slot = oracle.accuracy(3);
         }
         Row {
             benchmark,

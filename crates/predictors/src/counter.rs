@@ -100,6 +100,38 @@ impl SaturatingCounter {
     pub fn is_saturated(&self) -> bool {
         self.value == 0 || self.value == self.max
     }
+
+    /// Runs `n` consecutive predict-then-train steps against the *same*
+    /// outcome, returning how many of the `n` predictions were correct.
+    ///
+    /// Exactly equivalent to `n` [`SaturatingCounter::predict_taken`] /
+    /// [`SaturatingCounter::train`] pairs, but O(1): against a uniform
+    /// outcome the counter moves monotonically, so the number of
+    /// mispredictions is just the number of steps the value needs to cross
+    /// the predict threshold. This is the state-jump behind the oracle
+    /// kernel's word-wise fast path (bp-core), where whole 64-execution
+    /// words of a single pattern often share one outcome.
+    #[inline]
+    pub fn train_run(&mut self, n: u64, taken: bool) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let threshold = self.max / 2;
+        let wrong = if taken {
+            u64::from((threshold + 1).saturating_sub(self.value)).min(n)
+        } else {
+            u64::from(self.value.saturating_sub(threshold)).min(n)
+        };
+        // Enough steps to saturate; value and max are both < 128, so the
+        // intermediate sum fits in u8.
+        let step = n.min(u64::from(self.max)) as u8;
+        self.value = if taken {
+            (self.value + step).min(self.max)
+        } else {
+            self.value.saturating_sub(step)
+        };
+        n - wrong
+    }
 }
 
 impl Default for SaturatingCounter {
@@ -171,5 +203,36 @@ mod tests {
         let c = SaturatingCounter::default();
         assert_eq!(c.value(), 2);
         assert_eq!(c.max_value(), 3);
+    }
+
+    #[test]
+    fn train_run_matches_stepwise_replay_exhaustively() {
+        // Every width, every starting value, both outcomes, run lengths
+        // crossing all saturation distances: the jump must agree with the
+        // per-step loop in both correct count and final state.
+        for bits in 1..=7u8 {
+            let max = (1u16 << bits) - 1;
+            for initial in 0..=max as u8 {
+                for taken in [false, true] {
+                    for n in 0..=(2 * max as u64 + 3) {
+                        let mut jumped = SaturatingCounter::new(bits, initial);
+                        let got = jumped.train_run(n, taken);
+                        let mut stepped = SaturatingCounter::new(bits, initial);
+                        let mut correct = 0u64;
+                        for _ in 0..n {
+                            if stepped.predict_taken() == taken {
+                                correct += 1;
+                            }
+                            stepped.train(taken);
+                        }
+                        assert_eq!(got, correct, "bits={bits} v={initial} taken={taken} n={n}");
+                        assert_eq!(
+                            jumped, stepped,
+                            "bits={bits} v={initial} taken={taken} n={n}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

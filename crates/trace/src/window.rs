@@ -178,11 +178,32 @@ impl PathWindow {
     /// omitted.
     pub fn visible_tags(&self, out: &mut Vec<(InstanceTag, bool)>) {
         out.clear();
-        // Most-recent-first scan; occurrence counting needs it and it makes
-        // "most recent wins" the natural first-hit rule for collisions.
+        self.scan_visible(|tag, taken, _| out.push((tag, taken)));
+    }
+
+    /// As [`PathWindow::visible_tags`], but each entry also carries the
+    /// instance's [`PathWindow::distance`] (1 = most recent).
+    ///
+    /// Because occurrence indices count only more-recent same-pc entries
+    /// and iteration collisions resolve to the most recent instance, a tag
+    /// visible here at distance *d* is visible — with the same outcome and
+    /// distance — in every window of length ≥ *d*, and in no shorter one.
+    /// That makes one max-window scan sufficient to derive the visible set
+    /// of every sub-window (the incremental window-sweep machinery in
+    /// `bp-core` relies on this).
+    pub fn visible_tags_with_distance(&self, out: &mut Vec<(InstanceTag, bool, usize)>) {
+        out.clear();
+        self.scan_visible(|tag, taken, distance| out.push((tag, taken, distance)));
+    }
+
+    /// Most-recent-first scan naming every visible instance under both
+    /// schemes; occurrence counting needs that order and it makes "most
+    /// recent wins" the natural first-hit rule for iteration collisions.
+    fn scan_visible(&self, mut emit: impl FnMut(InstanceTag, bool, usize)) {
         let mut seen_iteration: Vec<(Pc, u64)> = Vec::with_capacity(self.entries.len());
         let mut occurrence_counts: Vec<(Pc, u16)> = Vec::with_capacity(self.entries.len());
-        for e in self.entries.iter().rev() {
+        for (back, e) in self.entries.iter().rev().enumerate() {
+            let distance = back + 1;
             let occ = match occurrence_counts.iter_mut().find(|(pc, _)| *pc == e.pc) {
                 Some((_, n)) => {
                     let k = *n;
@@ -194,7 +215,7 @@ impl PathWindow {
                     0
                 }
             };
-            out.push((InstanceTag::occurrence(e.pc, occ), e.taken));
+            emit(InstanceTag::occurrence(e.pc, occ), e.taken, distance);
 
             let since = self.backwards_since(e);
             if since <= u64::from(u16::MAX)
@@ -203,7 +224,11 @@ impl PathWindow {
                     .any(|&(pc, s)| pc == e.pc && s == since)
             {
                 seen_iteration.push((e.pc, since));
-                out.push((InstanceTag::iteration(e.pc, since as u16), e.taken));
+                emit(
+                    InstanceTag::iteration(e.pc, since as u16),
+                    e.taken,
+                    distance,
+                );
             }
         }
     }
@@ -339,6 +364,58 @@ mod tests {
         w.visible_tags(&mut tags);
         for (tag, _) in tags {
             assert!(w.distance(tag).is_some(), "{tag:?}");
+        }
+    }
+
+    #[test]
+    fn visible_tags_with_distance_agrees_with_plain_scan() {
+        let mut w = PathWindow::new(6);
+        for rec in [fwd(1, true), bwd(2, true), fwd(1, false), fwd(3, true)] {
+            w.push(&rec);
+        }
+        let mut plain = Vec::new();
+        let mut with_d = Vec::new();
+        w.visible_tags(&mut plain);
+        w.visible_tags_with_distance(&mut with_d);
+        // Same tags/outcomes in the same order, distances match distance().
+        assert_eq!(plain.len(), with_d.len());
+        for ((tag, taken), (dtag, dtaken, d)) in plain.iter().zip(&with_d) {
+            assert_eq!((tag, taken), (dtag, dtaken));
+            assert_eq!(w.distance(*tag), Some(*d), "{tag:?}");
+        }
+    }
+
+    #[test]
+    fn sub_window_visible_set_is_distance_filter_of_max_window() {
+        // The property the incremental window sweep rests on: the visible
+        // set of a short window equals the long window's set filtered to
+        // distance <= short capacity.
+        let recs = [
+            fwd(1, true),
+            bwd(2, true),
+            fwd(1, false),
+            fwd(3, true),
+            bwd(2, false),
+            fwd(1, true),
+            fwd(4, false),
+        ];
+        for short_cap in 1..=recs.len() {
+            let mut long = PathWindow::new(recs.len());
+            let mut short = PathWindow::new(short_cap);
+            for rec in &recs {
+                long.push(rec);
+                short.push(rec);
+            }
+            let mut long_tags = Vec::new();
+            let mut short_tags = Vec::new();
+            long.visible_tags_with_distance(&mut long_tags);
+            short.visible_tags(&mut short_tags);
+            let filtered: Vec<_> = long_tags
+                .iter()
+                .filter(|(_, _, d)| *d <= short_cap)
+                .map(|(t, o, _)| (*t, *o))
+                .collect();
+            assert_eq!(filtered, short_tags, "cap {short_cap}");
         }
     }
 

@@ -1,11 +1,10 @@
 use std::collections::HashMap;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use bp_predictors::{
-    simulate_per_branch, BlockPattern, LoopPredictor, PasInterferenceFree, PerBranchStats,
-};
-use bp_trace::{BranchProfile, Pc, Trace};
+use bp_predictors::{PerBranchStats, SaturatingCounter, MAX_TRIP};
+use bp_trace::{BranchProfile, BranchStreams, FxHashMap, OutcomeStream, Pc, Trace};
 
 /// The per-address predictability classes of §4.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -119,13 +118,25 @@ impl BranchClassScores {
 }
 
 /// Result of classifying every branch of a trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Classification {
     per_branch: HashMap<Pc, BranchClassScores>,
     total_dynamic: u64,
 }
 
 impl Classification {
+    /// Assembles a classification from per-branch scores (shared by the
+    /// bit-parallel kernel and the per-record reference implementation).
+    pub(crate) fn from_parts(
+        per_branch: HashMap<Pc, BranchClassScores>,
+        total_dynamic: u64,
+    ) -> Self {
+        Classification {
+            per_branch,
+            total_dynamic,
+        }
+    }
+
     /// Scores for one branch, if it executed.
     pub fn get(&self, pc: Pc) -> Option<&BranchClassScores> {
         self.per_branch.get(&pc)
@@ -214,7 +225,25 @@ impl Classification {
     }
 }
 
+/// Where a classification spent its time, for `repro --timings`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassifyPhases {
+    /// Seconds in the shifted-XNOR fixed-pattern sweep.
+    pub sweep_seconds: f64,
+    /// Seconds in the run-length loop/block replay and the pattern-major
+    /// IF-PAs scoring.
+    pub replay_seconds: f64,
+}
+
 /// Runs the §4 per-address classification over a trace.
+///
+/// Every class predictor is scored from packed per-branch outcome streams
+/// ([`BranchStreams`]): the k-ago sweep as shifted-XNOR popcounts, the
+/// loop and block predictors over the stream's run-length decomposition,
+/// and interference-free PAs pattern-major with O(1) uniform-run counter
+/// jumps. Scores are exactly those of per-record simulation (the retained
+/// reference implementation, `bp_core::reference::classify`, is
+/// property-tested against this kernel).
 ///
 /// # Example
 ///
@@ -236,99 +265,383 @@ pub struct Classifier;
 impl Classifier {
     /// Scores every branch with each class predictor and assigns classes.
     pub fn classify(trace: &Trace, cfg: &ClassifierConfig) -> Classification {
+        Self::classify_streams(&BranchStreams::of(trace), cfg)
+    }
+
+    /// As [`Classifier::classify`], over an already-packed stream artifact
+    /// (built once per trace and shared across experiments).
+    pub fn classify_streams(streams: &BranchStreams, cfg: &ClassifierConfig) -> Classification {
+        Self::classify_streams_timed(streams, cfg).0
+    }
+
+    /// As [`Classifier::classify_streams`], also reporting phase timings.
+    pub fn classify_streams_timed(
+        streams: &BranchStreams,
+        cfg: &ClassifierConfig,
+    ) -> (Classification, ClassifyPhases) {
         assert!(
             (1..=64).contains(&cfg.max_period),
             "max fixed-pattern period must be 1..=64"
         );
-        let profile = BranchProfile::of(trace);
-        let loop_stats = simulate_per_branch(&mut LoopPredictor::new(), trace);
-        let block_stats = simulate_per_branch(&mut BlockPattern::new(), trace);
-        let pas_stats =
-            simulate_per_branch(&mut PasInterferenceFree::new(cfg.pas_history_bits), trace);
-        let fixed = sweep_fixed_patterns(trace, cfg.max_period);
-
-        let per_branch = profile
-            .iter()
-            .map(|(pc, entry)| {
-                let (fixed_correct, best_period) = fixed.get(&pc).map_or((0, 1), |f| f.best());
-                let scores = BranchClassScores {
-                    executions: entry.executions,
-                    static_correct: entry.ideal_static_correct(),
-                    loop_correct: loop_stats.get(pc).map_or(0, |s| s.correct),
-                    fixed_correct,
-                    best_period,
-                    block_correct: block_stats.get(pc).map_or(0, |s| s.correct),
-                    pas_correct: pas_stats.get(pc).map_or(0, |s| s.correct),
-                };
-                (pc, scores)
-            })
-            .collect();
-        Classification {
-            per_branch,
-            total_dynamic: profile.dynamic_count(),
-        }
-    }
-}
-
-#[derive(Debug, Clone)]
-struct FixedSweep {
-    /// correct[k-1] = correct predictions of the k-ago predictor.
-    correct: Vec<u64>,
-}
-
-impl FixedSweep {
-    fn best(&self) -> (u64, u32) {
-        let mut best = 0u64;
-        let mut best_k = 1u32;
-        for (i, &c) in self.correct.iter().enumerate() {
-            if c > best {
-                best = c;
-                best_k = i as u32 + 1;
-            }
-        }
-        (best, best_k)
-    }
-}
-
-/// Evaluates all k-ago predictors (k = 1..=max) for every branch in one
-/// trace pass, using a per-branch outcome ring. Insufficient history
-/// predicts taken, matching [`bp_predictors::KthAgo`].
-fn sweep_fixed_patterns(trace: &Trace, max_period: u32) -> HashMap<Pc, FixedSweep> {
-    struct Ring {
-        bits: u64,
-        len: u32,
-    }
-    let mut rings: HashMap<Pc, (Ring, FixedSweep)> = HashMap::new();
-    for rec in trace.conditionals() {
-        let (ring, sweep) = rings.entry(rec.pc).or_insert_with(|| {
-            (
-                Ring { bits: 0, len: 0 },
-                FixedSweep {
-                    correct: vec![0; max_period as usize],
-                },
-            )
-        });
-        for k in 1..=max_period {
-            let pred = if ring.len >= k {
-                (ring.bits >> (k - 1)) & 1 == 1
-            } else {
-                true
+        let mut pas = PasScratch::new(cfg.pas_history_bits);
+        let mut phases = ClassifyPhases::default();
+        let mut per_branch = HashMap::with_capacity(streams.static_count());
+        for (pc, stream) in streams.iter() {
+            let executions = stream.len() as u64;
+            let taken = stream.taken_count();
+            let t0 = Instant::now();
+            let (fixed_correct, best_period) = sweep_best(stream, cfg.max_period);
+            let t1 = Instant::now();
+            phases.sweep_seconds += (t1 - t0).as_secs_f64();
+            let scores = BranchClassScores {
+                executions,
+                static_correct: taken.max(executions - taken),
+                loop_correct: loop_replay(stream),
+                fixed_correct,
+                best_period,
+                block_correct: block_replay(stream),
+                pas_correct: pas.score(stream),
             };
-            if pred == rec.taken {
-                sweep.correct[(k - 1) as usize] += 1;
-            }
+            phases.replay_seconds += t1.elapsed().as_secs_f64();
+            per_branch.insert(pc, scores);
         }
-        ring.bits = (ring.bits << 1) | u64::from(rec.taken);
-        if ring.len < 64 {
-            ring.len += 1;
+        (
+            Classification::from_parts(per_branch, streams.dynamic_count()),
+            phases,
+        )
+    }
+}
+
+/// Popcount of the first `m` bits of a packed stream.
+fn popcount_prefix(words: &[u64], m: usize) -> u64 {
+    let full = m / 64;
+    let mut count: u64 = words[..full]
+        .iter()
+        .map(|w| u64::from(w.count_ones()))
+        .sum();
+    let rem = m % 64;
+    if rem > 0 {
+        count += u64::from((words[full] & (!0u64 >> (64 - rem))).count_ones());
+    }
+    count
+}
+
+/// Correct predictions of the k-ago predictor over one stream — exactly
+/// [`bp_predictors::KthAgo::new`]`(k)` on that branch: the first
+/// `min(k, n)` executions predict taken (insufficient history), every
+/// later execution `e` is correct iff outcome `e` equals outcome `e - k`.
+/// The agreement test is one XNOR per word against the stream shifted left
+/// by `k` bits, masked to the valid range — O(n/64) per `k` with no
+/// per-record state.
+pub(crate) fn kth_ago_correct(stream: &OutcomeStream, k: usize) -> u64 {
+    let n = stream.len();
+    let words = stream.words();
+    let mut correct = popcount_prefix(words, k.min(n));
+    if n <= k {
+        return correct;
+    }
+    let (q, r) = (k / 64, (k % 64) as u32);
+    for i in q..=(n - 1) / 64 {
+        let shifted = if r == 0 {
+            words[i - q]
+        } else {
+            let carry = if i > q {
+                words[i - q - 1] >> (64 - r)
+            } else {
+                0
+            };
+            (words[i - q] << r) | carry
+        };
+        // Valid executions of this word: global indices in [k, n).
+        let base = i * 64;
+        let mut mask = !0u64;
+        if k > base {
+            mask &= !0u64 << (k - base);
+        }
+        if n < base + 64 {
+            mask &= !0u64 >> (64 - (n - base));
+        }
+        correct += u64::from((!(words[i] ^ shifted) & mask).count_ones());
+    }
+    correct
+}
+
+/// Best fixed-pattern score over k = 1..=`max_period`. Ties keep the
+/// smallest k (ascending scan, strictly-greater wins); a branch no k-ago
+/// predictor ever gets right reports `(0, 1)`.
+fn sweep_best(stream: &OutcomeStream, max_period: u32) -> (u64, u32) {
+    let mut best = 0u64;
+    let mut best_k = 1u32;
+    for k in 1..=max_period {
+        let c = kth_ago_correct(stream, k as usize);
+        if c > best {
+            best = c;
+            best_k = k;
         }
     }
-    rings.into_iter().map(|(pc, (_, s))| (pc, s)).collect()
+    (best, best_k)
+}
+
+/// Replays [`bp_predictors::LoopPredictor`] over a stream's run-length
+/// decomposition in O(1) per run.
+///
+/// The predictor's whole-run behavior collapses: riding a body run of
+/// length `L` with a learned trip `n` costs one miss iff the exit was
+/// expected strictly inside the run (`run ≤ n < run + L`); a completed
+/// run stores its trip and mispredicts at most its first outcome; the
+/// re-latch after a length-1 exit restarts the body. Each transition below
+/// is the predictor's per-record state machine applied `L` times at once,
+/// so the total equals per-record simulation exactly (property-tested
+/// against `bp_core::reference::classify`).
+fn loop_replay(stream: &OutcomeStream) -> u64 {
+    let max_trip = u64::from(MAX_TRIP);
+    let mut correct = 0u64;
+    let mut started = false;
+    // Mirrors `LoopState`: the latched body direction, current same-
+    // direction run length (uncapped), learned trip, and overflow flag.
+    let mut direction = false;
+    let mut run = 0u64;
+    let mut trip: Option<u64> = None;
+    let mut overflowed = false;
+    for (d, len) in stream.runs() {
+        if !started {
+            // First prediction is the static taken fallback; the rest of
+            // the run rides the just-latched direction.
+            started = true;
+            correct += u64::from(d) + (len - 1);
+            direction = d;
+            run = len;
+            overflowed = len > max_trip;
+        } else if d == direction {
+            // Body continues: one miss iff the learned trip expires
+            // strictly inside this run (the predictor calls the exit and
+            // the branch keeps going).
+            let hit = matches!(trip, Some(n) if !overflowed && run <= n && n < run + len);
+            correct += len - u64::from(hit);
+            run += len;
+            if run > max_trip {
+                overflowed = true;
+            }
+        } else {
+            // The first flip outcome is the exit: predicted iff the trip
+            // was known, not overflowed, and expired exactly now.
+            correct += u64::from(matches!(trip, Some(n) if !overflowed && run == n));
+            if run == 0 {
+                // Second consecutive non-body outcome: re-latch, and the
+                // rest of this run rides the new direction.
+                correct += len - 1;
+                direction = d;
+                run = len;
+                trip = None;
+                overflowed = len > max_trip;
+            } else {
+                trip = if overflowed { None } else { Some(run) };
+                overflowed = false;
+                if len == 1 {
+                    run = 0;
+                } else {
+                    // A second flip outcome re-latches (missing once —
+                    // run is 0 and the trip never matches 0); outcomes
+                    // three onward ride the new body.
+                    correct += len - 2;
+                    direction = d;
+                    run = len - 1;
+                    trip = None;
+                    overflowed = len - 1 > max_trip;
+                }
+            }
+        }
+    }
+    correct
+}
+
+/// Replays [`bp_predictors::BlockPattern`] over a stream's run-length
+/// decomposition in O(1) per run.
+///
+/// Between flips the state only counts: a whole run of length `L` after a
+/// flip mispredicts its first outcome unless the completed run's length
+/// matched the stored expectation, plus at most one mid-run miss where a
+/// stale expectation (shorter than `L`) calls the flip early.
+fn block_replay(stream: &OutcomeStream) -> u64 {
+    // Mirrors `BlockState`, whose run counter saturates at MAX_TRIP + 1.
+    let cap = u64::from(MAX_TRIP) + 1;
+    let mut correct = 0u64;
+    let mut started = false;
+    let mut current = false;
+    let mut run = 0u64;
+    let mut taken_run: Option<u64> = None;
+    let mut not_taken_run: Option<u64> = None;
+    for (d, len) in stream.runs() {
+        if !started {
+            // Static taken fallback, then ride the run (no expectations
+            // exist yet).
+            started = true;
+            correct += u64::from(d) + (len - 1);
+            current = d;
+            run = len.min(cap);
+        } else if d == current {
+            // Unreachable from maximal runs (adjacent runs alternate) but
+            // kept exact: a stale expectation expiring inside the run
+            // costs one miss.
+            let expect = if current { taken_run } else { not_taken_run };
+            let hit = matches!(expect, Some(n) if run <= n && n < run + len);
+            correct += len - u64::from(hit);
+            run = (run + len).min(cap);
+        } else {
+            // The flip itself is predicted iff the completed run's length
+            // matched its stored expectation.
+            let expect_old = if current { taken_run } else { not_taken_run };
+            correct += u64::from(matches!(expect_old, Some(n) if run == n));
+            let completed = (run <= u64::from(MAX_TRIP)).then_some(run);
+            if current {
+                taken_run = completed;
+            } else {
+                not_taken_run = completed;
+            }
+            // Riding the new run: one miss iff the other direction's
+            // expectation expires before the run actually ends.
+            let expect_new = if d { taken_run } else { not_taken_run };
+            if len > 1 {
+                correct += (len - 1) - u64::from(matches!(expect_new, Some(n) if n < len));
+            }
+            current = d;
+            run = len.min(cap);
+        }
+    }
+    correct
+}
+
+/// History lengths up to this many bits use dense counting-sort buckets
+/// (two `2^bits`-entry u32 tables); longer histories fall back to a
+/// hash-keyed per-record replay.
+const DENSE_PAS_BITS: u32 = 16;
+
+/// Reusable scratch for pattern-major interference-free PAs scoring.
+///
+/// Per branch, the rolling history pattern of every execution is computed
+/// once, executions are counting-sorted into per-pattern buckets (dense
+/// tables indexed by pattern, reset via the touched-pattern list), and
+/// each bucket — whose counter no other pattern touches — is replayed as
+/// uniform-outcome runs with [`SaturatingCounter::train_run`]. Within a
+/// pattern the original execution order is preserved, so the counter sees
+/// exactly the per-record training sequence.
+struct PasScratch {
+    history_bits: u32,
+    /// Executions per pattern this branch (dense path); zeroed via
+    /// `touched` after each branch.
+    counts: Vec<u32>,
+    /// Bucket write cursor, then bucket end offset, per pattern.
+    cursor: Vec<u32>,
+    /// Patterns seen for this branch, in first-use order.
+    touched: Vec<u32>,
+    /// Pattern of each execution, in trace order.
+    patterns: Vec<u32>,
+    /// Outcomes regrouped pattern-major.
+    ordered: Vec<u8>,
+}
+
+impl PasScratch {
+    fn new(history_bits: u32) -> Self {
+        let slots = if history_bits <= DENSE_PAS_BITS {
+            1usize << history_bits
+        } else {
+            0
+        };
+        PasScratch {
+            history_bits,
+            counts: vec![0; slots],
+            cursor: vec![0; slots],
+            touched: Vec::new(),
+            patterns: Vec::new(),
+            ordered: Vec::new(),
+        }
+    }
+
+    /// Interference-free PAs correct count for one branch's stream —
+    /// exactly [`bp_predictors::PasInterferenceFree`] on that branch
+    /// (history starts at zero; counters initialize weakly taken and train
+    /// on the pre-update history).
+    fn score(&mut self, stream: &OutcomeStream) -> u64 {
+        if self.history_bits > DENSE_PAS_BITS {
+            return self.score_sparse(stream);
+        }
+        let n = stream.len();
+        let words = stream.words();
+        let mask = (1u32 << self.history_bits) - 1;
+        self.patterns.clear();
+        self.patterns.reserve(n);
+        let mut h = 0u32;
+        for e in 0..n {
+            let bit = (words[e / 64] >> (e % 64)) & 1;
+            if self.counts[h as usize] == 0 {
+                self.touched.push(h);
+            }
+            self.counts[h as usize] += 1;
+            self.patterns.push(h);
+            h = ((h << 1) | bit as u32) & mask;
+        }
+        // Prefix-sum bucket starts in first-use order, scatter outcomes
+        // pattern-major, then replay each bucket's runs.
+        let mut running = 0u32;
+        for &p in &self.touched {
+            self.cursor[p as usize] = running;
+            running += self.counts[p as usize];
+        }
+        self.ordered.clear();
+        self.ordered.resize(n, 0);
+        for e in 0..n {
+            let bit = ((words[e / 64] >> (e % 64)) & 1) as u8;
+            let slot = &mut self.cursor[self.patterns[e] as usize];
+            self.ordered[*slot as usize] = bit;
+            *slot += 1;
+        }
+        let mut correct = 0u64;
+        for &p in &self.touched {
+            let end = self.cursor[p as usize] as usize;
+            let start = end - self.counts[p as usize] as usize;
+            let mut counter = SaturatingCounter::two_bit();
+            let mut i = start;
+            while i < end {
+                let v = self.ordered[i];
+                let mut j = i + 1;
+                while j < end && self.ordered[j] == v {
+                    j += 1;
+                }
+                correct += counter.train_run((j - i) as u64, v == 1);
+                i = j;
+            }
+        }
+        for &p in &self.touched {
+            self.counts[p as usize] = 0;
+        }
+        self.touched.clear();
+        correct
+    }
+
+    /// Per-record fallback for history lengths too long to bucket densely
+    /// (still branch-local, so no cross-branch interference either way).
+    fn score_sparse(&self, stream: &OutcomeStream) -> u64 {
+        let mask = (1u64 << self.history_bits) - 1;
+        let mut counters: FxHashMap<u64, SaturatingCounter> = FxHashMap::default();
+        let mut h = 0u64;
+        let mut correct = 0u64;
+        for e in 0..stream.len() {
+            let taken = stream.get(e);
+            let counter = counters.entry(h).or_insert_with(SaturatingCounter::two_bit);
+            if counter.predict_taken() == taken {
+                correct += 1;
+            }
+            counter.train(taken);
+            h = ((h << 1) | u64::from(taken)) & mask;
+        }
+        correct
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bp_predictors::{simulate_per_branch, KthAgo};
     use bp_trace::BranchRecord;
 
     fn classify(trace: &Trace) -> Classification {
@@ -498,5 +811,85 @@ mod tests {
         assert_eq!(c.iter().count(), 0);
         let dist = c.dynamic_distribution();
         assert_eq!(dist.values().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn stream_entry_point_matches_trace_entry_point() {
+        let mut recs = Vec::new();
+        for i in 0..500u64 {
+            recs.push(BranchRecord::conditional(0x10, i % 7 != 6));
+            recs.push(BranchRecord::conditional(0x20, i % 3 == 0));
+        }
+        let trace = Trace::from_records(recs);
+        let cfg = ClassifierConfig::default();
+        let direct = Classifier::classify(&trace, &cfg);
+        let streams = BranchStreams::of(&trace);
+        let (via_streams, phases) = Classifier::classify_streams_timed(&streams, &cfg);
+        for (pc, s) in direct.iter() {
+            assert_eq!(via_streams.get(pc), Some(s), "{pc:#x}");
+        }
+        assert!(phases.sweep_seconds >= 0.0 && phases.replay_seconds >= 0.0);
+    }
+
+    /// Satellite regression: the k = max_period = 64 ring boundary. The
+    /// old per-record sweep kept a 64-deep ring whose capacity exactly
+    /// equals the largest legal period; the shifted-XNOR kernel must agree
+    /// with a real `KthAgo(k)` simulation at every k up to that boundary,
+    /// on a stream whose length is itself word-aligned.
+    #[test]
+    fn kth_ago_kernel_matches_simulated_predictor_through_k64() {
+        // Period-64 pattern (so k = 64 is the only perfect period) whose
+        // content has no shorter-shift self-correlation (k = 64 beats
+        // every k < 64 by a wide margin), plus a second branch with a
+        // non-aligned length; 256 executions lands runs on every word
+        // boundary.
+        let word = 0x2CEA_EE20_D811_CD0Du64;
+        let pattern: Vec<bool> = (0..64).map(|i| (word >> i) & 1 == 1).collect();
+        let mut recs = Vec::new();
+        for rep in 0..4 {
+            for &t in &pattern {
+                recs.push(BranchRecord::conditional(0x10, t));
+            }
+            for j in 0..45u64 {
+                recs.push(BranchRecord::conditional(0x20, (j + rep) % 9 < 4));
+            }
+        }
+        let trace = Trace::from_records(recs);
+        let streams = BranchStreams::of(&trace);
+        for k in 1..=64u32 {
+            let sim = simulate_per_branch(&mut KthAgo::new(k), &trace);
+            for (pc, stream) in streams.iter() {
+                assert_eq!(
+                    kth_ago_correct(stream, k as usize),
+                    sim.get(pc).map_or(0, |s| s.correct),
+                    "k={k} pc={pc:#x}"
+                );
+            }
+        }
+        // And the sweep at max_period 64 finds the period-64 branch.
+        let c = Classifier::classify(
+            &trace,
+            &ClassifierConfig {
+                max_period: 64,
+                ..ClassifierConfig::default()
+            },
+        );
+        let s = c.get(0x10).unwrap();
+        assert_eq!(s.best_period, 64, "scores {s:?}");
+        // Perfect after the 64-execution warmup (which predicts taken).
+        let warm_taken = pattern.iter().filter(|&&t| t).count() as u64;
+        assert_eq!(s.fixed_correct, warm_taken + (256 - 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "max fixed-pattern period")]
+    fn oversized_period_rejected() {
+        let _ = Classifier::classify(
+            &Trace::new(),
+            &ClassifierConfig {
+                max_period: 65,
+                ..ClassifierConfig::default()
+            },
+        );
     }
 }

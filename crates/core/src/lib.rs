@@ -60,7 +60,9 @@ pub use bestof::{
     best_of, combined_correct, per_branch_max, BestOfDistribution, Contender, IDEAL_STATIC_NAME,
 };
 pub use candidates::TagCandidates;
-pub use classify::{BranchClassScores, Classification, Classifier, ClassifierConfig, PaClass};
+pub use classify::{
+    BranchClassScores, Classification, Classifier, ClassifierConfig, ClassifyPhases, PaClass,
+};
 pub use cost::CostModel;
 pub use distance::DistanceHistogram;
 pub use gaps::MispredictProfile;

@@ -1,21 +1,120 @@
-//! Reference byte-matrix oracle scorer.
+//! Reference byte-matrix oracle scorer and per-record classifier.
 //!
-//! The production kernel in `oracle.rs` scores tag sets word-wise over
-//! packed bit-planes. This module retains the pre-bit-plane implementation
-//! — ternary digits expanded to one byte each, replayed one execution at a
-//! time — as an executable specification: the property tests assert exact
-//! agreement between the two on random traces, and the `oracle_kernel`
-//! Criterion bench measures the speedup against it.
+//! The production kernels score word-wise over packed bit-planes: the
+//! oracle in `oracle.rs`, the §4.1 per-address classification in
+//! `classify.rs`. This module retains the pre-bit-parallel
+//! implementations — ternary digits expanded to one byte each, class
+//! predictors stepped one execution at a time through their real
+//! `bp_predictors` state machines — as executable specifications: the
+//! property tests assert exact agreement on random traces, and the
+//! `oracle_kernel` / `classify_kernel` Criterion benches measure the
+//! speedups against them.
 //!
 //! Compiled only for tests and under the `reference-scorer` feature; it is
 //! not part of the crate's supported API surface.
 
-use bp_predictors::SaturatingCounter;
+use std::collections::HashMap;
 
+use bp_predictors::{
+    simulate_per_branch, BlockPattern, LoopPredictor, PasInterferenceFree, SaturatingCounter,
+};
+use bp_trace::{BranchProfile, Pc, Trace};
+
+use crate::classify::{BranchClassScores, Classification, ClassifierConfig};
 use crate::matrix::BranchMatrix;
 use crate::oracle::{
     BranchSelection, OracleConfig, SearchStrategy, TagSetScore, MAX_SELECTIVE_TAGS,
 };
+
+/// Per-record §4 classification — the pre-bit-parallel implementation,
+/// simulating each class predictor over the interleaved trace. The
+/// bit-parallel kernel ([`crate::Classifier::classify`]) must agree
+/// score-for-score.
+pub fn classify(trace: &Trace, cfg: &ClassifierConfig) -> Classification {
+    assert!(
+        (1..=64).contains(&cfg.max_period),
+        "max fixed-pattern period must be 1..=64"
+    );
+    let profile = BranchProfile::of(trace);
+    let loop_stats = simulate_per_branch(&mut LoopPredictor::new(), trace);
+    let block_stats = simulate_per_branch(&mut BlockPattern::new(), trace);
+    let pas_stats = simulate_per_branch(&mut PasInterferenceFree::new(cfg.pas_history_bits), trace);
+    let fixed = sweep_fixed_patterns(trace, cfg.max_period);
+
+    let per_branch = profile
+        .iter()
+        .map(|(pc, entry)| {
+            let (fixed_correct, best_period) = fixed.get(&pc).map_or((0, 1), |f| f.best());
+            let scores = BranchClassScores {
+                executions: entry.executions,
+                static_correct: entry.ideal_static_correct(),
+                loop_correct: loop_stats.get(pc).map_or(0, |s| s.correct),
+                fixed_correct,
+                best_period,
+                block_correct: block_stats.get(pc).map_or(0, |s| s.correct),
+                pas_correct: pas_stats.get(pc).map_or(0, |s| s.correct),
+            };
+            (pc, scores)
+        })
+        .collect();
+    Classification::from_parts(per_branch, profile.dynamic_count())
+}
+
+#[derive(Debug, Clone)]
+struct FixedSweep {
+    /// correct[k-1] = correct predictions of the k-ago predictor.
+    correct: Vec<u64>,
+}
+
+impl FixedSweep {
+    fn best(&self) -> (u64, u32) {
+        let mut best = 0u64;
+        let mut best_k = 1u32;
+        for (i, &c) in self.correct.iter().enumerate() {
+            if c > best {
+                best = c;
+                best_k = i as u32 + 1;
+            }
+        }
+        (best, best_k)
+    }
+}
+
+/// Evaluates all k-ago predictors (k = 1..=max) for every branch in one
+/// trace pass, using a per-branch outcome ring. Insufficient history
+/// predicts taken, matching [`bp_predictors::KthAgo`].
+fn sweep_fixed_patterns(trace: &Trace, max_period: u32) -> HashMap<Pc, FixedSweep> {
+    struct Ring {
+        bits: u64,
+        len: u32,
+    }
+    let mut rings: HashMap<Pc, (Ring, FixedSweep)> = HashMap::new();
+    for rec in trace.conditionals() {
+        let (ring, sweep) = rings.entry(rec.pc).or_insert_with(|| {
+            (
+                Ring { bits: 0, len: 0 },
+                FixedSweep {
+                    correct: vec![0; max_period as usize],
+                },
+            )
+        });
+        for k in 1..=max_period {
+            let pred = if ring.len >= k {
+                (ring.bits >> (k - 1)) & 1 == 1
+            } else {
+                true
+            };
+            if pred == rec.taken {
+                sweep.correct[(k - 1) as usize] += 1;
+            }
+        }
+        ring.bits = (ring.bits << 1) | u64::from(rec.taken);
+        if ring.len < 64 {
+            ring.len += 1;
+        }
+    }
+    rings.into_iter().map(|(pc, (_, s))| (pc, s)).collect()
+}
 
 const MAX_PATTERNS: usize = 27;
 
@@ -252,7 +351,84 @@ mod tests {
     use crate::candidates::TagCandidates;
     use crate::matrix::OutcomeMatrix;
     use crate::oracle;
-    use crate::OracleSelector;
+    use crate::{Classifier, OracleSelector};
+
+    /// Purely random conditional outcomes across a handful of branches.
+    fn arb_cond_trace(max: usize) -> impl Strategy<Value = Trace> {
+        prop::collection::vec(
+            (0u64..6, any::<bool>())
+                .prop_map(|(pc, taken)| BranchRecord::conditional(0x40 + pc * 4, taken)),
+            1..max,
+        )
+        .prop_map(Trace::from_records)
+    }
+
+    /// Adversarial per-branch structure: long same-direction runs (lengths
+    /// crossing the 255 trip cap and the 64-bit word size) and repeated
+    /// periodic patterns (periods crossing the 64 sweep ceiling), chained
+    /// per branch and interleaved round-robin into one trace.
+    fn arb_structured_trace() -> impl Strategy<Value = Trace> {
+        let segment = (
+            any::<bool>(),
+            (any::<bool>(), 1usize..300),
+            (prop::collection::vec(any::<bool>(), 1..70), 1usize..6),
+        )
+            .prop_map(|(use_run, (d, len), (pattern, reps))| {
+                if use_run {
+                    vec![d; len]
+                } else {
+                    let mut v = Vec::with_capacity(pattern.len() * reps);
+                    for _ in 0..reps {
+                        v.extend_from_slice(&pattern);
+                    }
+                    v
+                }
+            });
+        let branch = prop::collection::vec(segment, 1..5)
+            .prop_map(|segs| segs.into_iter().flatten().collect::<Vec<bool>>());
+        prop::collection::vec(branch, 1..4).prop_map(|branches| {
+            let mut recs = Vec::new();
+            let longest = branches.iter().map(Vec::len).max().unwrap_or(0);
+            for i in 0..longest {
+                for (b, outcomes) in branches.iter().enumerate() {
+                    if let Some(&taken) = outcomes.get(i) {
+                        recs.push(BranchRecord::conditional(0x80 + b as u64 * 4, taken));
+                    }
+                }
+            }
+            Trace::from_records(recs)
+        })
+    }
+
+    /// Configurations covering the sweep extremes (k = 1 only, the paper's
+    /// 32, the 64 ceiling) and both IF-PAs paths (dense and hash-keyed).
+    const CLASSIFY_CONFIGS: [ClassifierConfig; 4] = [
+        ClassifierConfig {
+            max_period: 32,
+            pas_history_bits: 12,
+        },
+        ClassifierConfig {
+            max_period: 64,
+            pas_history_bits: 4,
+        },
+        ClassifierConfig {
+            max_period: 1,
+            pas_history_bits: 1,
+        },
+        ClassifierConfig {
+            max_period: 32,
+            pas_history_bits: 20,
+        },
+    ];
+
+    fn assert_classifier_matches_reference(trace: &Trace, cfg: &ClassifierConfig) {
+        let want = classify(trace, cfg);
+        let got = Classifier::classify(trace, cfg);
+        assert_eq!(got.iter().count(), want.iter().count());
+        for (pc, w) in want.iter() {
+            assert_eq!(got.get(pc), Some(w), "pc {pc:#x} cfg {cfg:?}");
+        }
+    }
 
     fn arb_trace(max: usize) -> impl Strategy<Value = Trace> {
         prop::collection::vec(
@@ -378,6 +554,57 @@ mod tests {
                     }
                 }
             }
+        }
+
+        /// The bit-parallel classification kernel reproduces the
+        /// per-record reference score-for-score on random traces —
+        /// executions, static/loop/fixed/block/PAs corrects, and the
+        /// `best_period` tie-break — across sweep and history extremes.
+        #[test]
+        fn classifier_matches_reference_on_random_traces(trace in arb_cond_trace(600)) {
+            for cfg in &CLASSIFY_CONFIGS {
+                assert_classifier_matches_reference(&trace, cfg);
+            }
+        }
+
+        /// Same agreement on adversarial run/period structure: runs past
+        /// the 255 trip cap, periods past the 64-k ceiling, and word-
+        /// boundary-straddling segments.
+        #[test]
+        fn classifier_matches_reference_on_structured_traces(trace in arb_structured_trace()) {
+            for cfg in &CLASSIFY_CONFIGS {
+                assert_classifier_matches_reference(&trace, cfg);
+            }
+        }
+    }
+
+    /// Pinned sweep corner cases: a uniformly-taken branch ties every k
+    /// (warmup predicts taken, replay always matches) and must keep the
+    /// smallest period; a short never-taken branch is scored entirely by
+    /// the insufficient-history predicts-taken rule.
+    #[test]
+    fn sweep_tie_break_and_warmup_rule_pinned() {
+        let cfg = ClassifierConfig::default();
+        let uniform: Trace = (0..100)
+            .map(|_| BranchRecord::conditional(0x10, true))
+            .collect();
+        for c in [
+            classify(&uniform, &cfg),
+            Classifier::classify(&uniform, &cfg),
+        ] {
+            let s = c.get(0x10).unwrap();
+            assert_eq!((s.fixed_correct, s.best_period), (100, 1), "scores {s:?}");
+        }
+
+        // Three not-taken executions: k = 1 mispredicts only its one
+        // warmup outcome, k = 2 two, k >= 3 never leaves warmup (all
+        // wrong) — so the sweep pins (2 correct, k = 1).
+        let short: Trace = (0..3)
+            .map(|_| BranchRecord::conditional(0x20, false))
+            .collect();
+        for c in [classify(&short, &cfg), Classifier::classify(&short, &cfg)] {
+            let s = c.get(0x20).unwrap();
+            assert_eq!((s.fixed_correct, s.best_period), (2, 1), "scores {s:?}");
         }
     }
 }

@@ -97,6 +97,23 @@ fn write_timings(
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"classify\": [\n");
+    let classify = engine.classify_phase_stats();
+    for (i, (benchmark, p)) in classify.iter().enumerate() {
+        let sep = if i + 1 == classify.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"benchmark\": \"{}\", \"classifications\": {}, \
+             \"stream_seconds\": {:.3}, \"sweep_seconds\": {:.3}, \
+             \"replay_seconds\": {:.3}}}{}\n",
+            benchmark.short_name(),
+            p.classifications,
+            p.stream_seconds,
+            p.sweep_seconds,
+            p.replay_seconds,
+            sep
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},\n",
         cache.hits, cache.misses, cache.entries

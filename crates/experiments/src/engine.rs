@@ -40,7 +40,7 @@ use bp_predictors::{
     simulate_batch, Gshare, GshareInterferenceFree, Pas, PasInterferenceFree, PerBranchStats,
     Predictor,
 };
-use bp_trace::{BranchProfile, Pc, Trace};
+use bp_trace::{BranchProfile, BranchStreams, Pc, Trace};
 use bp_workloads::Benchmark;
 
 use crate::{ExperimentConfig, TraceSet};
@@ -157,6 +157,9 @@ pub struct EvalCache {
     /// strategy — those only affect the per-point subset search).
     sweeps: CacheMap<(Benchmark, Vec<usize>, Vec<usize>), SweepMatrix>,
     classifications: CacheMap<(Benchmark, ClassifierConfig), Classification>,
+    /// Packed per-branch outcome streams, built in one trace pass and
+    /// shared by every classification config and the branch profile.
+    streams: CacheMap<Benchmark, BranchStreams>,
     profiles: CacheMap<Benchmark, BranchProfile>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -170,6 +173,7 @@ impl EvalCache {
             oracles: CacheMap::new(),
             sweeps: CacheMap::new(),
             classifications: CacheMap::new(),
+            streams: CacheMap::new(),
             profiles: CacheMap::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -185,6 +189,7 @@ impl EvalCache {
                 + self.oracles.len()
                 + self.sweeps.len()
                 + self.classifications.len()
+                + self.streams.len()
                 + self.profiles.len()) as u64,
         }
     }
@@ -237,6 +242,24 @@ pub struct OraclePhaseStats {
     pub analyses: u64,
 }
 
+/// Per-benchmark classification phase accounting (reported through
+/// `repro --timings`): where the §4 classification spends its time —
+/// packing the per-branch outcome streams, the shifted-XNOR fixed-pattern
+/// sweep, and the run-length loop/block/PAs replay.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassifyPhaseStats {
+    /// Seconds packing the trace into [`BranchStreams`] (once per
+    /// benchmark; shared by every classification config and the profile).
+    pub stream_seconds: f64,
+    /// Seconds in the shifted-XNOR k-ago sweep.
+    pub sweep_seconds: f64,
+    /// Seconds in the run-length loop/block replay and pattern-major
+    /// IF-PAs scoring.
+    pub replay_seconds: f64,
+    /// Classifications performed (cache misses only).
+    pub classifications: u64,
+}
+
 /// Shared evaluation state for a run: the trace set, the memoization
 /// cache, and the worker-thread budget.
 pub struct Engine {
@@ -249,6 +272,7 @@ pub struct Engine {
     /// is the budget a nested shard-level fan-out may claim.
     active_workers: AtomicUsize,
     oracle_phases: Mutex<HashMap<Benchmark, OraclePhaseStats>>,
+    classify_phases: Mutex<HashMap<Benchmark, ClassifyPhaseStats>>,
 }
 
 impl Engine {
@@ -265,6 +289,7 @@ impl Engine {
             fanout_wall_nanos: AtomicU64::new(0),
             active_workers: AtomicUsize::new(0),
             oracle_phases: Mutex::new(HashMap::new()),
+            classify_phases: Mutex::new(HashMap::new()),
         }
     }
 
@@ -605,7 +630,24 @@ impl Engine {
             .collect()
     }
 
-    /// Cached per-address classification for one configuration.
+    /// Cached per-branch packed outcome streams — the bit-parallel
+    /// substrate of every §4 classification (and the branch profile),
+    /// built in a single trace pass per benchmark.
+    pub fn streams(&self, benchmark: Benchmark) -> Arc<BranchStreams> {
+        self.cache
+            .streams
+            .get_or_compute(benchmark, &self.cache.hits, &self.cache.misses, || {
+                let trace = self.trace(benchmark);
+                let t0 = Instant::now();
+                let streams = BranchStreams::of(&trace);
+                self.record_classify_phases(benchmark, t0.elapsed().as_secs_f64(), 0.0, 0.0, 0);
+                streams
+            })
+    }
+
+    /// Cached per-address classification for one configuration. Every
+    /// configuration of the same benchmark shares one [`BranchStreams`]
+    /// artifact ([`Engine::streams`]).
     pub fn classification(
         &self,
         benchmark: Benchmark,
@@ -615,17 +657,56 @@ impl Engine {
             (benchmark, *cfg),
             &self.cache.hits,
             &self.cache.misses,
-            || Classifier::classify(&self.trace(benchmark), cfg),
+            || {
+                let streams = self.streams(benchmark);
+                let (classification, phases) = Classifier::classify_streams_timed(&streams, cfg);
+                self.record_classify_phases(
+                    benchmark,
+                    0.0,
+                    phases.sweep_seconds,
+                    phases.replay_seconds,
+                    1,
+                );
+                classification
+            },
         )
     }
 
-    /// Cached branch profile.
+    /// Cached branch profile, derived by popcount from the packed streams
+    /// (byte-identical to `BranchProfile::of` on the trace).
     pub fn profile(&self, benchmark: Benchmark) -> Arc<BranchProfile> {
         self.cache
             .profiles
             .get_or_compute(benchmark, &self.cache.hits, &self.cache.misses, || {
-                BranchProfile::of(&self.trace(benchmark))
+                self.streams(benchmark).profile()
             })
+    }
+
+    fn record_classify_phases(
+        &self,
+        benchmark: Benchmark,
+        stream_seconds: f64,
+        sweep_seconds: f64,
+        replay_seconds: f64,
+        classifications: u64,
+    ) {
+        let mut phases = self.classify_phases.lock().expect("classify phase stats");
+        let entry = phases.entry(benchmark).or_default();
+        entry.stream_seconds += stream_seconds;
+        entry.sweep_seconds += sweep_seconds;
+        entry.replay_seconds += replay_seconds;
+        entry.classifications += classifications;
+    }
+
+    /// Per-benchmark classification phase accounting so far, in
+    /// [`Benchmark::ALL`] order (benchmarks without classification work
+    /// are omitted).
+    pub fn classify_phase_stats(&self) -> Vec<(Benchmark, ClassifyPhaseStats)> {
+        let phases = self.classify_phases.lock().expect("classify phase stats");
+        Benchmark::ALL
+            .iter()
+            .filter_map(|b| phases.get(b).map(|s| (*b, *s)))
+            .collect()
     }
 
     /// Pre-warms the cache for a multi-experiment run: generates every
@@ -864,5 +945,46 @@ mod tests {
         let p1 = engine.profile(b);
         let p2 = engine.profile(b);
         assert!(Arc::ptr_eq(&p1, &p2));
+    }
+
+    #[test]
+    fn streams_shared_by_classifications_and_profile() {
+        let engine = quick_engine(2);
+        let b = Benchmark::Vortex;
+
+        // Two classifier configs and the profile all ride one stream build.
+        let wide = ClassifierConfig::default();
+        let narrow = ClassifierConfig {
+            max_period: 8,
+            pas_history_bits: 4,
+        };
+        let _ = engine.classification(b, &wide);
+        let _ = engine.classification(b, &narrow);
+        let _ = engine.profile(b);
+        let s1 = engine.streams(b);
+        let s2 = engine.streams(b);
+        assert!(Arc::ptr_eq(&s1, &s2));
+
+        // Results match the direct (stream-free) entry points exactly.
+        let trace = engine.trace(b);
+        assert_eq!(
+            *engine.classification(b, &wide),
+            Classifier::classify(&trace, &wide)
+        );
+        assert_eq!(
+            *engine.classification(b, &narrow),
+            Classifier::classify(&trace, &narrow)
+        );
+        assert_eq!(*engine.profile(b), BranchProfile::of(&trace));
+
+        // Phase accounting saw one stream build and two classifications.
+        let phases = engine.classify_phase_stats();
+        let (_, stats) = phases
+            .iter()
+            .find(|(bench, _)| *bench == b)
+            .expect("classify phase stats recorded");
+        assert_eq!(stats.classifications, 2);
+        assert!(stats.stream_seconds >= 0.0);
+        assert!(stats.sweep_seconds >= 0.0 && stats.replay_seconds >= 0.0);
     }
 }

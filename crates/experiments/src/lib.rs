@@ -58,7 +58,9 @@ pub mod table3;
 
 mod traceset;
 
-pub use engine::{CacheStats, Engine, EvalCache, FanoutStats, PredictorKey};
+pub use engine::{
+    CacheStats, ClassifyPhaseStats, Engine, EvalCache, FanoutStats, OraclePhaseStats, PredictorKey,
+};
 pub use traceset::TraceSet;
 
 use bp_core::{ClassifierConfig, OracleConfig};

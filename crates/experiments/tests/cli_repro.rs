@@ -144,11 +144,12 @@ fn timings_report_shared_results_computed_once() {
     let hits = count("\"hits\"");
     let misses = count("\"misses\"");
     // Prewarm: 8 benchmarks x 4 standard predictors = 32 misses. Then, per
-    // benchmark: one oracle analysis (miss) and one profile (miss), reused
+    // benchmark: one oracle analysis (miss), one profile (miss), and the
+    // packed-stream artifact the profile is derived from (miss), reused
     // across the three experiments — everything else must hit.
     assert_eq!(
         misses,
-        32 + 8 + 8,
+        32 + 8 + 8 + 8,
         "shared artifacts computed more than once"
     );
     // fig4 (oracle+gshare+IF-gshare), table2 (gshare+IF-gshare+oracle),

@@ -15,6 +15,9 @@
 //!   selective-history predictors (§3.4).
 //! * [`TraceStats`] / [`BranchProfile`] — static/dynamic branch statistics
 //!   and per-branch bias profiles.
+//! * [`BranchStreams`] — per-branch outcomes packed 64 per u64 word, the
+//!   bit-parallel substrate of the §4 classification kernels (profiles by
+//!   popcount, run-length decomposition by trailing-zero scans).
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ mod profile;
 mod record;
 mod recorder;
 mod stats;
+mod streams;
 mod tag;
 mod trace;
 mod window;
@@ -50,6 +54,7 @@ pub use profile::{BranchProfile, ProfileEntry};
 pub use record::{BranchKind, BranchRecord, Pc};
 pub use recorder::Recorder;
 pub use stats::TraceStats;
+pub use streams::{BranchStreams, OutcomeStream, StreamRuns};
 pub use tag::{pattern_count, pattern_index, InstanceTag, TagOutcome, TagScheme};
 pub use trace::Trace;
 pub use window::{PathWindow, WindowEntry};

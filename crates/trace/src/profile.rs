@@ -88,6 +88,15 @@ impl BranchProfile {
         }
     }
 
+    /// Assembles a profile from already-aggregated parts (used by
+    /// `BranchStreams::profile`, which derives the counts by popcount).
+    pub(crate) fn from_parts(entries: FxHashMap<Pc, ProfileEntry>, total_dynamic: u64) -> Self {
+        BranchProfile {
+            entries,
+            total_dynamic,
+        }
+    }
+
     /// Profile entry for a branch, if it executed.
     pub fn get(&self, pc: Pc) -> Option<&ProfileEntry> {
         self.entries.get(&pc)

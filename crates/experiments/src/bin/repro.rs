@@ -21,16 +21,12 @@ use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use bp_experiments::{
-    ext_adaptivity, ext_distance, ext_family, ext_hybrids, ext_interference, ext_warmup, fig4,
-    fig5, fig6, fig7, fig8, fig9, table1, table2, table3, Engine, ExperimentConfig, TraceSet,
-    EXPERIMENT_IDS,
-};
+use bp_experiments::{run_experiment, Engine, ExperimentConfig, TraceSet, EXPERIMENT_IDS};
 
 fn usage() {
     eprintln!(
         "usage: repro [--quick] [--seed N] [--target N] [--cache DIR] [--jobs N] \
-         [--timings FILE] <experiment...|all>"
+         [--timings FILE] [--bare] <experiment...|all>"
     );
     eprintln!("experiments: {}", EXPERIMENT_IDS.join(" "));
 }
@@ -136,6 +132,7 @@ fn main() -> ExitCode {
     let mut cache_dir: Option<String> = None;
     let mut timings_path: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    let mut bare = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -180,6 +177,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--bare" => bare = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -202,10 +200,12 @@ fn main() -> ExitCode {
         }
     }
 
-    println!(
-        "# Reproduction run: seed={} target={} branches/benchmark\n",
-        cfg.workload.seed, cfg.workload.target_branches
-    );
+    if !bare {
+        println!(
+            "# Reproduction run: seed={} target={} branches/benchmark\n",
+            cfg.workload.seed, cfg.workload.target_branches
+        );
+    }
     let traces = match cache_dir {
         Some(dir) => TraceSet::with_disk_cache(cfg.workload, dir),
         None => TraceSet::new(cfg.workload),
@@ -234,24 +234,8 @@ fn main() -> ExitCode {
 
     for id in &ids {
         let started = Instant::now();
-        match id.as_str() {
-            "table1" => println!("{}", table1::run(&cfg, &engine)),
-            "fig4" => println!("{}", fig4::run(&cfg, &engine)),
-            "fig5" => println!("{}", fig5::run(&cfg, &engine)),
-            "table2" => println!("{}", table2::run(&cfg, &engine)),
-            "fig6" => println!("{}", fig6::run(&cfg, &engine)),
-            "table3" => println!("{}", table3::run(&cfg, &engine)),
-            "fig7" => println!("{}", fig7::run(&cfg, &engine)),
-            "fig8" => println!("{}", fig8::run(&cfg, &engine)),
-            "fig9" => println!("{}", fig9::run(&cfg, &engine)),
-            "hybrids" => println!("{}", ext_hybrids::run(&cfg, &engine)),
-            "interference" => println!("{}", ext_interference::run(&cfg, &engine)),
-            "distance" => println!("{}", ext_distance::run(&cfg, &engine)),
-            "adaptivity" => println!("{}", ext_adaptivity::run(&cfg, &engine)),
-            "family" => println!("{}", ext_family::run(&cfg, &engine)),
-            "warmup" => println!("{}", ext_warmup::run(&cfg, &engine)),
-            _ => unreachable!("ids validated above"),
-        }
+        let rendered = run_experiment(id, &cfg, &engine).expect("ids validated above");
+        println!("{rendered}");
         let seconds = started.elapsed().as_secs_f64();
         eprintln!("[{id} done in {seconds:.1}s]\n");
         timings.push(Timing {

@@ -107,6 +107,38 @@ pub(crate) fn test_engine(cfg: &ExperimentConfig) -> Engine {
     Engine::new(TraceSet::new(cfg.workload), 2)
 }
 
+/// Runs one experiment by id and renders its result exactly as the
+/// `repro` binary prints it (the `Display` output of the experiment's
+/// result type; no trailing newline — callers add one, as `println!`
+/// does).
+///
+/// This is the single dispatch point shared by `repro` and the `bp-serve`
+/// evaluation service: both call through here, so a served response is
+/// byte-identical to the corresponding `repro` stdout section by
+/// construction. Returns `None` for an unknown id (the valid ids are
+/// [`EXPERIMENT_IDS`]).
+pub fn run_experiment(id: &str, cfg: &ExperimentConfig, engine: &Engine) -> Option<String> {
+    let rendered = match id {
+        "table1" => table1::run(cfg, engine).to_string(),
+        "fig4" => fig4::run(cfg, engine).to_string(),
+        "fig5" => fig5::run(cfg, engine).to_string(),
+        "table2" => table2::run(cfg, engine).to_string(),
+        "fig6" => fig6::run(cfg, engine).to_string(),
+        "table3" => table3::run(cfg, engine).to_string(),
+        "fig7" => fig7::run(cfg, engine).to_string(),
+        "fig8" => fig8::run(cfg, engine).to_string(),
+        "fig9" => fig9::run(cfg, engine).to_string(),
+        "hybrids" => ext_hybrids::run(cfg, engine).to_string(),
+        "interference" => ext_interference::run(cfg, engine).to_string(),
+        "distance" => ext_distance::run(cfg, engine).to_string(),
+        "adaptivity" => ext_adaptivity::run(cfg, engine).to_string(),
+        "family" => ext_family::run(cfg, engine).to_string(),
+        "warmup" => ext_warmup::run(cfg, engine).to_string(),
+        _ => return None,
+    };
+    Some(rendered)
+}
+
 /// Identifiers of every reproducible experiment, in paper order, followed
 /// by the extensions (hybrid study, interference accounting,
 /// correlation-distance profile, adaptivity comparison).

@@ -1,5 +1,5 @@
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
 use bp_trace::{io, Trace};
@@ -16,8 +16,11 @@ use bp_workloads::{Benchmark, WorkloadConfig};
 ///
 /// With [`TraceSet::with_disk_cache`], traces also persist across *runs*
 /// as `.bpt` files (the `bp-trace` binary format), keyed by benchmark,
-/// seed, and target length; corrupt or unreadable cache files are ignored
-/// and regenerated.
+/// seed, and target length. Each cache file carries a `.fp` sidecar
+/// recording the workload-config fingerprint and a content hash; a cached
+/// trace is only trusted when both match and the decoded trace actually
+/// meets the configured target length. Corrupt, tampered, stale, or
+/// unreadable cache entries are regenerated with a one-line notice.
 #[derive(Debug)]
 pub struct TraceSet {
     cfg: WorkloadConfig,
@@ -61,17 +64,79 @@ impl TraceSet {
         })
     }
 
+    /// FNV-1a over `bytes`, seeded with `init` so the config and content
+    /// hashes occupy distinct streams.
+    fn fnv1a(init: u64, bytes: &[u8]) -> u64 {
+        let mut hash = init;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Fingerprint of everything the generated trace depends on: the
+    /// benchmark identity and the workload configuration.
+    fn config_fingerprint(cfg: &WorkloadConfig, benchmark: Benchmark) -> u64 {
+        let mut hash = Self::fnv1a(0xcbf2_9ce4_8422_2325, benchmark.name().as_bytes());
+        hash = Self::fnv1a(hash, &cfg.seed.to_le_bytes());
+        Self::fnv1a(hash, &(cfg.target_branches as u64).to_le_bytes())
+    }
+
+    fn content_fingerprint(encoded: &[u8]) -> u64 {
+        Self::fnv1a(0x6c62_272e_07bb_0142, encoded)
+    }
+
+    fn sidecar_path(path: &Path) -> PathBuf {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".fp");
+        PathBuf::from(os)
+    }
+
+    /// Validates a cached `.bpt` against its sidecar and the current
+    /// workload config; `Err` carries the one-line reason for the notice.
+    fn validate_cached(
+        cfg: &WorkloadConfig,
+        benchmark: Benchmark,
+        path: &Path,
+    ) -> Result<Trace, &'static str> {
+        let encoded = std::fs::read(path).map_err(|_| "unreadable")?;
+        let sidecar = std::fs::read_to_string(Self::sidecar_path(path))
+            .map_err(|_| "missing fingerprint sidecar")?;
+        let mut parts = sidecar.split_whitespace();
+        let (Some(config_fp), Some(content_fp), None) = (
+            parts.next().and_then(|s| u64::from_str_radix(s, 16).ok()),
+            parts.next().and_then(|s| u64::from_str_radix(s, 16).ok()),
+            parts.next(),
+        ) else {
+            return Err("malformed fingerprint sidecar");
+        };
+        if config_fp != Self::config_fingerprint(cfg, benchmark) {
+            return Err("workload config fingerprint mismatch");
+        }
+        if content_fp != Self::content_fingerprint(&encoded) {
+            return Err("content fingerprint mismatch");
+        }
+        let trace = io::read_trace(encoded.as_slice()).map_err(|_| "corrupt trace encoding")?;
+        if trace.conditional_count() < cfg.target_branches {
+            return Err("shorter than the configured target");
+        }
+        Ok(trace)
+    }
+
     fn load_or_generate(
         cfg: &WorkloadConfig,
         benchmark: Benchmark,
         path: Option<&PathBuf>,
     ) -> Trace {
         if let Some(path) = path {
-            if let Ok(file) = std::fs::File::open(path) {
-                if let Ok(trace) = io::read_trace(std::io::BufReader::new(file)) {
-                    return trace;
-                }
-                eprintln!("warning: ignoring corrupt trace cache {}", path.display());
+            match Self::validate_cached(cfg, benchmark, path) {
+                Ok(trace) => return trace,
+                Err("unreadable") => {} // first run: nothing cached yet
+                Err(why) => eprintln!(
+                    "notice: regenerating trace cache {} ({why})",
+                    path.display()
+                ),
             }
         }
         let trace = benchmark.generate(cfg);
@@ -80,10 +145,17 @@ impl TraceSet {
                 if let Some(parent) = path.parent() {
                     std::fs::create_dir_all(parent)?;
                 }
-                let file = std::fs::File::create(path)?;
-                let mut writer = std::io::BufWriter::new(file);
-                io::write_trace(&mut writer, &trace)?;
-                std::io::Write::flush(&mut writer)?;
+                let mut encoded = Vec::new();
+                io::write_trace(&mut encoded, &trace)?;
+                std::fs::write(path, &encoded)?;
+                std::fs::write(
+                    Self::sidecar_path(path),
+                    format!(
+                        "{:016x} {:016x}\n",
+                        Self::config_fingerprint(cfg, benchmark),
+                        Self::content_fingerprint(&encoded)
+                    ),
+                )?;
                 Ok(())
             };
             if let Err(e) = write() {
@@ -180,6 +252,76 @@ mod tests {
         std::fs::write(&path, b"garbage").expect("overwrite cache");
         let c = TraceSet::with_disk_cache(cfg, &dir);
         assert_eq!(c.trace(Benchmark::Compress), first);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_cache_rejects_tampered_and_unfingerprinted_entries() {
+        let dir = std::env::temp_dir().join(format!("bp-tracecache-fp-{}", std::process::id()));
+        let cfg = WorkloadConfig::default().with_target(1_200);
+
+        let first = TraceSet::with_disk_cache(cfg, &dir).trace(Benchmark::Compress);
+        let path = TraceSet::with_disk_cache(cfg, &dir)
+            .cache_path(Benchmark::Compress)
+            .expect("cache path");
+        let sidecar = TraceSet::sidecar_path(&path);
+        assert!(sidecar.exists(), "writing the cache must write the sidecar");
+
+        // A *valid* but wrong trace swapped in without updating the
+        // sidecar fails the content fingerprint and is regenerated.
+        let imposter = Benchmark::Go.generate(&cfg);
+        let mut encoded = Vec::new();
+        io::write_trace(&mut encoded, &imposter).expect("encode imposter");
+        std::fs::write(&path, &encoded).expect("swap cache content");
+        assert_eq!(
+            TraceSet::with_disk_cache(cfg, &dir).trace(Benchmark::Compress),
+            first
+        );
+
+        // Regeneration rewrote both files; deleting the sidecar alone
+        // also invalidates the entry.
+        std::fs::remove_file(&sidecar).expect("drop sidecar");
+        assert_eq!(
+            TraceSet::with_disk_cache(cfg, &dir).trace(Benchmark::Compress),
+            first
+        );
+        assert!(sidecar.exists(), "regeneration must restore the sidecar");
+
+        // A config change (different target) must not trust the old
+        // entry even though the content fingerprint still matches it —
+        // the filename differs, so this lands in a fresh cache slot.
+        let longer = WorkloadConfig::default().with_target(2_400);
+        let grown = TraceSet::with_disk_cache(longer, &dir).trace(Benchmark::Compress);
+        assert!(grown.conditional_count() >= 2_400);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_cache_rejects_stale_config_fingerprints() {
+        let dir = std::env::temp_dir().join(format!("bp-tracecache-stale-{}", std::process::id()));
+        let cfg = WorkloadConfig::default().with_target(1_000);
+
+        let set = TraceSet::with_disk_cache(cfg, &dir);
+        let first = set.trace(Benchmark::Compress);
+        let path = set.cache_path(Benchmark::Compress).expect("cache path");
+        // Rewrite the sidecar with a bogus config fingerprint but a
+        // correct content hash: the entry must be treated as stale.
+        let encoded = std::fs::read(&path).expect("read cache");
+        std::fs::write(
+            TraceSet::sidecar_path(&path),
+            format!(
+                "{:016x} {:016x}\n",
+                0xdead_beefu64,
+                TraceSet::content_fingerprint(&encoded)
+            ),
+        )
+        .expect("forge sidecar");
+        assert_eq!(
+            TraceSet::with_disk_cache(cfg, &dir).trace(Benchmark::Compress),
+            first
+        );
 
         std::fs::remove_dir_all(&dir).ok();
     }

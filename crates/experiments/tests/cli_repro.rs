@@ -52,8 +52,18 @@ fn cache_flag_persists_traces() {
         .output()
         .expect("run repro");
     assert!(out.status.success(), "{out:?}");
-    let cached = std::fs::read_dir(&dir).expect("cache dir created").count();
-    assert_eq!(cached, 8, "one .bpt per benchmark");
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("cache dir created")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    let traces: Vec<&String> = names.iter().filter(|n| n.ends_with(".bpt")).collect();
+    assert_eq!(traces.len(), 8, "one .bpt per benchmark: {names:?}");
+    for trace in traces {
+        assert!(
+            names.iter().any(|n| *n == format!("{trace}.fp")),
+            "fingerprint sidecar for {trace}: {names:?}"
+        );
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

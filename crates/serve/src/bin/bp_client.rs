@@ -1,0 +1,300 @@
+//! `bp-client` — CLI for the `bp-serve` daemon.
+//!
+//! ```text
+//! bp-client [--addr HOST:PORT] eval EXPERIMENT [--seed N] [--target N] [--deadline-ms N]
+//! bp-client [--addr HOST:PORT] trace PATH --predictor KIND [--bits N] [--history-bits N]
+//! bp-client [--addr HOST:PORT] stats
+//! bp-client [--addr HOST:PORT] ping [--delay-ms N]
+//! bp-client [--addr HOST:PORT] shutdown
+//! bp-client [--addr HOST:PORT] bench --conns N --requests M [--experiment ID]
+//!           [--seed N] [--target N] [--rps R] [--deadline-ms N] [--json]
+//! ```
+//!
+//! `eval` prints the served output with a trailing newline, exactly as
+//! `repro --bare EXPERIMENT` prints it — the two are diffable.
+
+use std::process::ExitCode;
+
+use bp_serve::{run_bench, BenchOptions, Client, PredictorSpec, Response, StatsSnapshot};
+use bp_workloads::WorkloadConfig;
+
+fn usage() {
+    eprintln!(
+        "usage: bp-client [--addr HOST:PORT] <eval|trace|stats|ping|shutdown|bench> [options]\n\
+         \x20 eval EXPERIMENT [--seed N] [--target N] [--deadline-ms N]\n\
+         \x20 trace PATH --predictor gshare|if_gshare|pas|if_pas [--bits N] [--history-bits N]\n\
+         \x20 stats | ping [--delay-ms N] | shutdown\n\
+         \x20 bench --conns N --requests M [--experiment ID] [--seed N] [--target N] \
+         [--rps R] [--deadline-ms N] [--json]"
+    );
+}
+
+struct Flags {
+    addr: String,
+    command: String,
+    positional: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+fn parse_args() -> Result<Flags, ()> {
+    let mut addr = "127.0.0.1:4098".to_owned();
+    let mut command = String::new();
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--addr" {
+            addr = args.next().ok_or(())?;
+        } else if arg == "--help" || arg == "-h" {
+            return Err(());
+        } else if let Some(flag) = arg.strip_prefix("--") {
+            // Flags that take values vs booleans.
+            let value = match flag {
+                "json" => None,
+                _ => Some(args.next().ok_or(())?),
+            };
+            options.push((flag.to_owned(), value));
+        } else if command.is_empty() {
+            command = arg;
+        } else {
+            positional.push(arg);
+        }
+    }
+    if command.is_empty() {
+        return Err(());
+    }
+    Ok(Flags {
+        addr,
+        command,
+        positional,
+        options,
+    })
+}
+
+fn opt<'a>(flags: &'a Flags, name: &str) -> Option<&'a str> {
+    flags
+        .options
+        .iter()
+        .find(|(k, _)| k == name)
+        .and_then(|(_, v)| v.as_deref())
+}
+
+fn opt_u64(flags: &Flags, name: &str) -> Result<Option<u64>, ()> {
+    match opt(flags, name) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| {
+            eprintln!("error: --{name} needs an unsigned integer");
+        }),
+    }
+}
+
+fn has_flag(flags: &Flags, name: &str) -> bool {
+    flags.options.iter().any(|(k, _)| k == name)
+}
+
+fn print_stats(s: &StatsSnapshot) {
+    println!("endpoint      requests        ok    errors");
+    for (name, e) in [
+        ("eval", s.eval),
+        ("trace_eval", s.trace_eval),
+        ("stats", s.stats),
+        ("ping", s.ping),
+        ("shutdown", s.shutdown),
+    ] {
+        println!("{name:<12} {:>9} {:>9} {:>9}", e.requests, e.ok, e.errors);
+    }
+    println!(
+        "backpressure: overloaded {}  deadline_missed {}  bad_frames {}",
+        s.overloaded, s.deadline_missed, s.bad_frames
+    );
+    println!(
+        "caching: result_cache_hits {}  coalesced {}  engines {}  engine cache {} hits / {} misses",
+        s.result_cache_hits, s.coalesced, s.engines, s.engine_cache_hits, s.engine_cache_misses
+    );
+    println!(
+        "eval latency: count {}  p50 {:.3}ms  p99 {:.3}ms  max {:.3}ms",
+        s.eval_latency.count,
+        s.eval_latency.p50_us as f64 / 1e3,
+        s.eval_latency.p99_us as f64 / 1e3,
+        s.eval_latency.max_us as f64 / 1e3
+    );
+    if s.trace_latency.count > 0 {
+        println!(
+            "trace latency: count {}  p50 {:.3}ms  p99 {:.3}ms  max {:.3}ms",
+            s.trace_latency.count,
+            s.trace_latency.p50_us as f64 / 1e3,
+            s.trace_latency.p99_us as f64 / 1e3,
+            s.trace_latency.max_us as f64 / 1e3
+        );
+    }
+}
+
+fn report_unexpected(resp: &Response) -> ExitCode {
+    match resp {
+        Response::Error { code, message, .. } => {
+            eprintln!("error ({}): {message}", code.as_str());
+        }
+        other => eprintln!("error: unexpected response {other:?}"),
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let Ok(flags) = parse_args() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let defaults = WorkloadConfig::default();
+
+    let run = || -> Result<ExitCode, Box<dyn std::error::Error>> {
+        match flags.command.as_str() {
+            "eval" => {
+                let [experiment] = &flags.positional[..] else {
+                    usage();
+                    return Ok(ExitCode::FAILURE);
+                };
+                let seed = opt_u64(&flags, "seed").map_err(|()| "bad --seed")?;
+                let target = opt_u64(&flags, "target").map_err(|()| "bad --target")?;
+                let deadline = opt_u64(&flags, "deadline-ms").map_err(|()| "bad --deadline-ms")?;
+                let mut client = Client::connect(&flags.addr)?;
+                let resp = client.eval(
+                    experiment,
+                    seed.unwrap_or(defaults.seed),
+                    target.unwrap_or(defaults.target_branches as u64),
+                    deadline,
+                )?;
+                match resp {
+                    Response::Result {
+                        output,
+                        cached,
+                        seconds,
+                        ..
+                    } => {
+                        println!("{output}");
+                        eprintln!(
+                            "[served in {seconds:.3}s{}]",
+                            if cached { ", cached" } else { "" }
+                        );
+                        Ok(ExitCode::SUCCESS)
+                    }
+                    other => Ok(report_unexpected(&other)),
+                }
+            }
+            "trace" => {
+                let [path] = &flags.positional[..] else {
+                    usage();
+                    return Ok(ExitCode::FAILURE);
+                };
+                let bits = opt_u64(&flags, "bits")
+                    .map_err(|()| "bad --bits")?
+                    .unwrap_or(16) as u32;
+                let history_bits = opt_u64(&flags, "history-bits")
+                    .map_err(|()| "bad --history-bits")?
+                    .unwrap_or(6) as u32;
+                let predictor = match opt(&flags, "predictor").unwrap_or("gshare") {
+                    "gshare" => PredictorSpec::Gshare { bits },
+                    "if_gshare" => PredictorSpec::IfGshare { bits },
+                    "pas" => PredictorSpec::Pas,
+                    "if_pas" => PredictorSpec::IfPas { history_bits },
+                    other => {
+                        eprintln!("error: unknown predictor {other}");
+                        return Ok(ExitCode::FAILURE);
+                    }
+                };
+                let deadline = opt_u64(&flags, "deadline-ms").map_err(|()| "bad --deadline-ms")?;
+                let mut client = Client::connect(&flags.addr)?;
+                match client.trace_eval(path, predictor, deadline)? {
+                    Response::TraceResult {
+                        predictions,
+                        correct,
+                        seconds,
+                        ..
+                    } => {
+                        let pct = if predictions == 0 {
+                            0.0
+                        } else {
+                            correct as f64 / predictions as f64 * 100.0
+                        };
+                        println!("{correct}/{predictions} correct ({pct:.2}%) in {seconds:.3}s");
+                        Ok(ExitCode::SUCCESS)
+                    }
+                    other => Ok(report_unexpected(&other)),
+                }
+            }
+            "stats" => {
+                let mut client = Client::connect(&flags.addr)?;
+                match client.stats()? {
+                    Response::Stats { snapshot, .. } => {
+                        print_stats(&snapshot);
+                        Ok(ExitCode::SUCCESS)
+                    }
+                    other => Ok(report_unexpected(&other)),
+                }
+            }
+            "ping" => {
+                let delay = opt_u64(&flags, "delay-ms").map_err(|()| "bad --delay-ms")?;
+                let mut client = Client::connect(&flags.addr)?;
+                match client.ping(delay)? {
+                    Response::Pong { .. } => {
+                        println!("pong");
+                        Ok(ExitCode::SUCCESS)
+                    }
+                    other => Ok(report_unexpected(&other)),
+                }
+            }
+            "shutdown" => {
+                let mut client = Client::connect(&flags.addr)?;
+                match client.shutdown()? {
+                    Response::ShuttingDown { .. } => {
+                        println!("server draining");
+                        Ok(ExitCode::SUCCESS)
+                    }
+                    other => Ok(report_unexpected(&other)),
+                }
+            }
+            "bench" => {
+                let conns = opt_u64(&flags, "conns")
+                    .map_err(|()| "bad --conns")?
+                    .unwrap_or(4) as usize;
+                let requests = opt_u64(&flags, "requests")
+                    .map_err(|()| "bad --requests")?
+                    .unwrap_or(32) as usize;
+                let seed = opt_u64(&flags, "seed").map_err(|()| "bad --seed")?;
+                let target = opt_u64(&flags, "target").map_err(|()| "bad --target")?;
+                let deadline = opt_u64(&flags, "deadline-ms").map_err(|()| "bad --deadline-ms")?;
+                let rps = match opt(&flags, "rps") {
+                    None => None,
+                    Some(v) => Some(v.parse::<f64>().map_err(|_| "bad --rps")?),
+                };
+                let opts = BenchOptions {
+                    addr: flags.addr.clone(),
+                    conns: conns.max(1),
+                    requests_per_conn: requests.max(1),
+                    experiment: opt(&flags, "experiment").unwrap_or("fig4").to_owned(),
+                    seed: seed.unwrap_or(defaults.seed),
+                    target: target.unwrap_or(defaults.target_branches as u64),
+                    deadline_ms: deadline,
+                    rps,
+                };
+                let report = run_bench(&opts)?;
+                if has_flag(&flags, "json") {
+                    println!("{}", report.render_json());
+                } else {
+                    println!("{}", report.render_text());
+                }
+                Ok(ExitCode::SUCCESS)
+            }
+            _ => {
+                usage();
+                Ok(ExitCode::FAILURE)
+            }
+        }
+    };
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

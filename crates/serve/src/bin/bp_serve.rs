@@ -1,0 +1,101 @@
+//! `bp-serve` — the evaluation daemon.
+//!
+//! ```text
+//! bp-serve [--addr HOST:PORT] [--workers N] [--queue N] [--jobs N]
+//!          [--trace-dir DIR] [--max-frame BYTES] [--quiet]
+//! ```
+//!
+//! Binds, prints `listening <addr>` on stdout (so scripts binding `:0`
+//! can discover the port), and serves until a client sends `shutdown`,
+//! then drains the queue and exits 0. There is no SIGTERM hook — the
+//! workspace vendors no libc — so supervisors should stop the daemon
+//! with `bp-client --addr … shutdown`, which is the graceful path.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use bp_serve::{spawn, ServerConfig};
+
+fn usage() {
+    eprintln!(
+        "usage: bp-serve [--addr HOST:PORT] [--workers N] [--queue N] [--jobs N] \
+         [--trace-dir DIR] [--max-frame BYTES] [--quiet]"
+    );
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:4098".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| match args.next() {
+            Some(v) => Ok(v),
+            None => {
+                eprintln!("error: {what} needs a value");
+                Err(())
+            }
+        };
+        let parsed = match arg.as_str() {
+            "--addr" => take("--addr").map(|v| cfg.addr = v),
+            "--workers" => take("--workers").and_then(|v| match v.parse() {
+                Ok(n) if n >= 1 => {
+                    cfg.workers = n;
+                    Ok(())
+                }
+                _ => Err(()),
+            }),
+            "--queue" => take("--queue").and_then(|v| match v.parse() {
+                Ok(n) if n >= 1 => {
+                    cfg.queue_capacity = n;
+                    Ok(())
+                }
+                _ => Err(()),
+            }),
+            "--jobs" => take("--jobs").and_then(|v| match v.parse() {
+                Ok(n) if n >= 1 => {
+                    cfg.engine_jobs = n;
+                    Ok(())
+                }
+                _ => Err(()),
+            }),
+            "--max-frame" => take("--max-frame").and_then(|v| match v.parse() {
+                Ok(n) if n >= 1024 => {
+                    cfg.max_frame = n;
+                    Ok(())
+                }
+                _ => Err(()),
+            }),
+            "--trace-dir" => take("--trace-dir").map(|v| cfg.trace_dir = Some(v.into())),
+            "--quiet" => {
+                cfg.quiet = true;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                Err(())
+            }
+        };
+        if parsed.is_err() {
+            usage();
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let handle = match spawn(cfg) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: could not bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening {}", handle.local_addr());
+    let _ = std::io::stdout().flush();
+    handle.join();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,385 @@
+//! Blocking client for the `bp-serve` protocol, plus the closed-loop
+//! load generator behind `bp-client bench`.
+
+use std::fmt;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, PredictorSpec, ProtocolError, Request,
+    Response, DEFAULT_MAX_FRAME,
+};
+
+/// Client-side failure talking to a server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or framing failed.
+    Frame(FrameError),
+    /// The server's bytes did not decode as a response.
+    Protocol(ProtocolError),
+    /// The server closed the connection before answering.
+    ClosedEarly,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::ClosedEarly => write!(f, "server closed the connection early"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// One connection to a server. Requests issued through a `Client` are
+/// sequential (one outstanding at a time); ids are assigned internally
+/// and responses matched on them.
+pub struct Client {
+    reader: TcpStream,
+    writer: TcpStream,
+    max_frame: usize,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:4098`).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        let _ = writer.set_nodelay(true);
+        let reader = writer.try_clone()?;
+        Ok(Client {
+            reader,
+            writer,
+            max_frame: DEFAULT_MAX_FRAME,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and waits for the response with a matching id.
+    ///
+    /// # Errors
+    ///
+    /// Framing, protocol, or early-close failures.
+    pub fn call(&mut self, make: impl FnOnce(u64) -> Request) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = make(id);
+        write_frame(&mut self.writer, &req.encode(), self.max_frame)?;
+        loop {
+            let Some(payload) = read_frame(&mut self.reader, self.max_frame)? else {
+                return Err(ClientError::ClosedEarly);
+            };
+            let resp = Response::decode(&payload)?;
+            // A response to a stale id (e.g. after a timeout the caller
+            // ignored) is dropped; id 0 answers undecodable requests.
+            if resp.id() == id || resp.id() == 0 {
+                return Ok(resp);
+            }
+        }
+    }
+
+    /// Evaluates one experiment over the synthetic workload.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; server-side errors arrive as
+    /// [`Response::Error`].
+    pub fn eval(
+        &mut self,
+        experiment: &str,
+        seed: u64,
+        target: u64,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        let experiment = experiment.to_owned();
+        self.call(move |id| Request::Eval {
+            id,
+            experiment,
+            seed,
+            target,
+            deadline_ms,
+        })
+    }
+
+    /// Runs a predictor over a server-side `.bpt` trace.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn trace_eval(
+        &mut self,
+        path: &str,
+        predictor: PredictorSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        let path = path.to_owned();
+        self.call(move |id| Request::TraceEval {
+            id,
+            path,
+            predictor,
+            deadline_ms,
+        })
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        self.call(|id| Request::Stats { id })
+    }
+
+    /// Pings the server (optionally via the worker queue with a delay).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn ping(&mut self, delay_ms: Option<u64>) -> Result<Response, ClientError> {
+        self.call(move |id| Request::Ping {
+            id,
+            delay_ms,
+            deadline_ms: None,
+        })
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.call(|id| Request::Shutdown { id })
+    }
+}
+
+/// Load-generator options (`bp-client bench`).
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent connections, each a closed loop.
+    pub conns: usize,
+    /// Requests issued per connection.
+    pub requests_per_conn: usize,
+    /// Experiment to evaluate.
+    pub experiment: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Workload target branches.
+    pub target: u64,
+    /// Optional per-request deadline.
+    pub deadline_ms: Option<u64>,
+    /// Optional total request rate; each connection paces itself at
+    /// `rps / conns`. `None` = as fast as the closed loop allows.
+    pub rps: Option<f64>,
+}
+
+/// Load-generator outcome.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Requests issued.
+    pub sent: u64,
+    /// Successful results.
+    pub ok: u64,
+    /// Of `ok`, how many were served from the rendered-output cache.
+    pub cached: u64,
+    /// `overloaded` rejections.
+    pub overloaded: u64,
+    /// `deadline_exceeded` errors.
+    pub deadline_missed: u64,
+    /// Any other error responses or transport failures.
+    pub other_errors: u64,
+    /// Wall time of the whole run, seconds.
+    pub wall_seconds: f64,
+    /// `sent / wall_seconds`.
+    pub achieved_rps: f64,
+    /// Median request latency, milliseconds (completed requests).
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Maximum latency, milliseconds.
+    pub max_ms: f64,
+}
+
+impl BenchReport {
+    fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
+        if sorted_ms.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len());
+        sorted_ms[rank - 1]
+    }
+
+    /// Renders the report as the `bp-client bench` text output.
+    pub fn render_text(&self) -> String {
+        format!(
+            "requests: {} ({} ok, {} cached, {} overloaded, {} deadline, {} other errors)\n\
+             wall: {:.3}s  throughput: {:.1} req/s\n\
+             latency ms: p50 {:.3}  p99 {:.3}  max {:.3}",
+            self.sent,
+            self.ok,
+            self.cached,
+            self.overloaded,
+            self.deadline_missed,
+            self.other_errors,
+            self.wall_seconds,
+            self.achieved_rps,
+            self.p50_ms,
+            self.p99_ms,
+            self.max_ms
+        )
+    }
+
+    /// Renders the report as a JSON object (the shape recorded in
+    /// `BENCH_repro.json`).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"sent\": {}, \"ok\": {}, \"cached\": {}, \"overloaded\": {}, \
+             \"deadline\": {}, \"other_errors\": {}, \"wall_seconds\": {:.3}, \
+             \"achieved_rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}}}",
+            self.sent,
+            self.ok,
+            self.cached,
+            self.overloaded,
+            self.deadline_missed,
+            self.other_errors,
+            self.wall_seconds,
+            self.achieved_rps,
+            self.p50_ms,
+            self.p99_ms,
+            self.max_ms
+        )
+    }
+}
+
+/// Runs the load generator: `conns` closed-loop connections, each
+/// issuing `requests_per_conn` identical eval requests (the repeat of an
+/// identical query is exactly the warm-cache serving path).
+///
+/// # Errors
+///
+/// Only setup failures (first connection refused); per-request failures
+/// are counted in the report instead.
+pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, ClientError> {
+    // Fail fast if the server is unreachable rather than spawning
+    // threads that all error out.
+    drop(Client::connect(&opts.addr)?);
+    let pace = opts
+        .rps
+        .filter(|r| *r > 0.0)
+        .map(|rps| Duration::from_secs_f64(opts.conns as f64 / rps));
+    let started = Instant::now();
+    let per_conn: Vec<(Vec<f64>, BenchReport)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.conns)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut latencies_ms: Vec<f64> = Vec::new();
+                    let mut report = BenchReport::default();
+                    let Ok(mut client) = Client::connect(&opts.addr) else {
+                        report.other_errors += opts.requests_per_conn as u64;
+                        report.sent += opts.requests_per_conn as u64;
+                        return (latencies_ms, report);
+                    };
+                    let mut next_fire = Instant::now();
+                    for _ in 0..opts.requests_per_conn {
+                        if let Some(interval) = pace {
+                            let now = Instant::now();
+                            if next_fire > now {
+                                std::thread::sleep(next_fire - now);
+                            }
+                            next_fire += interval;
+                        }
+                        let t0 = Instant::now();
+                        report.sent += 1;
+                        match client.eval(
+                            &opts.experiment,
+                            opts.seed,
+                            opts.target,
+                            opts.deadline_ms,
+                        ) {
+                            Ok(Response::Result { cached, .. }) => {
+                                report.ok += 1;
+                                if cached {
+                                    report.cached += 1;
+                                }
+                                latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                            }
+                            Ok(Response::Error { code, .. }) => {
+                                latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                                match code {
+                                    ErrorCode::Overloaded => report.overloaded += 1,
+                                    ErrorCode::DeadlineExceeded => report.deadline_missed += 1,
+                                    _ => report.other_errors += 1,
+                                }
+                            }
+                            Ok(_) => report.other_errors += 1,
+                            Err(_) => {
+                                report.other_errors += 1;
+                                // The connection may be unusable; reconnect.
+                                match Client::connect(&opts.addr) {
+                                    Ok(c) => client = c,
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                    }
+                    (latencies_ms, report)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench connection thread"))
+            .collect()
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let mut merged = BenchReport {
+        wall_seconds,
+        ..BenchReport::default()
+    };
+    let mut latencies: Vec<f64> = Vec::new();
+    for (lat, r) in per_conn {
+        latencies.extend(lat);
+        merged.sent += r.sent;
+        merged.ok += r.ok;
+        merged.cached += r.cached;
+        merged.overloaded += r.overloaded;
+        merged.deadline_missed += r.deadline_missed;
+        merged.other_errors += r.other_errors;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    merged.achieved_rps = if wall_seconds > 0.0 {
+        merged.sent as f64 / wall_seconds
+    } else {
+        0.0
+    };
+    merged.p50_ms = BenchReport::quantile(&latencies, 0.50);
+    merged.p99_ms = BenchReport::quantile(&latencies, 0.99);
+    merged.max_ms = latencies.last().copied().unwrap_or(0.0);
+    Ok(merged)
+}

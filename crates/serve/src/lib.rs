@@ -1,0 +1,46 @@
+//! `bp-serve`: a concurrent trace-evaluation service over the
+//! experiment engine, with request batching, backpressure, and a
+//! load-generating client.
+//!
+//! The offline `repro` binary answers the paper's questions once per
+//! invocation, rebuilding every artifact each run. This crate turns the
+//! same evaluation engine into shared measurement infrastructure: a
+//! long-running daemon keeps per-workload [`bp_experiments::Engine`]s —
+//! and their memoized `BranchStreams` / `BranchMatrix` / `EvalCache`
+//! artifacts — hot in memory, and answers evaluation queries over a
+//! small TCP protocol. The first query for a workload pays the build;
+//! every identical query after it is a cache lookup, and every
+//! *overlapping* query (same workload, different experiment) shares the
+//! engine's artifacts.
+//!
+//! Served outputs are byte-identical to `repro`'s for the same
+//! configuration: both sides call [`bp_experiments::run_experiment`],
+//! the single dispatch point (CI's smoke job diffs the two).
+//!
+//! | module | what |
+//! |---|---|
+//! | [`json`] | minimal JSON value/parser/writer (the vendored serde is a no-op shim) |
+//! | [`protocol`] | length-prefixed JSON frames; request/response types; typed error codes |
+//! | [`server`] | bounded worker pool + bounded queue, coalescing, deadlines, drain |
+//! | [`stats`] | per-endpoint counters and p50/p99 latency histograms |
+//! | [`client`] | blocking client and the closed-loop load generator |
+//!
+//! Binaries: `bp-serve` (the daemon) and `bp-client`
+//! (`eval` / `trace` / `stats` / `ping` / `shutdown` / `bench`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::{run_bench, BenchOptions, BenchReport, Client, ClientError};
+pub use protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, PredictorSpec, ProtocolError, Request,
+    Response, DEFAULT_MAX_FRAME,
+};
+pub use server::{spawn, ServerConfig, ServerHandle, MAX_TARGET};
+pub use stats::{ServerStats, StatsSnapshot};

@@ -1,0 +1,368 @@
+//! Differential runners: every optimized kernel against its executable
+//! specification, with first-divergence reporting and trace minimization.
+//!
+//! Three kernels are pinned:
+//!
+//! * the bit-plane oracle scorers ([`bp_core::score_tag_set`] /
+//!   [`bp_core::score_columns_presence`] and the full per-branch subset
+//!   search) against the digit-at-a-time `bp_core::reference` scorers;
+//! * the bit-parallel classifier (`Classifier::classify`) against
+//!   `reference::classify`;
+//! * incremental [`SweepMatrix`] window materialization against
+//!   independent per-window [`OutcomeMatrix::build`] scans.
+//!
+//! Each runner is parameterized over the kernel entry point it checks, so
+//! the self-test can inject a deliberately buggy kernel and prove the
+//! harness catches it. On divergence, [`minimize`] shrinks the failing
+//! trace with a ddmin-style chunk removal loop before it is reported.
+
+use bp_core::reference;
+use bp_core::{
+    BranchMatrix, Classification, Classifier, ClassifierConfig, OracleConfig, OracleSelector,
+    OutcomeMatrix, SweepMatrix, TagCandidates,
+};
+use bp_predictors::SaturatingCounter;
+use bp_trace::Trace;
+
+/// The optimized tag-set scorer under test (injectable).
+pub type TagScorer = fn(&BranchMatrix, &[usize], SaturatingCounter) -> u64;
+/// The optimized presence scorer under test (injectable).
+pub type PresenceScorer = fn(&BranchMatrix, &[usize], SaturatingCounter) -> u64;
+/// The classifier under test (injectable).
+pub type ClassifyFn = fn(&Trace, &ClassifierConfig) -> Classification;
+/// The sweep materializer under test (injectable): builds the sweep for
+/// `(trace, windows, caps)` and materializes point `idx`.
+pub type SweepFn = fn(&Trace, &[usize], &[usize], usize) -> OutcomeMatrix;
+
+/// The kernel entry points a differential pass exercises. [`Kernels::default`]
+/// wires the production kernels; the self-test swaps individual entries
+/// for deliberately broken ones.
+#[derive(Clone, Copy)]
+pub struct Kernels {
+    /// Tag-set scorer (production: [`bp_core::score_tag_set`]).
+    pub tag_scorer: TagScorer,
+    /// Presence scorer (production: [`bp_core::score_columns_presence`]).
+    pub presence_scorer: PresenceScorer,
+    /// Classifier (production: [`Classifier::classify`]).
+    pub classify: ClassifyFn,
+    /// Sweep materializer (production: [`SweepMatrix::build`] +
+    /// [`SweepMatrix::materialize`]).
+    pub sweep: SweepFn,
+}
+
+fn production_classify(trace: &Trace, cfg: &ClassifierConfig) -> Classification {
+    Classifier::classify(trace, cfg)
+}
+
+fn production_sweep(trace: &Trace, windows: &[usize], caps: &[usize], idx: usize) -> OutcomeMatrix {
+    SweepMatrix::build(trace, windows, caps).materialize(idx)
+}
+
+impl Default for Kernels {
+    fn default() -> Self {
+        Kernels {
+            tag_scorer: bp_core::score_tag_set,
+            presence_scorer: bp_core::score_columns_presence,
+            classify: production_classify,
+            sweep: production_sweep,
+        }
+    }
+}
+
+/// Analysis parameters a differential pass runs at. Smaller than the
+/// production defaults so the reference (per-digit) side stays fast.
+#[derive(Clone, Debug)]
+pub struct DiffConfig {
+    /// Oracle configuration for scorer and subset-search diffing.
+    pub oracle: OracleConfig,
+    /// Classifier configurations (each is diffed).
+    pub classify: Vec<ClassifierConfig>,
+    /// Sweep window set.
+    pub windows: Vec<usize>,
+    /// Per-window candidate caps.
+    pub caps: Vec<usize>,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            oracle: OracleConfig {
+                window: 8,
+                candidate_cap: 12,
+                ..OracleConfig::default()
+            },
+            classify: vec![
+                ClassifierConfig::default(),
+                ClassifierConfig {
+                    max_period: 64,
+                    pas_history_bits: 4,
+                },
+                ClassifierConfig {
+                    max_period: 1,
+                    pas_history_bits: 1,
+                },
+            ],
+            windows: vec![4, 8, 12, 16],
+            caps: vec![10, 10, 10, 10],
+        }
+    }
+}
+
+/// One kernel-vs-specification disagreement.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Which differential suite caught it (`oracle`, `classify`, `sweep`).
+    pub suite: &'static str,
+    /// Generator case name the divergence surfaced on.
+    pub case_name: String,
+    /// First point of disagreement, human-readable.
+    pub detail: String,
+    /// The minimized reproducer trace.
+    pub trace: Trace,
+}
+
+/// Diffs the oracle scorers and the full per-branch subset search on one
+/// trace. Returns the first disagreement.
+pub fn diff_oracle(trace: &Trace, cfg: &OracleConfig, kernels: &Kernels) -> Option<String> {
+    let cands = TagCandidates::collect(trace, cfg.window, cfg.candidate_cap);
+    let matrix = OutcomeMatrix::build(trace, &cands, cfg.window);
+    for (pc, bm) in matrix.iter() {
+        let view = reference::ColumnView::new(bm);
+        let n = bm.tags().len();
+        // Direct scorer diff over a structured set of column subsets:
+        // the empty set, every singleton, adjacent pairs, and one triple.
+        let mut subsets: Vec<Vec<usize>> = vec![Vec::new()];
+        subsets.extend((0..n).map(|c| vec![c]));
+        subsets.extend((1..n).map(|c| vec![c - 1, c]));
+        if n >= 3 {
+            subsets.push(vec![0, n / 2, n - 1]);
+        }
+        for cols in &subsets {
+            let got = (kernels.tag_scorer)(bm, cols, cfg.counter);
+            let want = reference::score_tag_set(&view, cols, cfg.counter);
+            if got != want {
+                return Some(format!(
+                    "branch {pc:#x}: tag-set scorer on columns {cols:?}: kernel {got} != reference {want}"
+                ));
+            }
+            if !cols.is_empty() {
+                let got = (kernels.presence_scorer)(bm, cols, cfg.counter);
+                let want = reference::score_presence(bm, cols, cfg.counter);
+                if got != want {
+                    return Some(format!(
+                        "branch {pc:#x}: presence scorer on columns {cols:?}: kernel {got} != reference {want}"
+                    ));
+                }
+            }
+        }
+        // Full subset-search diff: the production selection must equal
+        // the reference-driven search, tag for tag and score for score.
+        let got = OracleSelector::select_branch(bm, cfg);
+        let want = reference::select_branch(bm, cfg);
+        if got.executions != want.executions || got.best != want.best {
+            return Some(format!(
+                "branch {pc:#x}: subset search: kernel {got:?} != reference {want:?}"
+            ));
+        }
+    }
+    None
+}
+
+/// Diffs the bit-parallel classifier against `reference::classify` on one
+/// trace, across every configured [`ClassifierConfig`].
+pub fn diff_classify(
+    trace: &Trace,
+    configs: &[ClassifierConfig],
+    kernels: &Kernels,
+) -> Option<String> {
+    for cfg in configs {
+        let got = (kernels.classify)(trace, cfg);
+        let want = reference::classify(trace, cfg);
+        if got.iter().count() != want.iter().count() {
+            return Some(format!(
+                "cfg {cfg:?}: kernel classified {} branches, reference {}",
+                got.iter().count(),
+                want.iter().count()
+            ));
+        }
+        for (pc, w) in want.iter() {
+            if got.get(pc) != Some(w) {
+                return Some(format!(
+                    "cfg {cfg:?}: branch {pc:#x}: kernel {:?} != reference {w:?}",
+                    got.get(pc)
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Diffs every materialized sweep point against an independent
+/// max-window-free direct build of that window's outcome matrix.
+pub fn diff_sweep(
+    trace: &Trace,
+    windows: &[usize],
+    caps: &[usize],
+    kernels: &Kernels,
+) -> Option<String> {
+    for (i, (&window, &cap)) in windows.iter().zip(caps).enumerate() {
+        let derived = (kernels.sweep)(trace, windows, caps, i);
+        let cands = TagCandidates::collect(trace, window, cap);
+        let direct = OutcomeMatrix::build(trace, &cands, window);
+        if derived.branch_count() != direct.branch_count() {
+            return Some(format!(
+                "window {window}: sweep materialized {} branches, direct build {}",
+                derived.branch_count(),
+                direct.branch_count()
+            ));
+        }
+        for (pc, want) in direct.iter() {
+            let Some(got) = derived.branch(pc) else {
+                return Some(format!(
+                    "window {window}: branch {pc:#x} missing from sweep"
+                ));
+            };
+            if got.tags() != want.tags() {
+                return Some(format!(
+                    "window {window}: branch {pc:#x}: candidate columns differ"
+                ));
+            }
+            if got.executions() != want.executions() || got.taken_plane() != want.taken_plane() {
+                return Some(format!(
+                    "window {window}: branch {pc:#x}: taken plane differs"
+                ));
+            }
+            for c in 0..want.tags().len() {
+                if got.inpath_plane(c) != want.inpath_plane(c) {
+                    return Some(format!(
+                        "window {window}: branch {pc:#x} column {c}: in-path plane differs"
+                    ));
+                }
+                if got.dir_plane(c) != want.dir_plane(c) {
+                    return Some(format!(
+                        "window {window}: branch {pc:#x} column {c}: direction plane differs"
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Runs every differential suite on one named trace; on the first
+/// divergence, minimizes the trace against that suite and reports it.
+pub fn run_case(
+    name: &str,
+    trace: &Trace,
+    cfg: &DiffConfig,
+    kernels: &Kernels,
+) -> Option<Divergence> {
+    if diff_oracle(trace, &cfg.oracle, kernels).is_some() {
+        let oracle_cfg = cfg.oracle;
+        let k = *kernels;
+        let minimized = minimize(trace, |t| diff_oracle(t, &oracle_cfg, &k).is_some());
+        let detail = diff_oracle(&minimized, &cfg.oracle, kernels)
+            .expect("minimize preserves the divergence");
+        return Some(Divergence {
+            suite: "oracle",
+            case_name: name.to_owned(),
+            detail,
+            trace: minimized,
+        });
+    }
+    if diff_classify(trace, &cfg.classify, kernels).is_some() {
+        let configs = cfg.classify.clone();
+        let k = *kernels;
+        let minimized = minimize(trace, |t| diff_classify(t, &configs, &k).is_some());
+        let detail = diff_classify(&minimized, &cfg.classify, kernels)
+            .expect("minimize preserves the divergence");
+        return Some(Divergence {
+            suite: "classify",
+            case_name: name.to_owned(),
+            detail,
+            trace: minimized,
+        });
+    }
+    if diff_sweep(trace, &cfg.windows, &cfg.caps, kernels).is_some() {
+        let (windows, caps) = (cfg.windows.clone(), cfg.caps.clone());
+        let k = *kernels;
+        let minimized = minimize(trace, |t| diff_sweep(t, &windows, &caps, &k).is_some());
+        let detail = diff_sweep(&minimized, &cfg.windows, &cfg.caps, kernels)
+            .expect("minimize preserves the divergence");
+        return Some(Divergence {
+            suite: "sweep",
+            case_name: name.to_owned(),
+            detail,
+            trace: minimized,
+        });
+    }
+    None
+}
+
+/// ddmin-style trace minimization: repeatedly removes record chunks at
+/// doubling granularity while `still_fails` holds, returning a (locally)
+/// 1-minimal failing trace.
+pub fn minimize(trace: &Trace, still_fails: impl Fn(&Trace) -> bool) -> Trace {
+    let mut recs = trace.records().to_vec();
+    let mut n = 2usize;
+    while recs.len() >= 2 && n <= recs.len() {
+        let chunk = recs.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < recs.len() {
+            let end = (start + chunk).min(recs.len());
+            let mut candidate = Vec::with_capacity(recs.len() - (end - start));
+            candidate.extend_from_slice(&recs[..start]);
+            candidate.extend_from_slice(&recs[end..]);
+            if !candidate.is_empty() && still_fails(&Trace::from_records(candidate.clone())) {
+                recs = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk == 1 {
+                break;
+            }
+            n = (n * 2).min(recs.len());
+        }
+    }
+    Trace::from_records(recs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use bp_trace::BranchRecord;
+
+    #[test]
+    fn production_kernels_agree_on_small_corpus() {
+        let cfg = DiffConfig::default();
+        let kernels = Kernels::default();
+        for case in gen::corpus(3, 16) {
+            assert!(
+                run_case(&case.name, &case.trace, &cfg, &kernels).is_none(),
+                "unexpected divergence on {}",
+                case.name
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_shrinks_to_the_failing_record() {
+        // Predicate: trace contains a not-taken record at 0x200.
+        let recs: Vec<BranchRecord> = (0..200)
+            .map(|i| BranchRecord::conditional(0x100 + (i % 7) * 4, i % 3 == 0))
+            .chain(std::iter::once(BranchRecord::conditional(0x200, false)))
+            .chain((0..100).map(|i| BranchRecord::conditional(0x300, i % 2 == 0)))
+            .collect();
+        let trace = Trace::from_records(recs);
+        let fails = |t: &Trace| t.conditionals().any(|r| r.pc == 0x200 && !r.taken);
+        let minimized = minimize(&trace, fails);
+        assert_eq!(minimized.records().len(), 1);
+        assert!(fails(&minimized));
+    }
+}

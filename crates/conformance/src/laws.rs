@@ -1,0 +1,270 @@
+//! Metamorphic laws over the `bp_predictors` family.
+//!
+//! Each law states a relation that must hold between two predictor runs
+//! on transformed inputs — no reference implementation needed, the
+//! predictors check each other:
+//!
+//! 1. **Degenerate gshare** — gshare with 0 history bits is exactly a
+//!    bimodal PHT ([`bp_predictors::Smith`]), branch for branch.
+//! 2. **PAs index invariance** — PAs accuracy is invariant under PC
+//!    permutations that preserve its index bits (aliasing classes), and
+//!    interference-free PAs under *any* injective PC permutation.
+//! 3. **Interference-free dominance** — an interference-free variant can
+//!    trail its interfering twin only by cold-counter warmup, bounded by
+//!    a computable per-key slack.
+//! 4. **k-ago self-consistency** — per-branch, the `k·j`-ago predictor
+//!    on a `k`-stretched trace scores exactly `k` times the `j`-ago
+//!    predictor on the original.
+
+use bp_predictors::{
+    simulate, simulate_per_branch, Gshare, GshareInterferenceFree, KthAgo, Pas,
+    PasInterferenceFree, SaturatingCounter, ShiftHistory, Smith,
+};
+use bp_trace::{BranchRecord, Pc, Trace};
+
+/// Law 1: `Gshare::with_geometry(0, b)` ≡ `Smith::new(b)` exactly — with
+/// no history the XOR index degenerates to the PC index, so the two
+/// predictors must agree prediction for prediction.
+pub fn law_gshare_zero_history_is_bimodal(trace: &Trace) -> Option<String> {
+    for bits in [2u32, 6, 10] {
+        let mut gshare = Gshare::with_geometry(0, bits, SaturatingCounter::two_bit());
+        let mut smith = Smith::new(bits);
+        let g = simulate_per_branch(&mut gshare, trace);
+        let s = simulate_per_branch(&mut smith, trace);
+        for (pc, want) in s.iter() {
+            if g.get(pc) != Some(want) {
+                return Some(format!(
+                    "gshare(0 history, {bits} table bits) != smith({bits}) at branch {pc:#x}: \
+                     {:?} vs {want:?}",
+                    g.get(pc)
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Remaps `pc` preserving its low `keep_bits` bits while permuting the
+/// high bits injectively (XOR then carry-free add on the small PCs the
+/// corpus uses).
+fn permute_high_bits(pc: Pc, keep_bits: u32) -> Pc {
+    let low = pc & ((1u64 << keep_bits) - 1);
+    let high = pc >> keep_bits;
+    let permuted = (high ^ 0xA5) + 0x40;
+    (permuted << keep_bits) | low
+}
+
+/// Applies a PC remap to every record of a trace.
+fn remap_pcs(trace: &Trace, f: impl Fn(Pc) -> Pc) -> Trace {
+    Trace::from_records(
+        trace
+            .records()
+            .iter()
+            .map(|rec| {
+                let mut rec = *rec;
+                rec.pc = f(rec.pc);
+                rec
+            })
+            .collect(),
+    )
+}
+
+/// Law 2: PAs total accuracy is invariant under PC permutations that
+/// preserve every index bit it looks at (BHT and table-select), and
+/// interference-free PAs under any injective permutation.
+pub fn law_pas_pc_permutation_invariance(trace: &Trace) -> Option<String> {
+    let (history_bits, bht_bits, table_select_bits) = (6u32, 4u32, 2u32);
+    // PAs indexes with (pc >> 2) & mask(bht_bits / table_select_bits):
+    // preserving the low 2 + max(...) PC bits preserves both indices,
+    // hence every aliasing class.
+    let keep = 2 + bht_bits.max(table_select_bits);
+    let remapped = remap_pcs(trace, |pc| permute_high_bits(pc, keep));
+    let base = simulate(
+        &mut Pas::new(history_bits, bht_bits, table_select_bits),
+        trace,
+    );
+    let perm = simulate(
+        &mut Pas::new(history_bits, bht_bits, table_select_bits),
+        &remapped,
+    );
+    if base != perm {
+        return Some(format!(
+            "pas({history_bits},{bht_bits},{table_select_bits}) not invariant under \
+             index-preserving PC permutation: {base:?} vs {perm:?}"
+        ));
+    }
+    // The interference-free variant keys on the exact PC, so any
+    // injective remap (here: a bijective odd multiply) is invisible.
+    let remapped = remap_pcs(trace, |pc| pc.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let base = simulate(&mut PasInterferenceFree::new(history_bits), trace);
+    let perm = simulate(&mut PasInterferenceFree::new(history_bits), &remapped);
+    if base != perm {
+        return Some(format!(
+            "if-pas({history_bits}) not invariant under injective PC permutation: \
+             {base:?} vs {perm:?}"
+        ));
+    }
+    None
+}
+
+/// Counts the distinct (pc, history-pattern) counter keys a global-history
+/// predictor of `history_bits` touches on `trace` — the number of cold
+/// counters the interference-free variant must warm up.
+fn distinct_global_keys(trace: &Trace, history_bits: u32) -> u64 {
+    let mut history = ShiftHistory::new(history_bits);
+    let mut keys = std::collections::HashSet::new();
+    for rec in trace.conditionals() {
+        keys.insert((rec.pc, history.value()));
+        history.push(rec.taken);
+    }
+    keys.len() as u64
+}
+
+/// As [`distinct_global_keys`] for per-address history (PAs-shaped keys).
+fn distinct_per_address_keys(trace: &Trace, history_bits: u32) -> u64 {
+    let mask = (1u64 << history_bits) - 1;
+    let mut histories: std::collections::HashMap<Pc, u64> = std::collections::HashMap::new();
+    let mut keys = std::collections::HashSet::new();
+    for rec in trace.conditionals() {
+        let hist = histories.entry(rec.pc).or_insert(0);
+        keys.insert((rec.pc, *hist));
+        *hist = ((*hist << 1) | u64::from(rec.taken)) & mask;
+    }
+    keys.len() as u64
+}
+
+/// Law 3: an interference-free predictor can lose to its interfering twin
+/// only through warmup — a shared counter arrives pre-trained by aliasing
+/// branches, a per-key counter starts cold. Each distinct key costs at
+/// most 3 predictions of training (2-bit counter from weakly-taken), so:
+/// `if_correct + 3 * distinct_keys >= shared_correct`.
+pub fn law_interference_free_dominates(trace: &Trace) -> Option<String> {
+    let h = 6u32;
+    let shared = simulate(&mut Gshare::new(h), trace);
+    let ideal = simulate(&mut GshareInterferenceFree::new(h), trace);
+    let slack = 3 * distinct_global_keys(trace, h);
+    if ideal.correct + slack < shared.correct {
+        return Some(format!(
+            "if-gshare({h}) {} + warmup slack {slack} < gshare({h}) {}",
+            ideal.correct, shared.correct
+        ));
+    }
+    let shared = simulate(&mut Pas::new(h, 4, 1), trace);
+    let ideal = simulate(&mut PasInterferenceFree::new(h), trace);
+    let slack = 3 * distinct_per_address_keys(trace, h);
+    if ideal.correct + slack < shared.correct {
+        return Some(format!(
+            "if-pas({h}) {} + warmup slack {slack} < pas({h},4,1) {}",
+            ideal.correct, shared.correct
+        ));
+    }
+    None
+}
+
+/// Stretches a trace by `k`: every record is repeated `k` times in place,
+/// so each branch's outcome sequence is element-wise `k`-stretched.
+fn stretch(trace: &Trace, k: usize) -> Trace {
+    let mut recs: Vec<BranchRecord> = Vec::with_capacity(trace.records().len() * k);
+    for rec in trace.records() {
+        recs.extend(std::iter::repeat_n(*rec, k));
+    }
+    Trace::from_records(recs)
+}
+
+/// Law 4: per branch, `correct(KthAgo(k*j), stretch_k(T)) ==
+/// k * correct(KthAgo(j), T)` — replaying an outcome from `k*j`
+/// executions ago on a `k`-stretched stream is the same comparison as
+/// `j`-ago on the original, each original execution counted `k` times
+/// (including the predict-taken warmup, which stretches identically).
+pub fn law_kth_ago_stretch_consistency(trace: &Trace) -> Option<String> {
+    for (k, j) in [(2u32, 1u32), (3, 1), (2, 2), (5, 1), (4, 3)] {
+        let stretched = stretch(trace, k as usize);
+        let got = simulate_per_branch(&mut KthAgo::new(k * j), &stretched);
+        let want = simulate_per_branch(&mut KthAgo::new(j), trace);
+        for (pc, w) in want.iter() {
+            let g = got.get(pc).copied().unwrap_or_default();
+            if g.correct != u64::from(k) * w.correct
+                || g.predictions != u64::from(k) * w.predictions
+            {
+                return Some(format!(
+                    "k-ago stretch law (k={k}, j={j}) at branch {pc:#x}: \
+                     stretched {g:?} != {k} x original {w:?}"
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// One metamorphic law: a name and a checker returning the first
+/// violation found.
+pub struct Law {
+    /// Short law name for reports.
+    pub name: &'static str,
+    /// Checker; `Some(detail)` on violation.
+    pub check: fn(&Trace) -> Option<String>,
+}
+
+/// Every law in the suite.
+pub fn all_laws() -> Vec<Law> {
+    vec![
+        Law {
+            name: "gshare-zero-history-is-bimodal",
+            check: law_gshare_zero_history_is_bimodal,
+        },
+        Law {
+            name: "pas-pc-permutation-invariance",
+            check: law_pas_pc_permutation_invariance,
+        },
+        Law {
+            name: "interference-free-dominates",
+            check: law_interference_free_dominates,
+        },
+        Law {
+            name: "kth-ago-stretch-consistency",
+            check: law_kth_ago_stretch_consistency,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn all_laws_hold_on_small_corpus() {
+        for case in gen::corpus(5, 20) {
+            for law in all_laws() {
+                assert_eq!(
+                    (law.check)(&case.trace),
+                    None,
+                    "law {} violated on {}",
+                    law.name,
+                    case.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permute_high_bits_is_injective_and_preserves_low_bits() {
+        let mut seen = std::collections::HashSet::new();
+        for pc in 0..4096u64 {
+            let p = permute_high_bits(pc, 6);
+            assert_eq!(p & 63, pc & 63);
+            assert!(seen.insert(p), "collision at {pc:#x}");
+        }
+    }
+
+    #[test]
+    fn stretch_repeats_each_outcome() {
+        let trace = Trace::from_records(vec![
+            BranchRecord::conditional(0x10, true),
+            BranchRecord::conditional(0x10, false),
+        ]);
+        let s = stretch(&trace, 3);
+        let outcomes: Vec<bool> = s.conditionals().map(|r| r.taken).collect();
+        assert_eq!(outcomes, vec![true, true, true, false, false, false]);
+    }
+}

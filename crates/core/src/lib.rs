@@ -50,7 +50,7 @@ mod gaps;
 mod matrix;
 mod oracle;
 mod percentile;
-#[cfg(any(test, feature = "reference-scorer"))]
+#[doc(hidden)]
 #[allow(missing_docs)]
 pub mod reference;
 mod selective;
@@ -71,6 +71,8 @@ pub use oracle::{
     presence_stats, BranchSelection, OracleConfig, OracleResult, OracleSelector, SearchStrategy,
     TagSetScore, MAX_SELECTIVE_TAGS,
 };
+#[doc(hidden)]
+pub use oracle::{score_columns_presence, score_tag_set};
 pub use percentile::PercentileCurve;
 pub use selective::SelectivePredictor;
 pub use sweep::{SweepMatrix, MAX_SWEEP_WINDOWS};

@@ -251,7 +251,8 @@ fn tally_word(slot: &mut SaturatingCounter, m: u64, t: u64, correct: &mut u64) {
 /// replayed through its counter via [`tally_word`]'s uniform-run jump.
 /// Exactly equivalent to the digit-at-a-time reference scorer
 /// (`crate::reference`), which the property tests hold it to.
-pub(crate) fn score_tag_set(bm: &BranchMatrix, cols: &[usize], init: SaturatingCounter) -> u64 {
+#[doc(hidden)]
+pub fn score_tag_set(bm: &BranchMatrix, cols: &[usize], init: SaturatingCounter) -> u64 {
     let words = bm.words();
     let taken = bm.taken_plane();
     let tail = tail_mask(bm.executions());
@@ -335,11 +336,8 @@ pub(crate) fn score_tag_set(bm: &BranchMatrix, cols: &[usize], init: SaturatingC
 /// *that* a branch was on the path (figure 2) predicts, as opposed to
 /// which way it went. Same word-wise plane walk as [`score_tag_set`], over
 /// in-path planes only.
-pub(crate) fn score_columns_presence(
-    bm: &BranchMatrix,
-    cols: &[usize],
-    init: SaturatingCounter,
-) -> u64 {
+#[doc(hidden)]
+pub fn score_columns_presence(bm: &BranchMatrix, cols: &[usize], init: SaturatingCounter) -> u64 {
     debug_assert!(cols.len() <= MAX_SELECTIVE_TAGS);
     let words = bm.words();
     let taken = bm.taken_plane();

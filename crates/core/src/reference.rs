@@ -10,8 +10,10 @@
 //! `oracle_kernel` / `classify_kernel` Criterion benches measure the
 //! speedups against them.
 //!
-//! Compiled only for tests and under the `reference-scorer` feature; it is
-//! not part of the crate's supported API surface.
+//! Always compiled so the `bp-conformance` differential runners can link
+//! it directly, but hidden from docs: it is not part of the crate's
+//! supported API surface. The legacy `reference-scorer` feature is a
+//! no-op alias.
 
 use std::collections::HashMap;
 

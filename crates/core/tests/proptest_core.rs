@@ -9,21 +9,12 @@ use bp_core::{
     SearchStrategy, SelectivePredictor, TagCandidates, IDEAL_STATIC_NAME,
 };
 use bp_predictors::{simulate_per_branch, Gshare, Pas, PerBranchStats, PredictionStats};
-use bp_trace::{BranchProfile, BranchRecord, Trace};
+use bp_trace::{BranchProfile, Trace};
 
+/// This crate's historical generator parameters, over the shared
+/// [`bp_trace::testgen`] strategy.
 fn arb_trace(max: usize) -> impl Strategy<Value = Trace> {
-    prop::collection::vec(
-        (0u64..12, any::<bool>(), any::<bool>()).prop_map(|(pc, taken, backward)| {
-            let rec = BranchRecord::conditional(pc * 4 + 0x100, taken);
-            if backward {
-                rec.with_target(0x80)
-            } else {
-                rec
-            }
-        }),
-        1..max,
-    )
-    .prop_map(Trace::from_records)
+    bp_trace::testgen::arb_trace(12, 0x100, 1..max)
 }
 
 fn arb_stats_pair() -> impl Strategy<Value = (PerBranchStats, PerBranchStats)> {

@@ -21,12 +21,14 @@ use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use bp_experiments::goldens::{self, Goldens};
 use bp_experiments::{run_experiment, Engine, ExperimentConfig, TraceSet, EXPERIMENT_IDS};
 
 fn usage() {
     eprintln!(
         "usage: repro [--quick] [--seed N] [--target N] [--cache DIR] [--jobs N] \
-         [--timings FILE] [--bare] <experiment...|all>"
+         [--timings FILE] [--bare] [--goldens FILE] [--verify-goldens] [--write-goldens] \
+         <experiment...|all>"
     );
     eprintln!("experiments: {}", EXPERIMENT_IDS.join(" "));
 }
@@ -133,6 +135,9 @@ fn main() -> ExitCode {
     let mut timings_path: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut bare = false;
+    let mut goldens_path: Option<String> = None;
+    let mut verify_goldens = false;
+    let mut write_goldens = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -178,6 +183,16 @@ fn main() -> ExitCode {
                 }
             },
             "--bare" => bare = true,
+            "--goldens" => match args.next() {
+                Some(path) => goldens_path = Some(path),
+                None => {
+                    eprintln!("error: --goldens needs a file path");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--verify-goldens" => verify_goldens = true,
+            "--write-goldens" => write_goldens = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -199,6 +214,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    let goldens_file = goldens_path
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(goldens::default_path);
+    let committed_goldens = if verify_goldens {
+        match Goldens::load(&goldens_file) {
+            Ok(g) => {
+                if let Err(e) = g.check_config(&cfg) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Some(g)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let mut fresh_goldens = Goldens::new(&cfg);
+    let mut golden_mismatches: Vec<String> = Vec::new();
 
     if !bare {
         println!(
@@ -236,6 +274,14 @@ fn main() -> ExitCode {
         let started = Instant::now();
         let rendered = run_experiment(id, &cfg, &engine).expect("ids validated above");
         println!("{rendered}");
+        if write_goldens || verify_goldens {
+            fresh_goldens.record(id, goldens::fingerprint(&rendered));
+        }
+        if let Some(committed) = &committed_goldens {
+            if let Err(m) = committed.verify(id, &rendered) {
+                golden_mismatches.push(m.to_string());
+            }
+        }
         let seconds = started.elapsed().as_secs_f64();
         eprintln!("[{id} done in {seconds:.1}s]\n");
         timings.push(Timing {
@@ -256,6 +302,30 @@ fn main() -> ExitCode {
     if let Some(path) = timings_path {
         if let Err(e) = write_timings(&path, &cfg, &engine, &timings, total_seconds) {
             eprintln!("error: could not write timings to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if write_goldens {
+        if let Err(e) = fresh_goldens.write(&goldens_file) {
+            eprintln!(
+                "error: could not write goldens to {}: {e}",
+                goldens_file.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[wrote {} golden fingerprints to {}]",
+            fresh_goldens.len(),
+            goldens_file.display()
+        );
+    }
+    if verify_goldens {
+        if golden_mismatches.is_empty() {
+            eprintln!("[goldens verified: {} experiments]", ids.len());
+        } else {
+            for m in &golden_mismatches {
+                eprintln!("golden mismatch: {m}");
+            }
             return ExitCode::FAILURE;
         }
     }

@@ -51,6 +51,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod goldens;
 pub mod render;
 pub mod table1;
 pub mod table2;

@@ -31,9 +31,26 @@ impl Gshare {
 
     /// As [`Gshare::new`] with a custom counter.
     pub fn with_counter(history_bits: u32, init: SaturatingCounter) -> Self {
+        Gshare::with_geometry(history_bits, history_bits, init)
+    }
+
+    /// A gshare whose history length and PHT size are chosen
+    /// independently: `history_bits` of global history XORed into a
+    /// `2^table_bits`-entry counter table.
+    ///
+    /// With `history_bits = 0` the XOR contributes nothing and the
+    /// predictor degenerates to a per-address bimodal table — exactly
+    /// [`crate::Smith`] with `table_bits` of PC index, a collapse the
+    /// conformance metamorphic laws pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` exceeds 64 or `table_bits` is not in
+    /// `1..=28`.
+    pub fn with_geometry(history_bits: u32, table_bits: u32, init: SaturatingCounter) -> Self {
         Gshare {
             history: ShiftHistory::new(history_bits),
-            pht: PatternHistoryTable::new(history_bits, init),
+            pht: PatternHistoryTable::new(table_bits, init),
         }
     }
 

@@ -26,11 +26,16 @@ pub struct ShiftHistory {
 impl ShiftHistory {
     /// Creates an all-zeros history of `len` bits.
     ///
+    /// A zero-length register is allowed and degenerates to a constant:
+    /// its value is always 0 and `push` is a no-op. Two-level predictors
+    /// built on it collapse to their history-less (bimodal) form, which
+    /// the conformance metamorphic laws exploit.
+    ///
     /// # Panics
     ///
-    /// Panics if `len` is not in `1..=64`.
+    /// Panics if `len` exceeds 64.
     pub fn new(len: u32) -> Self {
-        assert!((1..=64).contains(&len), "history length must be 1..=64");
+        assert!(len <= 64, "history length must be 0..=64");
         let mask = if len == 64 {
             u64::MAX
         } else {
@@ -45,10 +50,9 @@ impl ShiftHistory {
         self.len
     }
 
-    /// `false`; a history register always has at least one bit. Present for
-    /// API symmetry with collections.
+    /// `true` only for the degenerate zero-length register.
     pub fn is_empty(&self) -> bool {
-        false
+        self.len == 0
     }
 
     /// Shifts in an outcome (`true` = taken) as the new least significant
@@ -118,9 +122,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "history length")]
-    fn zero_length_rejected() {
-        let _ = ShiftHistory::new(0);
+    fn zero_length_is_constant_zero() {
+        let mut h = ShiftHistory::new(0);
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        h.push(true);
+        h.push(true);
+        assert_eq!(h.value(), 0);
     }
 
     #[test]

@@ -9,21 +9,12 @@ use bp_predictors::{
     LoopPredictor, Pag, Pas, PasInterferenceFree, PathBased, PatternHistoryTable, Predictor,
     SaturatingCounter, ShiftHistory, Smith, StaticNotTaken, StaticTaken,
 };
-use bp_trace::{BranchProfile, BranchRecord, Trace};
+use bp_trace::{BranchProfile, Trace};
 
+/// This crate's historical generator parameters, over the shared
+/// [`bp_trace::testgen`] strategy.
 fn arb_trace(max: usize) -> impl Strategy<Value = Trace> {
-    prop::collection::vec(
-        (0u64..32, any::<bool>(), any::<bool>()).prop_map(|(pc, taken, backward)| {
-            let rec = BranchRecord::conditional(pc * 4 + 0x1000, taken);
-            if backward {
-                rec.with_target(0x800)
-            } else {
-                rec
-            }
-        }),
-        0..max,
-    )
-    .prop_map(Trace::from_records)
+    bp_trace::testgen::arb_trace(32, 0x1000, 0..max)
 }
 
 /// Every predictor under test, fresh.

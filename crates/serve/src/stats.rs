@@ -399,7 +399,78 @@ mod tests {
     #[test]
     fn empty_histogram_reports_zero() {
         let h = LatencyHistogram::new();
-        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 0, "q = {q}");
+        }
         assert_eq!(h.max_us(), 0);
+        let snap = LatencySnapshot::of(&h);
+        assert_eq!(snap, LatencySnapshot::default());
+    }
+
+    #[test]
+    fn values_below_16us_are_exact() {
+        for us in 0..16u64 {
+            assert_eq!(LatencyHistogram::bucket_of(us), us as usize);
+            assert_eq!(LatencyHistogram::bucket_floor(us as usize), us);
+        }
+        let h = LatencyHistogram::new();
+        h.record_us(7);
+        assert_eq!(h.quantile_us(0.5), 7);
+        assert_eq!(h.quantile_us(1.0), 7);
+    }
+
+    #[test]
+    fn bucket_floor_is_the_smallest_value_in_its_bucket() {
+        let mut prev = 0usize;
+        for us in 0..200_000u64 {
+            let b = LatencyHistogram::bucket_of(us);
+            assert!(b >= prev, "bucket order regressed at {us}");
+            prev = b;
+        }
+        for b in 0..BUCKETS {
+            let floor = LatencyHistogram::bucket_floor(b);
+            assert_eq!(LatencyHistogram::bucket_of(floor), b, "floor of bucket {b}");
+            if floor > 0 {
+                assert!(
+                    LatencyHistogram::bucket_of(floor - 1) < b,
+                    "bucket {b} floor {floor} is not its boundary"
+                );
+            }
+        }
+        assert!(LatencyHistogram::bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn p50_at_an_exact_bucket_edge() {
+        // 50 samples in the bucket holding 10, 50 in the one holding 20:
+        // the p50 rank (ceil(0.5 * 100) = 50) is the LAST sample of the
+        // first bucket, and one rank more crosses the edge.
+        let h = LatencyHistogram::new();
+        for _ in 0..50 {
+            h.record_us(10);
+        }
+        for _ in 0..50 {
+            h.record_us(20);
+        }
+        assert_eq!(h.quantile_us(0.50), 10);
+        assert_eq!(h.quantile_us(0.51), 20);
+        assert_eq!(h.quantile_us(1.0), 20);
+    }
+
+    #[test]
+    fn p99_at_an_exact_bucket_edge() {
+        // With 99 small samples and 1 large, the p99 rank (99) is still
+        // in the small bucket; a second large sample moves rank 100 (of
+        // 101) onto the first large one.
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record_us(1);
+        }
+        h.record_us(1 << 20);
+        assert_eq!(h.quantile_us(0.99), 1);
+        h.record_us(1 << 20);
+        assert_eq!(h.quantile_us(0.99), 1 << 20);
+        assert_eq!(h.max_us(), 1 << 20);
     }
 }

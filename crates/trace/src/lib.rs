@@ -46,6 +46,8 @@ mod recorder;
 mod stats;
 mod streams;
 mod tag;
+#[cfg(any(test, feature = "testgen"))]
+pub mod testgen;
 mod trace;
 mod window;
 

@@ -1,0 +1,63 @@
+//! Shared property-test trace generators (feature `testgen`).
+//!
+//! The workspace's proptest suites all want the same shape of random
+//! trace — a handful of static conditional PCs, random outcomes, and an
+//! occasional backward target so `BackwardTaken`-style heuristics see
+//! both directions. This module is the single home for that strategy;
+//! the per-crate test files wrap it with their historical parameters
+//! instead of each carrying a private copy.
+//!
+//! Compiled only when the `testgen` feature is enabled (the workspace
+//! crates turn it on from `[dev-dependencies]`), so the proptest shim
+//! never leaks into production builds.
+
+use proptest::prelude::*;
+
+use crate::{BranchRecord, Trace};
+
+/// Strategy producing traces of `len` random conditional branches drawn
+/// from `pc_count` static sites.
+///
+/// Site addresses are `pc_base + 4*i` for `i in 0..pc_count`; each
+/// record flips a coin for its outcome and another for whether it is a
+/// backward branch (target `pc_base / 2`, below every site) or a
+/// forward fall-through.
+pub fn arb_trace(
+    pc_count: u64,
+    pc_base: u64,
+    len: core::ops::Range<usize>,
+) -> impl Strategy<Value = Trace> {
+    let backward_target = pc_base / 2;
+    prop::collection::vec(
+        (0u64..pc_count, any::<bool>(), any::<bool>()).prop_map(move |(pc, taken, backward)| {
+            let rec = BranchRecord::conditional(pc * 4 + pc_base, taken);
+            if backward {
+                rec.with_target(backward_target)
+            } else {
+                rec
+            }
+        }),
+        len,
+    )
+    .prop_map(Trace::from_records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::rng_for;
+
+    #[test]
+    fn traces_respect_site_set_and_length() {
+        let strat = arb_trace(12, 0x100, 1..50);
+        let mut rng = rng_for("testgen", 0);
+        for _ in 0..32 {
+            let trace = strat.sample(&mut rng);
+            assert!(!trace.records().is_empty() && trace.records().len() < 50);
+            for rec in trace.conditionals() {
+                assert!((0x100..0x100 + 12 * 4).contains(&rec.pc));
+                assert!(rec.is_backward() || rec.target > rec.pc);
+            }
+        }
+    }
+}

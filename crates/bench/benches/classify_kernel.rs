@@ -42,6 +42,32 @@ fn bench_classify_kernel(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("reference", label), |b| {
             b.iter(|| black_box(reference::classify(black_box(&trace), &cfg)))
         });
+        // The k-ago popcount sweep in isolation: runtime-dispatched
+        // (AVX2 on capable hosts) vs the portable scalar twin. The two
+        // are bit-identical (the conformance `simd` suite pins that);
+        // this pair measures the vector speedup on long streams.
+        group.bench_function(BenchmarkId::new("kago_dispatch", label), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for (_, stream) in streams.iter() {
+                    for k in 1..=cfg.max_period as usize {
+                        acc += bp_core::kth_ago_correct(black_box(stream), k);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(BenchmarkId::new("kago_scalar", label), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for (_, stream) in streams.iter() {
+                    for k in 1..=cfg.max_period as usize {
+                        acc += bp_core::kth_ago_correct_scalar(black_box(stream), k);
+                    }
+                }
+                black_box(acc)
+            })
+        });
     }
     group.finish();
 }

@@ -19,6 +19,18 @@ use bp_bench::bench_workload_config;
 use bp_core::{reference, OracleConfig, OracleSelector, OutcomeMatrix, TagCandidates};
 use bp_workloads::Benchmark;
 
+/// The subset shapes the greedy search probes: empty, each singleton,
+/// adjacent pairs, and one spread triple.
+fn subset_battery(n: usize) -> Vec<Vec<usize>> {
+    let mut subsets: Vec<Vec<usize>> = vec![Vec::new()];
+    subsets.extend((0..n).map(|c| vec![c]));
+    subsets.extend((1..n).map(|c| vec![c - 1, c]));
+    if n >= 3 {
+        subsets.push(vec![0, n / 2, n - 1]);
+    }
+    subsets
+}
+
 fn bench_oracle_kernel(c: &mut Criterion) {
     let cfg = OracleConfig {
         candidate_cap: 12,
@@ -46,6 +58,33 @@ fn bench_oracle_kernel(c: &mut Criterion) {
                 for (_, bm) in matrix.iter() {
                     black_box(reference::select_branch(bm, &cfg));
                 }
+            })
+        });
+        // The tag-set scorer in isolation: runtime-dispatched (AVX2 on
+        // capable hosts) vs the portable scalar twin, over the subset
+        // shapes the greedy search actually probes. Bit-identical (the
+        // conformance `simd` suite pins that); this pair measures the
+        // plane-replay vector speedup.
+        group.bench_function(BenchmarkId::new("tag_set_dispatch", label), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for (_, bm) in matrix.iter() {
+                    for cols in subset_battery(bm.tags().len()) {
+                        acc += bp_core::score_tag_set(black_box(bm), &cols, cfg.counter);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(BenchmarkId::new("tag_set_scalar", label), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for (_, bm) in matrix.iter() {
+                    for cols in subset_battery(bm.tags().len()) {
+                        acc += bp_core::score_tag_set_scalar(black_box(bm), &cols, cfg.counter);
+                    }
+                }
+                black_box(acc)
             })
         });
     }

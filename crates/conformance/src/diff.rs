@@ -22,7 +22,8 @@ use bp_core::{
     OutcomeMatrix, SweepMatrix, TagCandidates,
 };
 use bp_predictors::SaturatingCounter;
-use bp_trace::Trace;
+use bp_trace::io::{self, ChunkWriter, TraceIoError};
+use bp_trace::{BranchRecord, BranchStreams, TagScheme, Trace, TraceSink, TraceSource};
 
 /// The optimized tag-set scorer under test (injectable).
 pub type TagScorer = fn(&BranchMatrix, &[usize], SaturatingCounter) -> u64;
@@ -249,6 +250,213 @@ pub fn diff_sweep(
     None
 }
 
+/// Diffs the runtime-dispatched SIMD kernels against their portable
+/// scalar twins on one trace: the shifted-XNOR k-ago sweep per branch
+/// stream and the plane-wise tag-set scorer per branch matrix. The
+/// dispatching entry points are checked always; the AVX2 kernels are
+/// additionally invoked directly (below the dispatcher's size threshold)
+/// when the host has AVX2, so even tiny boundary cases exercise them.
+pub fn diff_simd(trace: &Trace, cfg: &OracleConfig) -> Option<String> {
+    let streams = BranchStreams::of(trace);
+    for (pc, stream) in streams.iter() {
+        let n = stream.len();
+        let ks = [1usize, 2, 31, 32, 33, 63, 64, 65, 127, 128, 129]
+            .into_iter()
+            .chain([n.saturating_sub(1).max(1), n.max(1), n + 7]);
+        for k in ks {
+            let want = bp_core::kth_ago_correct_scalar(stream, k);
+            let got = bp_core::kth_ago_correct(stream, k);
+            if got != want {
+                return Some(format!(
+                    "branch {pc:#x}: k-ago dispatch at k={k}: kernel {got} != scalar {want}"
+                ));
+            }
+            if bp_core::avx2_available() && k < n {
+                let prefix = (0..k.min(n)).filter(|&e| stream.get(e)).count() as u64;
+                let got = prefix + bp_core::kth_ago_body_avx2(stream.words(), n, k);
+                if got != want {
+                    return Some(format!(
+                        "branch {pc:#x}: AVX2 k-ago kernel at k={k}: {got} != scalar {want}"
+                    ));
+                }
+            }
+        }
+    }
+    let cands = TagCandidates::collect(trace, cfg.window, cfg.candidate_cap);
+    let matrix = OutcomeMatrix::build(trace, &cands, cfg.window);
+    for (pc, bm) in matrix.iter() {
+        let n = bm.tags().len();
+        let mut subsets: Vec<Vec<usize>> = vec![Vec::new()];
+        subsets.extend((0..n).map(|c| vec![c]));
+        subsets.extend((1..n).map(|c| vec![c - 1, c]));
+        if n >= 3 {
+            subsets.push(vec![0, n / 2, n - 1]);
+        }
+        for cols in &subsets {
+            let want = bp_core::score_tag_set_scalar(bm, cols, cfg.counter);
+            let got = bp_core::score_tag_set(bm, cols, cfg.counter);
+            if got != want {
+                return Some(format!(
+                    "branch {pc:#x}: tag-set dispatch on columns {cols:?}: \
+                     kernel {got} != scalar {want}"
+                ));
+            }
+            if bp_core::avx2_available() {
+                let got = bp_core::score_tag_set_avx2(bm, cols, cfg.counter);
+                if got != want {
+                    return Some(format!(
+                        "branch {pc:#x}: AVX2 tag-set kernel on columns {cols:?}: \
+                         {got} != scalar {want}"
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Chunk sizes the streaming suite re-frames each trace at: the
+/// single-record degenerate case and the word-boundary straddle.
+pub const STREAM_CHUNK_SIZES: [usize; 4] = [1, 63, 64, 65];
+
+/// A [`TraceSource`] view of a record slice re-framed at a fixed chunk
+/// size, for proving chunk boundaries carry no meaning.
+struct Rechunked<'a> {
+    records: &'a [BranchRecord],
+    chunk: usize,
+}
+
+impl TraceSource for Rechunked<'_> {
+    fn scan(&self, f: &mut dyn FnMut(&[BranchRecord])) -> Result<(), TraceIoError> {
+        for chunk in self.records.chunks(self.chunk) {
+            f(chunk);
+        }
+        Ok(())
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.records.len() as u64)
+    }
+}
+
+/// First disagreement between two outcome matrices, compared plane by
+/// plane (tags, executions, taken / in-path / direction planes).
+fn diff_matrices(label: &str, got: &OutcomeMatrix, want: &OutcomeMatrix) -> Option<String> {
+    if got.branch_count() != want.branch_count() {
+        return Some(format!(
+            "{label}: {} branches != expected {}",
+            got.branch_count(),
+            want.branch_count()
+        ));
+    }
+    for (pc, want_bm) in want.iter() {
+        let Some(got_bm) = got.branch(pc) else {
+            return Some(format!("{label}: branch {pc:#x} missing"));
+        };
+        if got_bm.tags() != want_bm.tags() {
+            return Some(format!("{label}: branch {pc:#x}: candidate columns differ"));
+        }
+        if got_bm.executions() != want_bm.executions()
+            || got_bm.taken_plane() != want_bm.taken_plane()
+        {
+            return Some(format!("{label}: branch {pc:#x}: taken plane differs"));
+        }
+        for c in 0..want_bm.tags().len() {
+            if got_bm.inpath_plane(c) != want_bm.inpath_plane(c)
+                || got_bm.dir_plane(c) != want_bm.dir_plane(c)
+            {
+                return Some(format!(
+                    "{label}: branch {pc:#x} column {c}: tag planes differ"
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Diffs the streaming artifact builders against their materialized
+/// originals on one trace, re-framed at every [`STREAM_CHUNK_SIZES`]
+/// chunk size: [`BranchStreams::from_source`] vs [`BranchStreams::of`],
+/// the source-driven candidate/matrix/sweep builders vs their
+/// whole-trace builds, and a `BPT2` encode/decode round trip.
+pub fn diff_streaming(
+    trace: &Trace,
+    cfg: &OracleConfig,
+    windows: &[usize],
+    caps: &[usize],
+) -> Option<String> {
+    let records = trace.records();
+    let want_streams = BranchStreams::of(trace);
+    let want_cands = TagCandidates::collect(trace, cfg.window, cfg.candidate_cap);
+    let want_matrix = OutcomeMatrix::build(trace, &want_cands, cfg.window);
+    let want_sweep = SweepMatrix::build(trace, windows, caps);
+    for &chunk in &STREAM_CHUNK_SIZES {
+        let source = Rechunked { records, chunk };
+        let label = format!("chunk size {chunk}");
+
+        let got = BranchStreams::from_source(&source).expect("re-chunked scans cannot fail");
+        if got != want_streams {
+            return Some(format!("{label}: streamed BranchStreams differ"));
+        }
+
+        let got = TagCandidates::collect_from_source(
+            &source,
+            cfg.window,
+            cfg.candidate_cap,
+            &TagScheme::ALL,
+        )
+        .expect("re-chunked scans cannot fail");
+        if got.branch_count() != want_cands.branch_count() {
+            return Some(format!("{label}: streamed candidate branch count differs"));
+        }
+        for (pc, tags) in want_cands.iter() {
+            if got.tags(pc) != tags {
+                return Some(format!(
+                    "{label}: branch {pc:#x}: streamed candidates differ"
+                ));
+            }
+        }
+
+        let got = OutcomeMatrix::build_from_source(&source, &want_cands, cfg.window)
+            .expect("re-chunked scans cannot fail");
+        if let Some(why) = diff_matrices(&label, &got, &want_matrix) {
+            return Some(format!("streamed matrix: {why}"));
+        }
+
+        let got_sweep = SweepMatrix::build_from_source(&source, windows, caps)
+            .expect("re-chunked scans cannot fail");
+        for (i, window) in windows.iter().enumerate() {
+            if let Some(why) = diff_matrices(
+                &format!("{label} window {window}"),
+                &got_sweep.materialize(i),
+                &want_sweep.materialize(i),
+            ) {
+                return Some(format!("streamed sweep: {why}"));
+            }
+        }
+
+        // BPT2 chunk-framed encode/decode round trip at this framing.
+        let mut buf = Vec::new();
+        let mut writer = ChunkWriter::new(&mut buf).expect("in-memory write cannot fail");
+        for chunk in records.chunks(chunk) {
+            writer.chunk(chunk);
+        }
+        let total = writer.finish().expect("in-memory write cannot fail");
+        if total != records.len() as u64 {
+            return Some(format!(
+                "{label}: BPT2 writer counted {total} records, trace has {}",
+                records.len()
+            ));
+        }
+        match io::read_chunked_trace(buf.as_slice()) {
+            Ok(rt) if rt.records() == records => {}
+            Ok(_) => return Some(format!("{label}: BPT2 round trip altered records")),
+            Err(e) => return Some(format!("{label}: BPT2 round trip failed: {e}")),
+        }
+    }
+    None
+}
+
 /// Runs every differential suite on one named trace; on the first
 /// divergence, minimizes the trace against that suite and reports it.
 pub fn run_case(
@@ -291,6 +499,32 @@ pub fn run_case(
             .expect("minimize preserves the divergence");
         return Some(Divergence {
             suite: "sweep",
+            case_name: name.to_owned(),
+            detail,
+            trace: minimized,
+        });
+    }
+    if diff_simd(trace, &cfg.oracle).is_some() {
+        let oracle_cfg = cfg.oracle;
+        let minimized = minimize(trace, |t| diff_simd(t, &oracle_cfg).is_some());
+        let detail = diff_simd(&minimized, &cfg.oracle).expect("minimize preserves the divergence");
+        return Some(Divergence {
+            suite: "simd",
+            case_name: name.to_owned(),
+            detail,
+            trace: minimized,
+        });
+    }
+    if diff_streaming(trace, &cfg.oracle, &cfg.windows, &cfg.caps).is_some() {
+        let oracle_cfg = cfg.oracle;
+        let (windows, caps) = (cfg.windows.clone(), cfg.caps.clone());
+        let minimized = minimize(trace, |t| {
+            diff_streaming(t, &oracle_cfg, &windows, &caps).is_some()
+        });
+        let detail = diff_streaming(&minimized, &cfg.oracle, &cfg.windows, &cfg.caps)
+            .expect("minimize preserves the divergence");
+        return Some(Divergence {
+            suite: "streaming",
             case_name: name.to_owned(),
             detail,
             trace: minimized,
@@ -349,6 +583,35 @@ mod tests {
                 case.name
             );
         }
+    }
+
+    #[test]
+    fn simd_and_streaming_suites_pass_on_long_traces() {
+        // The canned corpus traces are short; the SIMD dispatcher only
+        // engages its vector blocks past 8 words (512 executions), so
+        // build correlated branches long enough to exercise them.
+        let mut recs = Vec::new();
+        let mut hist = [false; 3];
+        let mut lcg = 0x2545_F491_4F6C_DD1D_u64;
+        for i in 0..700u64 {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (lcg >> 61) & 1 == 1;
+            let b = hist[0] ^ (i % 5 == 0);
+            let c = hist[1] & hist[2] || (lcg >> 17) & 1 == 1;
+            hist = [a, b, c];
+            recs.push(BranchRecord::conditional(0x40, a));
+            recs.push(BranchRecord::conditional(0x80, b));
+            recs.push(BranchRecord::conditional(0xC0, c));
+        }
+        let trace = Trace::from_records(recs);
+        let cfg = DiffConfig::default();
+        assert_eq!(diff_simd(&trace, &cfg.oracle), None);
+        assert_eq!(
+            diff_streaming(&trace, &cfg.oracle, &cfg.windows, &cfg.caps),
+            None
+        );
     }
 
     #[test]

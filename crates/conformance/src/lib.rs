@@ -29,6 +29,9 @@ pub mod diff;
 pub mod gen;
 pub mod laws;
 
-pub use diff::{minimize, run_case, DiffConfig, Divergence, Kernels};
+pub use diff::{
+    diff_simd, diff_streaming, minimize, run_case, DiffConfig, Divergence, Kernels,
+    STREAM_CHUNK_SIZES,
+};
 pub use gen::{corpus, BranchScript, Interleave, NamedTrace, Segment, TraceSpec};
 pub use laws::{all_laws, Law};

@@ -1,7 +1,8 @@
 use std::collections::HashMap;
 
 use bp_trace::fx::FxHashMap;
-use bp_trace::{InstanceTag, PathWindow, Pc, TagScheme, Trace};
+use bp_trace::io::TraceIoError;
+use bp_trace::{InstanceTag, PathWindow, Pc, TagScheme, Trace, TraceSource};
 
 /// The candidate correlated-branch instances considered for each static
 /// branch.
@@ -46,23 +47,46 @@ impl TagCandidates {
         cap: usize,
         schemes: &[TagScheme],
     ) -> Self {
+        TagCandidates::collect_from_source(trace, window, cap, schemes)
+            .expect("in-memory traces cannot fail to scan")
+    }
+
+    /// As [`TagCandidates::collect_with_schemes`], consuming any
+    /// [`TraceSource`] in one streaming scan — identical output to the
+    /// in-memory path on the same record sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's scan error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `cap` is zero, or `schemes` is empty.
+    pub fn collect_from_source<T: TraceSource + ?Sized>(
+        source: &T,
+        window: usize,
+        cap: usize,
+        schemes: &[TagScheme],
+    ) -> Result<Self, TraceIoError> {
         assert!(cap > 0, "candidate cap must be positive");
         assert!(!schemes.is_empty(), "need at least one tagging scheme");
         let mut counts: FxHashMap<Pc, FxHashMap<InstanceTag, u64>> = FxHashMap::default();
         let mut path = PathWindow::new(window);
         let mut visible = Vec::new();
-        for rec in trace.iter() {
-            if rec.is_conditional() {
-                path.visible_tags(&mut visible);
-                let branch_counts = counts.entry(rec.pc).or_default();
-                for (tag, _) in &visible {
-                    if schemes.contains(&tag.scheme) {
-                        *branch_counts.entry(*tag).or_insert(0) += 1;
+        source.scan(&mut |chunk| {
+            for rec in chunk {
+                if rec.is_conditional() {
+                    path.visible_tags(&mut visible);
+                    let branch_counts = counts.entry(rec.pc).or_default();
+                    for (tag, _) in &visible {
+                        if schemes.contains(&tag.scheme) {
+                            *branch_counts.entry(*tag).or_insert(0) += 1;
+                        }
                     }
                 }
+                path.push(rec);
             }
-            path.push(rec);
-        }
+        })?;
 
         let per_branch = counts
             .into_iter()
@@ -73,7 +97,7 @@ impl TagCandidates {
                 (pc, ranked.into_iter().map(|(tag, _)| tag).collect())
             })
             .collect();
-        TagCandidates { per_branch }
+        Ok(TagCandidates { per_branch })
     }
 
     /// Candidate tags for `pc`, most-visible first; empty if the branch

@@ -333,13 +333,36 @@ fn popcount_prefix(words: &[u64], m: usize) -> u64 {
 /// The agreement test is one XNOR per word against the stream shifted left
 /// by `k` bits, masked to the valid range — O(n/64) per `k` with no
 /// per-record state.
-pub(crate) fn kth_ago_correct(stream: &OutcomeStream, k: usize) -> u64 {
+#[doc(hidden)]
+pub fn kth_ago_correct(stream: &OutcomeStream, k: usize) -> u64 {
     let n = stream.len();
     let words = stream.words();
-    let mut correct = popcount_prefix(words, k.min(n));
+    let correct = popcount_prefix(words, k.min(n));
     if n <= k {
         return correct;
     }
+    if crate::simd::use_avx2(words.len()) {
+        return correct + crate::simd::kth_ago_body_avx2(words, n, k);
+    }
+    correct + kth_ago_body_scalar(words, n, k)
+}
+
+/// As [`kth_ago_correct`], forced onto the portable path — the reference
+/// side of the conformance SIMD differential suite.
+#[doc(hidden)]
+pub fn kth_ago_correct_scalar(stream: &OutcomeStream, k: usize) -> u64 {
+    let n = stream.len();
+    let words = stream.words();
+    let correct = popcount_prefix(words, k.min(n));
+    if n <= k {
+        return correct;
+    }
+    correct + kth_ago_body_scalar(words, n, k)
+}
+
+/// Agreement count over executions `[k, n)`: one XNOR + popcount per word.
+pub(crate) fn kth_ago_body_scalar(words: &[u64], n: usize, k: usize) -> u64 {
+    let mut correct = 0u64;
     let (q, r) = (k / 64, (k % 64) as u32);
     for i in q..=(n - 1) / 64 {
         let shifted = if r == 0 {

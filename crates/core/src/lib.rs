@@ -38,7 +38,7 @@
 //! assert!(stats.total().accuracy() > 0.95);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bestof;
@@ -54,12 +54,18 @@ mod percentile;
 #[allow(missing_docs)]
 pub mod reference;
 mod selective;
+// The workspace's only unsafe: runtime-dispatched AVX2 kernels, each one
+// differentially tested bit-exact against its scalar twin.
+#[allow(unsafe_code)]
+mod simd;
 mod sweep;
 
 pub use bestof::{
     best_of, combined_correct, per_branch_max, BestOfDistribution, Contender, IDEAL_STATIC_NAME,
 };
 pub use candidates::TagCandidates;
+#[doc(hidden)]
+pub use classify::{kth_ago_correct, kth_ago_correct_scalar};
 pub use classify::{
     BranchClassScores, Classification, Classifier, ClassifierConfig, ClassifyPhases, PaClass,
 };
@@ -72,7 +78,9 @@ pub use oracle::{
     TagSetScore, MAX_SELECTIVE_TAGS,
 };
 #[doc(hidden)]
-pub use oracle::{score_columns_presence, score_tag_set};
+pub use oracle::{score_columns_presence, score_tag_set, score_tag_set_scalar};
 pub use percentile::PercentileCurve;
 pub use selective::SelectivePredictor;
+#[doc(hidden)]
+pub use simd::{avx2_available, kth_ago_body_avx2, score_tag_set_avx2};
 pub use sweep::{SweepMatrix, MAX_SWEEP_WINDOWS};

@@ -1,5 +1,6 @@
 use bp_trace::fx::FxHashMap;
-use bp_trace::{InstanceTag, PathWindow, Pc, TagOutcome, Trace};
+use bp_trace::io::TraceIoError;
+use bp_trace::{InstanceTag, PathWindow, Pc, TagOutcome, Trace, TraceSource};
 
 use crate::candidates::TagCandidates;
 
@@ -203,6 +204,22 @@ impl OutcomeMatrix {
     /// of `window` branches (use the same window length the candidates were
     /// collected with).
     pub fn build(trace: &Trace, candidates: &TagCandidates, window: usize) -> Self {
+        OutcomeMatrix::build_from_source(trace, candidates, window)
+            .expect("in-memory traces cannot fail to scan")
+    }
+
+    /// As [`OutcomeMatrix::build`], consuming any [`TraceSource`] in one
+    /// streaming scan. Working memory is the packed planes themselves (~2
+    /// bits per candidate per execution); the raw records never accumulate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's scan error.
+    pub fn build_from_source<T: TraceSource + ?Sized>(
+        source: &T,
+        candidates: &TagCandidates,
+        window: usize,
+    ) -> Result<Self, TraceIoError> {
         let mut builders: FxHashMap<Pc, (BranchMatrix, FxHashMap<InstanceTag, usize>)> = candidates
             .iter()
             .map(|(pc, tags)| {
@@ -214,24 +231,26 @@ impl OutcomeMatrix {
 
         let mut path = PathWindow::new(window);
         let mut visible = Vec::new();
-        for rec in trace.iter() {
-            if rec.is_conditional() {
-                if let Some((bm, columns)) = builders.get_mut(&rec.pc) {
-                    path.visible_tags(&mut visible);
-                    bm.push_execution(
-                        rec.taken,
-                        visible
-                            .iter()
-                            .filter_map(|(tag, taken)| columns.get(tag).map(|&c| (c, *taken))),
-                    );
+        source.scan(&mut |chunk| {
+            for rec in chunk {
+                if rec.is_conditional() {
+                    if let Some((bm, columns)) = builders.get_mut(&rec.pc) {
+                        path.visible_tags(&mut visible);
+                        bm.push_execution(
+                            rec.taken,
+                            visible
+                                .iter()
+                                .filter_map(|(tag, taken)| columns.get(tag).map(|&c| (c, *taken))),
+                        );
+                    }
                 }
+                path.push(rec);
             }
-            path.push(rec);
-        }
-        OutcomeMatrix {
+        })?;
+        Ok(OutcomeMatrix {
             branches: builders.into_iter().map(|(pc, (bm, _))| (pc, bm)).collect(),
             window,
-        }
+        })
     }
 
     /// Assembles a matrix from per-branch parts (the sweep artifact's

@@ -187,11 +187,11 @@ impl OracleSelector {
 
 /// Largest selective pattern table: `3^MAX_SELECTIVE_TAGS` counters. Small
 /// enough to live on the stack for every scoring call.
-const MAX_PATTERNS: usize = 27;
+pub(crate) const MAX_PATTERNS: usize = 27;
 
 /// Valid-bit mask of a plane's final word.
 #[inline]
-fn tail_mask(executions: usize) -> u64 {
+pub(crate) fn tail_mask(executions: usize) -> u64 {
     match executions % 64 {
         0 => !0,
         r => (1u64 << r) - 1,
@@ -202,7 +202,7 @@ fn tail_mask(executions: usize) -> u64 {
 /// `[taken, not-taken, not-in-path]`. The planes carry no bits past the
 /// last execution, so only the complemented terms need `valid` masking.
 #[inline]
-fn ternary_masks(ip: u64, dir: u64, valid: u64) -> [u64; 3] {
+pub(crate) fn ternary_masks(ip: u64, dir: u64, valid: u64) -> [u64; 3] {
     [ip & dir, ip & !dir & valid, !ip & valid]
 }
 
@@ -217,7 +217,7 @@ fn ternary_masks(ip: u64, dir: u64, valid: u64) -> [u64; 3] {
 /// into one O(1) [`SaturatingCounter::train_run`] jump; mixed words fall
 /// back to bit-serial replay.
 #[inline]
-fn tally_word(slot: &mut SaturatingCounter, m: u64, t: u64, correct: &mut u64) {
+pub(crate) fn tally_word(slot: &mut SaturatingCounter, m: u64, t: u64, correct: &mut u64) {
     if m == 0 {
         return;
     }
@@ -253,6 +253,17 @@ fn tally_word(slot: &mut SaturatingCounter, m: u64, t: u64, correct: &mut u64) {
 /// (`crate::reference`), which the property tests hold it to.
 #[doc(hidden)]
 pub fn score_tag_set(bm: &BranchMatrix, cols: &[usize], init: SaturatingCounter) -> u64 {
+    if crate::simd::use_avx2(bm.words()) {
+        return crate::simd::score_tag_set_avx2(bm, cols, init);
+    }
+    score_tag_set_scalar(bm, cols, init)
+}
+
+/// The portable word-at-a-time scorer — the fallback path of
+/// [`score_tag_set`] and the reference side of the conformance SIMD
+/// differential suite.
+#[doc(hidden)]
+pub fn score_tag_set_scalar(bm: &BranchMatrix, cols: &[usize], init: SaturatingCounter) -> u64 {
     let words = bm.words();
     let taken = bm.taken_plane();
     let tail = tail_mask(bm.executions());

@@ -24,7 +24,8 @@
 //! bucket-threshold mask, no trace access needed.
 
 use bp_trace::fx::FxHashMap;
-use bp_trace::{InstanceTag, PathWindow, Pc, Trace};
+use bp_trace::io::TraceIoError;
+use bp_trace::{InstanceTag, PathWindow, Pc, Trace, TraceSource};
 
 use crate::matrix::{BranchMatrix, OutcomeMatrix};
 
@@ -76,6 +77,26 @@ impl SweepMatrix {
     /// [`MAX_SWEEP_WINDOWS`], or contains zero, or if `caps` has a
     /// different length than `windows` or contains zero.
     pub fn build(trace: &Trace, windows: &[usize], caps: &[usize]) -> Self {
+        SweepMatrix::build_from_source(trace, windows, caps)
+            .expect("in-memory traces cannot fail to scan")
+    }
+
+    /// As [`SweepMatrix::build`], consuming any [`TraceSource`] — two
+    /// streaming scans (visibility bucketing, then plane packing) instead
+    /// of two in-memory passes, with identical output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's scan error.
+    ///
+    /// # Panics
+    ///
+    /// As [`SweepMatrix::build`].
+    pub fn build_from_source<T: TraceSource + ?Sized>(
+        source: &T,
+        windows: &[usize],
+        caps: &[usize],
+    ) -> Result<Self, TraceIoError> {
         assert!(!windows.is_empty(), "need at least one sweep window");
         assert!(
             windows.len() <= MAX_SWEEP_WINDOWS,
@@ -103,17 +124,19 @@ impl SweepMatrix {
             FxHashMap::default();
         let mut path = PathWindow::new(max_window);
         let mut visible = Vec::new();
-        for rec in trace.iter() {
-            if rec.is_conditional() {
-                path.visible_tags_with_distance(&mut visible);
-                let branch_counts = counts.entry(rec.pc).or_default();
-                for &(tag, _, d) in &visible {
-                    let b = windows.partition_point(|&w| w < d);
-                    branch_counts.entry(tag).or_insert([0; MAX_SWEEP_WINDOWS])[b] += 1;
+        source.scan(&mut |chunk| {
+            for rec in chunk {
+                if rec.is_conditional() {
+                    path.visible_tags_with_distance(&mut visible);
+                    let branch_counts = counts.entry(rec.pc).or_default();
+                    for &(tag, _, d) in &visible {
+                        let b = windows.partition_point(|&w| w < d);
+                        branch_counts.entry(tag).or_insert([0; MAX_SWEEP_WINDOWS])[b] += 1;
+                    }
                 }
+                path.push(rec);
             }
-            path.push(rec);
-        }
+        })?;
 
         // Rank + cap per window; the union of the capped lists is the
         // column set worth packing planes for.
@@ -176,22 +199,24 @@ impl SweepMatrix {
                 )
             })
             .collect();
-        for rec in trace.iter() {
-            if rec.is_conditional() {
-                if let Some(sb) = branches.get_mut(&rec.pc) {
-                    let columns = &column_lookup[&rec.pc];
-                    path.visible_tags_with_distance(&mut visible);
-                    sb.push_execution(rec.taken, windows, columns, &visible);
+        source.scan(&mut |chunk| {
+            for rec in chunk {
+                if rec.is_conditional() {
+                    if let Some(sb) = branches.get_mut(&rec.pc) {
+                        let columns = &column_lookup[&rec.pc];
+                        path.visible_tags_with_distance(&mut visible);
+                        sb.push_execution(rec.taken, windows, columns, &visible);
+                    }
                 }
+                path.push(rec);
             }
-            path.push(rec);
-        }
+        })?;
         column_lookup.clear();
 
-        SweepMatrix {
+        Ok(SweepMatrix {
             windows: windows.to_vec(),
             branches,
-        }
+        })
     }
 
     /// Convenience: `build` with the windows taken from ascending-sorted,

@@ -26,9 +26,9 @@ use bp_experiments::{run_experiment, Engine, ExperimentConfig, TraceSet, EXPERIM
 
 fn usage() {
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--target N] [--cache DIR] [--jobs N] \
-         [--timings FILE] [--bare] [--goldens FILE] [--verify-goldens] [--write-goldens] \
-         <experiment...|all>"
+        "usage: repro [--quick] [--seed N] [--target N[k|m|b]] [--cache DIR] [--stream] \
+         [--jobs N] [--timings FILE] [--bare] [--goldens FILE] [--verify-goldens] \
+         [--write-goldens] <experiment...|all>"
     );
     eprintln!("experiments: {}", EXPERIMENT_IDS.join(" "));
 }
@@ -132,6 +132,7 @@ fn main() -> ExitCode {
     let mut cfg = ExperimentConfig::default();
     let mut ids: Vec<String> = Vec::new();
     let mut cache_dir: Option<String> = None;
+    let mut stream = false;
     let mut timings_path: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut bare = false;
@@ -158,14 +159,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "--target" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(t) => cfg.workload.target_branches = t,
+            "--target" => match args.next().map(|v| bp_experiments::cli::parse_target(&v)) {
+                Some(Ok(t)) => cfg.workload.target_branches = t,
+                Some(Err(e)) => {
+                    eprintln!("error: {e}");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
                 None => {
-                    eprintln!("error: --target needs a branch count");
+                    eprintln!("error: --target needs a branch count (e.g. 2m, 100m, 1b)");
                     usage();
                     return ExitCode::FAILURE;
                 }
             },
+            "--stream" => stream = true,
             "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => jobs = Some(n),
                 _ => {
@@ -209,7 +216,7 @@ fn main() -> ExitCode {
     }
     for id in &ids {
         if !EXPERIMENT_IDS.contains(&id.as_str()) {
-            eprintln!("unknown experiment: {id}");
+            eprintln!("error: unknown experiment: {id}");
             usage();
             return ExitCode::FAILURE;
         }
@@ -244,10 +251,13 @@ fn main() -> ExitCode {
             cfg.workload.seed, cfg.workload.target_branches
         );
     }
-    let traces = match cache_dir {
+    let mut traces = match cache_dir {
         Some(dir) => TraceSet::with_disk_cache(cfg.workload, dir),
         None => TraceSet::new(cfg.workload),
     };
+    if stream {
+        traces = traces.with_streaming();
+    }
     let engine = match jobs {
         Some(n) => Engine::new(traces, n),
         None => Engine::with_available_parallelism(traces),

@@ -1,0 +1,75 @@
+//! Small shared helpers for the command-line binaries.
+
+/// Largest accepted `--target` value: 100 billion branches. Past this the
+/// request is almost certainly a typo (at ~10⁸ branches/s that is a
+/// multi-day run), so it is rejected with a clear error instead of being
+/// attempted.
+pub const MAX_TARGET_BRANCHES: u64 = 100_000_000_000;
+
+/// Parses a branch-count target: plain digits (underscore separators
+/// allowed) with an optional `k`/`m`/`b` suffix — `200_000`, `2m`,
+/// `100m`, `1b`. Case-insensitive. Rejects zero and anything above
+/// [`MAX_TARGET_BRANCHES`] with a message naming the limit.
+pub fn parse_target(s: &str) -> Result<usize, String> {
+    let t = s.trim().to_ascii_lowercase();
+    let (num, mult): (&str, u64) = if let Some(p) = t.strip_suffix('k') {
+        (p, 1_000)
+    } else if let Some(p) = t.strip_suffix('m') {
+        (p, 1_000_000)
+    } else if let Some(p) = t.strip_suffix('b') {
+        (p, 1_000_000_000)
+    } else {
+        (t.as_str(), 1)
+    };
+    let digits: String = num.chars().filter(|&c| c != '_').collect();
+    if digits.is_empty() || !digits.chars().all(|c| c.is_ascii_digit()) {
+        return Err(format!(
+            "invalid branch count '{s}' (examples: 200000, 500k, 2m, 100m, 1b)"
+        ));
+    }
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("branch count '{s}' does not fit in 64 bits"))?;
+    let total = n
+        .checked_mul(mult)
+        .filter(|&t| t <= MAX_TARGET_BRANCHES)
+        .ok_or_else(|| {
+            format!(
+                "target '{s}' is unreasonably large: the limit is \
+                 {MAX_TARGET_BRANCHES} branches (100b)"
+            )
+        })?;
+    if total == 0 {
+        return Err("branch count must be positive".to_owned());
+    }
+    Ok(total as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_suffixed_targets() {
+        assert_eq!(parse_target("200000"), Ok(200_000));
+        assert_eq!(parse_target("200_000"), Ok(200_000));
+        assert_eq!(parse_target("500k"), Ok(500_000));
+        assert_eq!(parse_target("2m"), Ok(2_000_000));
+        assert_eq!(parse_target("100M"), Ok(100_000_000));
+        assert_eq!(parse_target("1b"), Ok(1_000_000_000));
+        assert_eq!(parse_target(" 10m "), Ok(10_000_000));
+    }
+
+    #[test]
+    fn rejects_garbage_zero_and_absurd_targets() {
+        for bad in ["", "m", "12q", "1.5m", "-3", "10mm"] {
+            assert!(parse_target(bad).is_err(), "{bad:?} must be rejected");
+        }
+        assert!(parse_target("0").unwrap_err().contains("positive"));
+        assert_eq!(parse_target("100b"), Ok(100_000_000_000));
+        for absurd in ["101b", "999999b", "18446744073709551615b"] {
+            let err = parse_target(absurd).unwrap_err();
+            assert!(err.contains("100b"), "{absurd}: {err}");
+        }
+    }
+}

@@ -37,13 +37,13 @@ use bp_core::{
     OracleSelector, OutcomeMatrix, SweepMatrix, TagCandidates,
 };
 use bp_predictors::{
-    simulate_batch, Gshare, GshareInterferenceFree, Pas, PasInterferenceFree, PerBranchStats,
-    Predictor,
+    simulate_batch_source, Gshare, GshareInterferenceFree, Pas, PasInterferenceFree,
+    PerBranchStats, Predictor,
 };
-use bp_trace::{BranchProfile, BranchStreams, Pc, Trace};
+use bp_trace::{BranchProfile, BranchStreams, Pc, TagScheme, Trace};
 use bp_workloads::Benchmark;
 
-use crate::{ExperimentConfig, TraceSet};
+use crate::{ExperimentConfig, TraceSet, TraceSetSource};
 
 /// Fingerprint of a standard predictor configuration, used as a cache key.
 ///
@@ -316,6 +316,14 @@ impl Engine {
         self.traces.trace(benchmark)
     }
 
+    /// A replayable record source for `benchmark`. In a streaming trace
+    /// set this never materializes the full trace (see
+    /// [`TraceSet::source`]); otherwise it shares the in-memory trace, so
+    /// artifact builds behave exactly as before.
+    pub fn source(&self, benchmark: Benchmark) -> TraceSetSource {
+        self.traces.source(benchmark)
+    }
+
     /// Cache hit/miss totals.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -406,9 +414,10 @@ impl Engine {
             &self.cache.hits,
             &self.cache.misses,
             || {
-                let trace = self.trace(benchmark);
+                let source = self.source(benchmark);
                 let mut batch = [key.build()];
-                simulate_batch(&mut batch, &trace)
+                simulate_batch_source(&mut batch, &source)
+                    .expect("trace stream failed")
                     .pop()
                     .expect("one result per predictor")
             },
@@ -447,10 +456,17 @@ impl Engine {
             &self.cache.hits,
             &self.cache.misses,
             || {
-                let trace = self.trace(benchmark);
+                let source = self.source(benchmark);
                 let t0 = Instant::now();
-                let candidates = TagCandidates::collect(&trace, cfg.window, cfg.candidate_cap);
-                let matrix = OutcomeMatrix::build(&trace, &candidates, cfg.window);
+                let candidates = TagCandidates::collect_from_source(
+                    &source,
+                    cfg.window,
+                    cfg.candidate_cap,
+                    &TagScheme::ALL,
+                )
+                .expect("trace stream failed");
+                let matrix = OutcomeMatrix::build_from_source(&source, &candidates, cfg.window)
+                    .expect("trace stream failed");
                 let matrix_seconds = t0.elapsed().as_secs_f64();
                 let t1 = Instant::now();
                 let (result, shards) = self.sharded_select(&matrix, cfg);
@@ -514,8 +530,12 @@ impl Engine {
                             &self.cache.misses,
                             || {
                                 let t0 = Instant::now();
-                                let sweep =
-                                    SweepMatrix::build(&self.trace(benchmark), windows, caps);
+                                let sweep = SweepMatrix::build_from_source(
+                                    &self.source(benchmark),
+                                    windows,
+                                    caps,
+                                )
+                                .expect("trace stream failed");
                                 self.record_oracle_phases(
                                     benchmark,
                                     t0.elapsed().as_secs_f64(),
@@ -637,9 +657,9 @@ impl Engine {
         self.cache
             .streams
             .get_or_compute(benchmark, &self.cache.hits, &self.cache.misses, || {
-                let trace = self.trace(benchmark);
+                let source = self.source(benchmark);
                 let t0 = Instant::now();
-                let streams = BranchStreams::of(&trace);
+                let streams = BranchStreams::from_source(&source).expect("trace stream failed");
                 self.record_classify_phases(benchmark, t0.elapsed().as_secs_f64(), 0.0, 0.0, 0);
                 streams
             })
@@ -715,7 +735,9 @@ impl Engine {
     /// ([`simulate_batch`]), so no later experiment pays a separate
     /// simulation pass for them.
     pub fn prewarm(&self, cfg: &ExperimentConfig) {
-        self.traces.generate_all(self.jobs);
+        if !self.traces.is_streaming() {
+            self.traces.generate_all(self.jobs);
+        }
         let keys = [
             PredictorKey::Gshare {
                 bits: cfg.gshare_bits,
@@ -745,10 +767,11 @@ impl Engine {
             if missing.is_empty() {
                 return;
             }
-            let trace = self.trace(benchmark);
+            let source = self.source(benchmark);
             let mut predictors: Vec<Box<dyn Predictor>> =
                 missing.iter().map(|k| k.build()).collect();
-            let results = simulate_batch(&mut predictors, &trace);
+            let results =
+                simulate_batch_source(&mut predictors, &source).expect("trace stream failed");
             for (key, stats) in missing.into_iter().zip(results) {
                 self.cache.per_branch.get_or_compute(
                     (benchmark, key),
@@ -922,6 +945,39 @@ mod tests {
         assert_eq!(stats.analyses, windows.len() as u64);
         assert!(stats.shards >= windows.len() as u64);
         assert!(stats.matrix_seconds >= 0.0 && stats.search_seconds >= 0.0);
+    }
+
+    #[test]
+    fn streaming_engine_matches_materialized() {
+        let cfg = WorkloadConfig::default().with_target(3_000);
+        let plain = Engine::new(TraceSet::new(cfg), 2);
+        let streamed = Engine::new(TraceSet::new(cfg).with_streaming(), 2);
+        let b = Benchmark::M88ksim;
+
+        assert!(matches!(
+            streamed.source(b),
+            crate::TraceSetSource::Workload(_)
+        ));
+        assert_eq!(*streamed.gshare(b, 10), *plain.gshare(b, 10));
+        assert_eq!(*streamed.pas_default(b), *plain.pas_default(b));
+        let ccfg = ClassifierConfig::default();
+        assert_eq!(
+            *streamed.classification(b, &ccfg),
+            *plain.classification(b, &ccfg)
+        );
+        assert_eq!(*streamed.profile(b), *plain.profile(b));
+
+        let ocfg = OracleConfig::default();
+        let so = streamed.oracle(b, &ocfg);
+        let po = plain.oracle(b, &ocfg);
+        assert_eq!(so.branch_count(), po.branch_count());
+        for k in 1..=3 {
+            assert_eq!(
+                so.selective_stats(k).total(),
+                po.selective_stats(k).total(),
+                "k={k}"
+            );
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod engine;
 pub mod ext_adaptivity;
 pub mod ext_distance;
@@ -62,7 +63,7 @@ mod traceset;
 pub use engine::{
     CacheStats, ClassifyPhaseStats, Engine, EvalCache, FanoutStats, OraclePhaseStats, PredictorKey,
 };
-pub use traceset::TraceSet;
+pub use traceset::{TraceSet, TraceSetSource};
 
 use bp_core::{ClassifierConfig, OracleConfig};
 use bp_workloads::WorkloadConfig;

@@ -2,8 +2,9 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
-use bp_trace::{io, Trace};
-use bp_workloads::{Benchmark, WorkloadConfig};
+use bp_trace::io::{self, ChunkWriter, FileTraceSource, TraceIoError};
+use bp_trace::{BranchRecord, Trace, TraceSource};
+use bp_workloads::{Benchmark, WorkloadConfig, WorkloadSource};
 
 /// Lazily generated, cached traces for all benchmarks, shared across the
 /// experiments of one run so each workload is generated once.
@@ -26,6 +27,7 @@ pub struct TraceSet {
     cfg: WorkloadConfig,
     traces: RwLock<HashMap<Benchmark, Arc<Trace>>>,
     cache_dir: Option<PathBuf>,
+    stream: bool,
 }
 
 impl TraceSet {
@@ -35,6 +37,7 @@ impl TraceSet {
             cfg,
             traces: RwLock::new(HashMap::new()),
             cache_dir: None,
+            stream: false,
         }
     }
 
@@ -45,7 +48,25 @@ impl TraceSet {
             cfg,
             traces: RwLock::new(HashMap::new()),
             cache_dir: Some(dir.into()),
+            stream: false,
         }
+    }
+
+    /// Switches the set to streaming mode: [`TraceSet::source`] never
+    /// materializes a full trace. With a disk cache the workload is
+    /// streamed once into a chunk-framed `.bpt2` file and scanned through
+    /// a fixed-size read window afterwards; without one, every scan
+    /// regenerates the workload chunk by chunk (determinism makes the
+    /// generator its own storage). Peak memory per benchmark drops from
+    /// the full record buffer to one chunk.
+    pub fn with_streaming(mut self) -> Self {
+        self.stream = true;
+        self
+    }
+
+    /// Whether [`TraceSet::source`] avoids materializing traces.
+    pub fn is_streaming(&self) -> bool {
+        self.stream
     }
 
     /// The workload configuration in force.
@@ -182,6 +203,111 @@ impl TraceSet {
         Arc::clone(map.entry(benchmark).or_insert(trace))
     }
 
+    fn stream_path(&self, benchmark: Benchmark) -> Option<PathBuf> {
+        self.cache_dir.as_ref().map(|dir| {
+            dir.join(format!(
+                "{}-{:x}-{}.bpt2",
+                benchmark.name(),
+                self.cfg.seed,
+                self.cfg.target_branches
+            ))
+        })
+    }
+
+    /// Validates a cached `.bpt2` stream file against its sidecar
+    /// (config fingerprint + total record count) and the file's own
+    /// framing footer; `Err` carries the one-line reason for the notice.
+    fn validate_stream_file(
+        cfg: &WorkloadConfig,
+        benchmark: Benchmark,
+        path: &Path,
+    ) -> Result<FileTraceSource, &'static str> {
+        let sidecar = std::fs::read_to_string(Self::sidecar_path(path))
+            .map_err(|_| "missing fingerprint sidecar")?;
+        let mut parts = sidecar.split_whitespace();
+        let (Some(config_fp), Some(total), None) = (
+            parts.next().and_then(|s| u64::from_str_radix(s, 16).ok()),
+            parts.next().and_then(|s| u64::from_str_radix(s, 16).ok()),
+            parts.next(),
+        ) else {
+            return Err("malformed fingerprint sidecar");
+        };
+        if config_fp != Self::config_fingerprint(cfg, benchmark) {
+            return Err("workload config fingerprint mismatch");
+        }
+        let source = FileTraceSource::open(path).map_err(|_| "corrupt stream file")?;
+        if source.len() != total {
+            return Err("record count mismatch");
+        }
+        Ok(source)
+    }
+
+    /// Writes the benchmark's trace to `path` chunk by chunk (via a
+    /// temporary file renamed into place) and opens it for windowed reads.
+    /// Peak memory is one chunk; the full trace only ever exists on disk.
+    fn write_stream_file(
+        cfg: &WorkloadConfig,
+        benchmark: Benchmark,
+        path: &Path,
+    ) -> Result<FileTraceSource, TraceIoError> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let writer = ChunkWriter::new(std::io::BufWriter::new(std::fs::File::create(&tmp)?))?;
+        let total = benchmark.generate_into(cfg, writer).finish()?;
+        std::fs::rename(&tmp, path)?;
+        std::fs::write(
+            Self::sidecar_path(path),
+            format!(
+                "{:016x} {:016x}\n",
+                Self::config_fingerprint(cfg, benchmark),
+                total
+            ),
+        )?;
+        FileTraceSource::open(path)
+    }
+
+    /// A replayable [`TraceSource`] for `benchmark`, choosing the cheapest
+    /// backing that honors the set's memory policy:
+    ///
+    /// * a trace already materialized in memory is shared as-is;
+    /// * in streaming mode with a disk cache, a chunk-framed `.bpt2` file
+    ///   (written on first use, validated like the `.bpt` cache) is
+    ///   scanned through a fixed-size read window;
+    /// * in streaming mode without one, every scan regenerates the
+    ///   workload chunk by chunk;
+    /// * otherwise the trace is materialized (the pre-streaming behavior).
+    pub fn source(&self, benchmark: Benchmark) -> TraceSetSource {
+        if let Some(t) = self.traces.read().expect("trace map lock").get(&benchmark) {
+            return TraceSetSource::Memory(Arc::clone(t));
+        }
+        if self.stream {
+            if let Some(path) = self.stream_path(benchmark) {
+                match Self::validate_stream_file(&self.cfg, benchmark, &path) {
+                    Ok(source) => return TraceSetSource::File(Arc::new(source)),
+                    Err("missing fingerprint sidecar") if !path.exists() => {}
+                    Err(why) => eprintln!(
+                        "notice: regenerating stream cache {} ({why})",
+                        path.display()
+                    ),
+                }
+                match Self::write_stream_file(&self.cfg, benchmark, &path) {
+                    Ok(source) => return TraceSetSource::File(Arc::new(source)),
+                    Err(e) => eprintln!(
+                        "warning: could not stream trace to {}: {e}; \
+                         falling back to regeneration per scan",
+                        path.display()
+                    ),
+                }
+            }
+            return TraceSetSource::Workload(benchmark.source(self.cfg));
+        }
+        TraceSetSource::Memory(self.trace(benchmark))
+    }
+
     /// Eagerly generates every benchmark, using up to `jobs` threads
     /// (a no-op win on single-core machines, a real one elsewhere).
     pub fn generate_all(&self, jobs: usize) {
@@ -214,6 +340,37 @@ impl TraceSet {
                 });
             }
         });
+    }
+}
+
+/// A [`TraceSource`] handed out by [`TraceSet::source`]: an in-memory
+/// trace, a windowed on-disk stream file, or the regenerating workload
+/// itself. All three scan the identical record sequence.
+#[derive(Debug, Clone)]
+pub enum TraceSetSource {
+    /// A fully materialized trace shared from the in-memory cache.
+    Memory(Arc<Trace>),
+    /// A chunk-framed `.bpt2` file scanned through a fixed-size window.
+    File(Arc<FileTraceSource>),
+    /// The deterministic workload generator, re-run on every scan.
+    Workload(WorkloadSource),
+}
+
+impl TraceSource for TraceSetSource {
+    fn scan(&self, f: &mut dyn FnMut(&[BranchRecord])) -> Result<(), TraceIoError> {
+        match self {
+            TraceSetSource::Memory(t) => t.scan(f),
+            TraceSetSource::File(s) => s.scan(f),
+            TraceSetSource::Workload(w) => w.scan(f),
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        match self {
+            TraceSetSource::Memory(t) => TraceSource::len_hint(&**t),
+            TraceSetSource::File(s) => TraceSource::len_hint(&**s),
+            TraceSetSource::Workload(w) => w.len_hint(),
+        }
     }
 }
 
@@ -321,6 +478,69 @@ mod tests {
         assert_eq!(
             TraceSet::with_disk_cache(cfg, &dir).trace(Benchmark::Compress),
             first
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn collect(src: &TraceSetSource) -> Vec<BranchRecord> {
+        let mut recs = Vec::new();
+        src.scan(&mut |chunk| recs.extend_from_slice(chunk))
+            .expect("scan trace source");
+        recs
+    }
+
+    #[test]
+    fn streaming_sources_scan_identical_records() {
+        let cfg = WorkloadConfig::default().with_target(1_000);
+        let expect = TraceSet::new(cfg).trace(Benchmark::Compress);
+
+        // Without a cache dir, streaming regenerates per scan — twice in a
+        // row to prove the source is replayable.
+        let regen = TraceSet::new(cfg).with_streaming();
+        assert!(regen.is_streaming());
+        let src = regen.source(Benchmark::Compress);
+        assert!(matches!(src, TraceSetSource::Workload(_)));
+        assert_eq!(collect(&src), expect.records());
+        assert_eq!(collect(&src), expect.records());
+
+        // A materialized trace is shared as-is, even in streaming mode.
+        let warm = TraceSet::new(cfg).with_streaming();
+        let _ = warm.trace(Benchmark::Compress);
+        assert!(matches!(
+            warm.source(Benchmark::Compress),
+            TraceSetSource::Memory(_)
+        ));
+    }
+
+    #[test]
+    fn streaming_disk_cache_round_trips_and_survives_corruption() {
+        let dir = std::env::temp_dir().join(format!("bp-streamcache-{}", std::process::id()));
+        let cfg = WorkloadConfig::default().with_target(1_000);
+        let expect = TraceSet::new(cfg).trace(Benchmark::Compress);
+
+        let disk = TraceSet::with_disk_cache(cfg, &dir).with_streaming();
+        let src = disk.source(Benchmark::Compress);
+        assert!(matches!(src, TraceSetSource::File(_)));
+        assert_eq!(collect(&src), expect.records());
+        assert_eq!(
+            TraceSource::len_hint(&src),
+            Some(expect.records().len() as u64)
+        );
+
+        // A fresh set revalidates and reuses the cached stream file.
+        let again = TraceSet::with_disk_cache(cfg, &dir).with_streaming();
+        let src = again.source(Benchmark::Compress);
+        assert!(matches!(src, TraceSetSource::File(_)));
+        assert_eq!(collect(&src), expect.records());
+
+        // Corrupting the file forces a rewrite, not a failure.
+        let path = again.stream_path(Benchmark::Compress).expect("stream path");
+        std::fs::write(&path, b"garbage").expect("overwrite stream cache");
+        let fresh = TraceSet::with_disk_cache(cfg, &dir).with_streaming();
+        assert_eq!(
+            collect(&fresh.source(Benchmark::Compress)),
+            expect.records()
         );
 
         std::fs::remove_dir_all(&dir).ok();

@@ -79,7 +79,10 @@ pub use site::BranchSite;
 pub use smith::Smith;
 pub use static_pht::{StaticPhtGshare, StaticPhtPas};
 pub use statics::{BackwardTaken, IdealStatic, StaticNotTaken, StaticTaken};
-pub use stats::{simulate, simulate_batch, simulate_per_branch, PerBranchStats, PredictionStats};
+pub use stats::{
+    simulate, simulate_batch, simulate_batch_source, simulate_per_branch, PerBranchStats,
+    PredictionStats,
+};
 pub use yeh_patt::{global_family, per_address_family, Gag, Pag};
 
 /// A dynamic branch direction predictor.

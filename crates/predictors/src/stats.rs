@@ -2,7 +2,8 @@ use bp_trace::fx::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 
-use bp_trace::{Pc, Trace};
+use bp_trace::io::TraceIoError;
+use bp_trace::{Pc, Trace, TraceSource};
 
 use crate::{BranchSite, Predictor};
 
@@ -156,16 +157,29 @@ pub fn simulate_per_branch<P: Predictor + ?Sized>(
 /// tables absorb the working-set pressure. This is the entry point the
 /// evaluation engine in `bp-experiments` uses to pre-warm its cache.
 pub fn simulate_batch(predictors: &mut [Box<dyn Predictor>], trace: &Trace) -> Vec<PerBranchStats> {
+    simulate_batch_source(predictors, trace).expect("in-memory traces cannot fail to scan")
+}
+
+/// As [`simulate_batch`], but consuming any [`TraceSource`] chunk by chunk,
+/// so a disk-resident or regenerated trace simulates without ever being
+/// materialized in memory. Record order — and therefore every predictor's
+/// training sequence — is identical to the in-memory loop.
+pub fn simulate_batch_source<T: TraceSource + ?Sized>(
+    predictors: &mut [Box<dyn Predictor>],
+    source: &T,
+) -> Result<Vec<PerBranchStats>, TraceIoError> {
     let mut stats: Vec<PerBranchStats> = predictors.iter().map(|_| PerBranchStats::new()).collect();
-    for rec in trace.conditionals() {
-        let site = BranchSite::from(rec);
-        for (predictor, stat) in predictors.iter_mut().zip(stats.iter_mut()) {
-            let pred = predictor.predict(site);
-            stat.record(rec.pc, pred == rec.taken);
-            predictor.update(site, rec.taken);
+    source.scan(&mut |chunk| {
+        for rec in chunk.iter().filter(|r| r.is_conditional()) {
+            let site = BranchSite::from(rec);
+            for (predictor, stat) in predictors.iter_mut().zip(stats.iter_mut()) {
+                let pred = predictor.predict(site);
+                stat.record(rec.pc, pred == rec.taken);
+                predictor.update(site, rec.taken);
+            }
         }
-    }
-    stats
+    })?;
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -230,6 +244,33 @@ mod tests {
         assert_eq!(s.correct, 2);
         let pb = simulate_per_branch(&mut StaticTaken, &trace);
         assert_eq!(pb.total(), s);
+    }
+
+    #[test]
+    fn batch_source_matches_per_trace_simulation() {
+        let mut recs = Vec::new();
+        let mut x = 11u64;
+        for _ in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            recs.push(BranchRecord::conditional(
+                0x40 + (x >> 62),
+                x >> 61 & 1 == 1,
+            ));
+        }
+        let trace = Trace::from_records(recs);
+        let mk = || -> Vec<Box<dyn Predictor>> {
+            vec![Box::new(StaticTaken), Box::new(crate::Smith::new(4))]
+        };
+        let direct: Vec<_> = {
+            let mut ps = mk();
+            ps.iter_mut()
+                .map(|p| simulate_per_branch(p.as_mut(), &trace))
+                .collect()
+        };
+        let batched = simulate_batch(&mut mk(), &trace);
+        let streamed = simulate_batch_source(&mut mk(), &trace).unwrap();
+        assert_eq!(direct, batched);
+        assert_eq!(direct, streamed);
     }
 
     #[test]

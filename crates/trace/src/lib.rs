@@ -43,6 +43,8 @@ pub mod io;
 mod profile;
 mod record;
 mod recorder;
+mod sink;
+mod source;
 mod stats;
 mod streams;
 mod tag;
@@ -55,8 +57,10 @@ pub use fx::{FxHashMap, FxHashSet};
 pub use profile::{BranchProfile, ProfileEntry};
 pub use record::{BranchKind, BranchRecord, Pc};
 pub use recorder::Recorder;
+pub use sink::{CountingSink, TeeSink, TraceBuffer, TraceSink, CHUNK_RECORDS};
+pub use source::TraceSource;
 pub use stats::TraceStats;
-pub use streams::{BranchStreams, OutcomeStream, StreamRuns};
+pub use streams::{BranchStreams, OutcomeStream, StreamRuns, StreamSink};
 pub use tag::{pattern_count, pattern_index, InstanceTag, TagOutcome, TagScheme};
 pub use trace::Trace;
 pub use window::{PathWindow, WindowEntry};

@@ -1,13 +1,22 @@
 use crate::record::{BranchKind, BranchRecord, Pc};
+use crate::sink::{TraceBuffer, TraceSink, CHUNK_RECORDS};
 use crate::trace::Trace;
 
-/// Instrumentation sink used by the synthetic workloads.
+/// Instrumentation front-end used by the synthetic workloads.
 ///
 /// Workloads are ordinary Rust programs; every branch decision they make is
 /// reported to a `Recorder`, so the produced [`Trace`] reflects *real*
 /// control flow — including the correlated-condition idioms (figures 1 and 2
 /// of the paper) that arise naturally from `if (a)` … `if (a && b)` source
 /// structure.
+///
+/// The recorder is a thin chunking adapter over a [`TraceSink`]: records
+/// accumulate in a bounded buffer (at most [`CHUNK_RECORDS`]) and are
+/// flushed to the sink as full chunks, so a recorder driving an on-disk
+/// writer or a streaming artifact builder holds ~2 MiB of records no
+/// matter how long the trace grows. The default sink is the materializing
+/// [`TraceBuffer`], which keeps the original collect-then-analyze workflow
+/// working unchanged.
 ///
 /// # Example
 ///
@@ -22,21 +31,81 @@ use crate::trace::Trace;
 /// let trace = rec.into_trace();
 /// assert_eq!(trace.len(), 2);
 /// ```
+///
+/// Streaming into a counting sink (no records retained):
+///
+/// ```
+/// use bp_trace::{CountingSink, Recorder};
+///
+/// let mut rec = Recorder::with_sink(CountingSink::default());
+/// for i in 0..10u64 {
+///     rec.cond(0x400 + i, i % 2 == 0);
+/// }
+/// let counts = rec.into_sink();
+/// assert_eq!(counts.records, 10);
+/// ```
 #[derive(Debug, Default)]
-pub struct Recorder {
-    records: Vec<BranchRecord>,
+pub struct Recorder<S: TraceSink = TraceBuffer> {
+    sink: S,
+    buf: Vec<BranchRecord>,
+    total: usize,
+    conditionals: usize,
 }
 
-impl Recorder {
-    /// Creates an empty recorder.
+impl Recorder<TraceBuffer> {
+    /// Creates an empty materializing recorder.
     pub fn new() -> Self {
         Recorder::default()
     }
 
-    /// Creates a recorder pre-sized for roughly `n` records.
+    /// Creates a materializing recorder sized for roughly `n` records.
+    ///
+    /// The reservation is clamped to one chunk: the recorder's working
+    /// buffer is bounded by design, and the backing [`TraceBuffer`] grows
+    /// amortized per chunk instead of pre-reserving a whole target-length
+    /// trace (~16 GB at a billion records).
     pub fn with_capacity(n: usize) -> Self {
         Recorder {
-            records: Vec::with_capacity(n),
+            sink: TraceBuffer::new(),
+            buf: Vec::with_capacity(n.min(CHUNK_RECORDS)),
+            total: 0,
+            conditionals: 0,
+        }
+    }
+
+    /// Finishes recording and produces the in-memory trace.
+    pub fn into_trace(self) -> Trace {
+        self.into_sink().into_trace()
+    }
+}
+
+impl<S: TraceSink> Recorder<S> {
+    /// Creates a recorder that flushes chunks into `sink`.
+    pub fn with_sink(sink: S) -> Self {
+        Recorder {
+            sink,
+            buf: Vec::new(),
+            total: 0,
+            conditionals: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, rec: BranchRecord) {
+        if self.buf.len() == CHUNK_RECORDS {
+            self.flush();
+        }
+        if rec.is_conditional() {
+            self.conditionals += 1;
+        }
+        self.total += 1;
+        self.buf.push(rec);
+    }
+
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.sink.chunk(&self.buf);
+            self.buf.clear();
         }
     }
 
@@ -45,7 +114,7 @@ impl Recorder {
     /// expressions.
     #[inline]
     pub fn cond(&mut self, pc: Pc, taken: bool) -> bool {
-        self.records.push(BranchRecord::conditional(pc, taken));
+        self.push(BranchRecord::conditional(pc, taken));
         taken
     }
 
@@ -56,15 +125,14 @@ impl Recorder {
     /// scheme counts these to name loop iterations.
     #[inline]
     pub fn loop_back(&mut self, pc: Pc, taken: bool) -> bool {
-        self.records
-            .push(BranchRecord::conditional(pc, taken).with_target(pc.saturating_sub(16)));
+        self.push(BranchRecord::conditional(pc, taken).with_target(pc.saturating_sub(16)));
         taken
     }
 
     /// Records a subroutine call from `pc` to `target`.
     #[inline]
     pub fn call(&mut self, pc: Pc, target: Pc) {
-        self.records.push(BranchRecord {
+        self.push(BranchRecord {
             pc,
             target,
             taken: true,
@@ -75,7 +143,7 @@ impl Recorder {
     /// Records a subroutine return at `pc`.
     #[inline]
     pub fn ret(&mut self, pc: Pc) {
-        self.records.push(BranchRecord {
+        self.push(BranchRecord {
             pc,
             target: 0,
             taken: true,
@@ -86,7 +154,7 @@ impl Recorder {
     /// Records an unconditional jump from `pc` to `target`.
     #[inline]
     pub fn jump(&mut self, pc: Pc, target: Pc) {
-        self.records.push(BranchRecord {
+        self.push(BranchRecord {
             pc,
             target,
             taken: true,
@@ -96,35 +164,40 @@ impl Recorder {
 
     /// Number of records captured so far.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.total
     }
 
     /// `true` when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.total == 0
     }
 
     /// Number of *conditional* records captured so far; workload drivers use
-    /// this to stop once a target trace length is reached.
+    /// this to stop once a target trace length is reached. O(1) — counted
+    /// at record time, since already-flushed chunks are gone.
     pub fn conditional_len(&self) -> usize {
-        self.records.iter().filter(|r| r.is_conditional()).count()
+        self.conditionals
     }
 
-    /// Finishes recording and produces the trace.
-    pub fn into_trace(self) -> Trace {
-        Trace::from_records(self.records)
+    /// Flushes any buffered records and returns the sink.
+    pub fn into_sink(mut self) -> S {
+        self.flush();
+        self.sink
     }
 }
 
-impl Extend<BranchRecord> for Recorder {
+impl<S: TraceSink> Extend<BranchRecord> for Recorder<S> {
     fn extend<T: IntoIterator<Item = BranchRecord>>(&mut self, iter: T) {
-        self.records.extend(iter);
+        for rec in iter {
+            self.push(rec);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::CountingSink;
 
     #[test]
     fn cond_passes_value_through() {
@@ -171,5 +244,41 @@ mod tests {
         rec.extend((0..4).map(|i| BranchRecord::conditional(i, true)));
         assert_eq!(rec.len(), 4);
         assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn capacity_reservation_is_clamped_to_one_chunk() {
+        let rec = Recorder::with_capacity(1_000_000_000);
+        assert!(rec.buf.capacity() <= CHUNK_RECORDS);
+    }
+
+    #[test]
+    fn chunks_flush_to_sink_and_counts_survive() {
+        let n = CHUNK_RECORDS + 17;
+        let mut rec = Recorder::with_sink(CountingSink::default());
+        for i in 0..n {
+            rec.cond(i as u64, i % 2 == 0);
+        }
+        rec.call(1, 2);
+        assert_eq!(rec.len(), n + 1);
+        assert_eq!(rec.conditional_len(), n);
+        assert!(rec.buf.len() < n, "first chunk must have flushed");
+        let counts = rec.into_sink();
+        assert_eq!(counts.records, (n + 1) as u64);
+        assert_eq!(counts.conditionals, n as u64);
+    }
+
+    #[test]
+    fn chunked_materialization_matches_direct() {
+        let n = CHUNK_RECORDS * 2 + 5;
+        let mut a = Recorder::new();
+        let mut b = Recorder::with_sink(TraceBuffer::new());
+        for i in 0..n {
+            let pc = (i % 97) as u64 * 4;
+            let taken = i % 3 != 0;
+            a.cond(pc, taken);
+            b.cond(pc, taken);
+        }
+        assert_eq!(a.into_trace(), b.into_sink().into_trace());
     }
 }

@@ -2,8 +2,11 @@ use crate::fx::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::io::TraceIoError;
 use crate::profile::{BranchProfile, ProfileEntry};
-use crate::record::Pc;
+use crate::record::{BranchRecord, Pc};
+use crate::sink::TraceSink;
+use crate::source::TraceSource;
 use crate::trace::Trace;
 
 /// One static branch's conditional outcomes, packed 64 executions per word.
@@ -161,6 +164,28 @@ impl BranchStreams {
         }
     }
 
+    /// An incremental builder: a [`TraceSink`] that folds chunks into
+    /// packed per-branch streams as they pass. The streaming counterpart
+    /// of [`BranchStreams::of`] — working memory is the packed artifact
+    /// itself (~1 bit per dynamic conditional), never the raw records.
+    pub fn sink() -> StreamSink {
+        StreamSink {
+            streams: BranchStreams::default(),
+        }
+    }
+
+    /// Builds the artifact by scanning a [`TraceSource`] once. Identical
+    /// output to [`BranchStreams::of`] on the materialized trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's scan error (in-memory sources never fail).
+    pub fn from_source<T: TraceSource + ?Sized>(source: &T) -> Result<Self, TraceIoError> {
+        let mut sink = BranchStreams::sink();
+        source.scan(&mut |chunk| sink.chunk(chunk))?;
+        Ok(sink.finish())
+    }
+
     /// The stream for a branch, if it executed.
     pub fn get(&self, pc: Pc) -> Option<&OutcomeStream> {
         self.streams.get(&pc)
@@ -198,6 +223,39 @@ impl BranchStreams {
             })
             .collect();
         BranchProfile::from_parts(entries, self.total_dynamic)
+    }
+}
+
+/// Incremental [`BranchStreams`] builder (see [`BranchStreams::sink`]).
+#[derive(Debug, Default)]
+pub struct StreamSink {
+    streams: BranchStreams,
+}
+
+impl StreamSink {
+    /// Completes the build and returns the packed artifact.
+    pub fn finish(self) -> BranchStreams {
+        self.streams
+    }
+
+    /// The artifact built so far (chunks consumed to date).
+    pub fn built(&self) -> &BranchStreams {
+        &self.streams
+    }
+}
+
+impl TraceSink for StreamSink {
+    fn chunk(&mut self, records: &[BranchRecord]) {
+        for rec in records {
+            if rec.is_conditional() {
+                self.streams
+                    .streams
+                    .entry(rec.pc)
+                    .or_default()
+                    .push(rec.taken);
+                self.streams.total_dynamic += 1;
+            }
+        }
     }
 }
 
@@ -285,6 +343,33 @@ mod tests {
         let direct = BranchProfile::of(&trace);
         let derived = BranchStreams::of(&trace).profile();
         assert_eq!(derived, direct);
+    }
+
+    #[test]
+    fn sink_and_source_builds_match_materialized() {
+        let mut recs = Vec::new();
+        for i in 0..500u64 {
+            recs.push(BranchRecord::conditional(0x10 + (i % 5) * 8, i % 3 == 0));
+            if i % 11 == 0 {
+                recs.push(BranchRecord {
+                    pc: 0x900,
+                    target: 0x1000,
+                    taken: true,
+                    kind: crate::record::BranchKind::Call,
+                });
+            }
+        }
+        let trace = Trace::from_records(recs.clone());
+        let direct = BranchStreams::of(&trace);
+        // Chunk-size-independent: misaligned chunk boundaries included.
+        for chunk_size in [1usize, 63, 64, 65, 497] {
+            let mut sink = BranchStreams::sink();
+            for chunk in recs.chunks(chunk_size) {
+                sink.chunk(chunk);
+            }
+            assert_eq!(sink.finish(), direct, "chunk size {chunk_size}");
+        }
+        assert_eq!(BranchStreams::from_source(&trace).unwrap(), direct);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use bp_trace::{Pc, Recorder, Trace};
+use bp_trace::{Pc, Recorder, Trace, TraceBuffer, TraceSink};
 
 use crate::{salted_seed, WorkloadConfig};
 
@@ -38,10 +38,15 @@ const HASH_SIZE: usize = 1 << HASH_BITS;
 const MAX_CODES: u16 = 3000;
 const ALPHABET: usize = 20;
 
-/// Generates the compress trace.
+/// Generates the compress trace in memory.
 pub fn generate(cfg: &WorkloadConfig) -> Trace {
+    generate_into(cfg, TraceBuffer::new()).into_trace()
+}
+
+/// Streams the compress trace into `sink`, chunk by chunk.
+pub fn generate_into<S: TraceSink>(cfg: &WorkloadConfig, sink: S) -> S {
     let mut rng = StdRng::seed_from_u64(salted_seed(cfg, 0xC0));
-    let mut rec = Recorder::with_capacity(cfg.target_branches + 1024);
+    let mut rec = Recorder::with_sink(sink);
     while rec.conditional_len() < cfg.target_branches {
         let input = markov_text(&mut rng, 6000);
         let (codes, valid_prefix) = lzw_compress(&mut rec, &input);
@@ -54,21 +59,26 @@ pub fn generate(cfg: &WorkloadConfig) -> Trace {
             "LZW round trip failed"
         );
     }
-    rec.into_trace()
+    rec.into_sink()
 }
 
 /// LZW decoder over the emitted code stream, instrumented. The string
 /// table is the classic (prefix code, appended char) chain representation;
 /// extracting a string walks the chain backwards — a short data-dependent
 /// loop whose trip count is the match length.
-fn lzw_decompress(rec: &mut Recorder, codes: &[u16]) -> Vec<u8> {
+fn lzw_decompress<S: TraceSink>(rec: &mut Recorder<S>, codes: &[u16]) -> Vec<u8> {
     let mut out = Vec::new();
     // chains[c] = (prefix code, last char); roots are the alphabet.
     let mut chains: Vec<(u16, u8)> = (0..ALPHABET as u16).map(|c| (u16::MAX, c as u8)).collect();
 
     /// Walks the chain for `code`, appending its string to `out`
     /// (instrumented); returns the string's first character.
-    fn emit(rec: &mut Recorder, chains: &[(u16, u8)], code: u16, out: &mut Vec<u8>) -> u8 {
+    fn emit<S: TraceSink>(
+        rec: &mut Recorder<S>,
+        chains: &[(u16, u8)],
+        code: u16,
+        out: &mut Vec<u8>,
+    ) -> u8 {
         let mut stack = Vec::new();
         let mut cur = code;
         loop {
@@ -178,7 +188,7 @@ impl Dict {
     }
 
     /// Open-addressing probe, instrumented: returns the code when present.
-    fn probe(&self, rec: &mut Recorder, key: u32) -> Option<u16> {
+    fn probe<S: TraceSink>(&self, rec: &mut Recorder<S>, key: u32) -> Option<u16> {
         let mut idx = Self::hash(key);
         loop {
             let slot = self.slots[idx];
@@ -210,7 +220,7 @@ impl Dict {
 /// Compresses `input`, returning the emitted code stream and the length of
 /// the input prefix decodable without mirroring dictionary resets (the
 /// whole input when no reset fired).
-fn lzw_compress(rec: &mut Recorder, input: &[u8]) -> (Vec<u16>, usize) {
+fn lzw_compress<S: TraceSink>(rec: &mut Recorder<S>, input: &[u8]) -> (Vec<u16>, usize) {
     let mut out_hash = 0u64;
     let mut codes: Vec<u16> = Vec::new();
     let mut valid_prefix: Option<usize> = None;

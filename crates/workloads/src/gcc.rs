@@ -13,7 +13,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use bp_trace::{Pc, Recorder, Trace};
+use bp_trace::{Pc, Recorder, Trace, TraceBuffer, TraceSink};
 
 use crate::{salted_seed, WorkloadConfig};
 
@@ -99,7 +99,7 @@ fn gen_function(rng: &mut StdRng) -> Function {
 }
 
 /// Constant-folding pass: the `cond1` sites.
-fn fold_pass(rec: &mut Recorder, f: &mut Function) -> u32 {
+fn fold_pass<S: TraceSink>(rec: &mut Recorder<S>, f: &mut Function) -> u32 {
     let t = f.template;
     let mut folded = 0;
     let n = f.body.len();
@@ -129,7 +129,7 @@ fn fold_pass(rec: &mut Recorder, f: &mut Function) -> u32 {
 
 /// Dead-code elimination: re-tests properties the fold pass established
 /// (figure 1b: information generated based on earlier outcomes).
-fn dce_pass(rec: &mut Recorder, f: &mut Function) -> u32 {
+fn dce_pass<S: TraceSink>(rec: &mut Recorder<S>, f: &mut Function) -> u32 {
     let t = f.template;
     let mut removed = 0;
     let n = f.body.len();
@@ -150,7 +150,7 @@ fn dce_pass(rec: &mut Recorder, f: &mut Function) -> u32 {
 
 /// Register-pressure scan: long-loop trip counts over the body, plus a
 /// spill decision that depends on accumulated pressure (history-flavored).
-fn regalloc_pass(rec: &mut Recorder, f: &Function) -> u32 {
+fn regalloc_pass<S: TraceSink>(rec: &mut Recorder<S>, f: &Function) -> u32 {
     let t = f.template;
     let mut pressure: i32 = 0;
     let mut spills = 0;
@@ -179,8 +179,13 @@ fn regalloc_pass(rec: &mut Recorder, f: &Function) -> u32 {
 /// mutates the IR (folds, kills dead code); later sweeps see stabilized
 /// code, so per-site outcome sequences become repeating.
 pub fn generate(cfg: &WorkloadConfig) -> Trace {
+    generate_into(cfg, TraceBuffer::new()).into_trace()
+}
+
+/// Streams the gcc trace into `sink`, chunk by chunk.
+pub fn generate_into<S: TraceSink>(cfg: &WorkloadConfig, sink: S) -> S {
     let mut rng = StdRng::seed_from_u64(salted_seed(cfg, 0x6CC));
-    let mut rec = Recorder::with_capacity(cfg.target_branches + 1024);
+    let mut rec = Recorder::with_sink(sink);
     while rec.conditional_len() < cfg.target_branches {
         let mut unit: Vec<Function> = (0..12).map(|_| gen_function(&mut rng)).collect();
         for _round in 0..34 {
@@ -199,7 +204,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Trace {
             }
         }
     }
-    rec.into_trace()
+    rec.into_sink()
 }
 
 #[cfg(test)]

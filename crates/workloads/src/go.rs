@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use bp_trace::{Pc, Recorder, Trace};
+use bp_trace::{Pc, Recorder, Trace, TraceBuffer, TraceSink};
 
 use crate::{salted_seed, WorkloadConfig};
 
@@ -100,7 +100,12 @@ impl Board {
     }
 }
 
-fn evaluate(rec: &mut Recorder, board: &Board, rng: &mut StdRng, ladder_len: usize) -> i32 {
+fn evaluate<S: TraceSink>(
+    rec: &mut Recorder<S>,
+    board: &Board,
+    rng: &mut StdRng,
+    ladder_len: usize,
+) -> i32 {
     let mut score = 0;
     for r in 0..N {
         for c in 0..N {
@@ -169,8 +174,13 @@ fn evaluate(rec: &mut Recorder, board: &Board, rng: &mut StdRng, ladder_len: usi
 
 /// Generates the go trace.
 pub fn generate(cfg: &WorkloadConfig) -> Trace {
+    generate_into(cfg, TraceBuffer::new()).into_trace()
+}
+
+/// Streams the go trace into `sink`, chunk by chunk.
+pub fn generate_into<S: TraceSink>(cfg: &WorkloadConfig, sink: S) -> S {
     let mut rng = StdRng::seed_from_u64(salted_seed(cfg, 0x60));
-    let mut rec = Recorder::with_capacity(cfg.target_branches + 1024);
+    let mut rec = Recorder::with_sink(sink);
     let mut games = 0u64;
     while rec.conditional_len() < cfg.target_branches {
         let board = Board::random(&mut rng);
@@ -181,7 +191,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Trace {
         games += 1;
         rec.loop_back(PC_GAME_LOOP, !games.is_multiple_of(4));
     }
-    rec.into_trace()
+    rec.into_sink()
 }
 
 #[cfg(test)]

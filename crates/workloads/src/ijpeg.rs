@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use bp_trace::{Pc, Recorder, Trace};
+use bp_trace::{Pc, Recorder, Trace, TraceBuffer, TraceSink};
 
 use crate::{salted_seed, WorkloadConfig};
 
@@ -57,7 +57,7 @@ fn make_image(rng: &mut StdRng, w: usize, h: usize) -> Vec<i32> {
 /// A cheap separable "DCT": row/column Haar-like butterflies. Not a real
 /// DCT, but it concentrates smooth-block energy in low coefficients the
 /// same way, which is all the branch behavior depends on.
-fn transform(rec: &mut Recorder, block: &mut [i32; BLOCK * BLOCK]) {
+fn transform<S: TraceSink>(rec: &mut Recorder<S>, block: &mut [i32; BLOCK * BLOCK]) {
     for r in 0..BLOCK {
         for step in 0..3 {
             let half = BLOCK >> (step + 1);
@@ -85,7 +85,11 @@ fn transform(rec: &mut Recorder, block: &mut [i32; BLOCK * BLOCK]) {
     }
 }
 
-fn encode_block(rec: &mut Recorder, block: &mut [i32; BLOCK * BLOCK], prev_dc: &mut i32) {
+fn encode_block<S: TraceSink>(
+    rec: &mut Recorder<S>,
+    block: &mut [i32; BLOCK * BLOCK],
+    prev_dc: &mut i32,
+) {
     transform(rec, block);
 
     // Quantize: divisor grows with frequency (position in block).
@@ -143,8 +147,13 @@ fn encode_block(rec: &mut Recorder, block: &mut [i32; BLOCK * BLOCK], prev_dc: &
 
 /// Generates the ijpeg trace.
 pub fn generate(cfg: &WorkloadConfig) -> Trace {
+    generate_into(cfg, TraceBuffer::new()).into_trace()
+}
+
+/// Streams the ijpeg trace into `sink`, chunk by chunk.
+pub fn generate_into<S: TraceSink>(cfg: &WorkloadConfig, sink: S) -> S {
     let mut rng = StdRng::seed_from_u64(salted_seed(cfg, 0x19E6));
-    let mut rec = Recorder::with_capacity(cfg.target_branches + 1024);
+    let mut rec = Recorder::with_sink(sink);
     const W: usize = 96;
     const H: usize = 64;
     while rec.conditional_len() < cfg.target_branches {
@@ -165,7 +174,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Trace {
             }
         }
     }
-    rec.into_trace()
+    rec.into_sink()
 }
 
 #[cfg(test)]

@@ -46,7 +46,8 @@ mod xlisp;
 
 use serde::{Deserialize, Serialize};
 
-use bp_trace::Trace;
+use bp_trace::io::TraceIoError;
+use bp_trace::{Trace, TraceSink, TraceSource};
 
 /// Parameters of a workload run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -182,7 +183,7 @@ impl Benchmark {
             .find(|b| b.name() == name || b.short_name() == name)
     }
 
-    /// Generates the benchmark's branch trace.
+    /// Generates the benchmark's branch trace in memory.
     pub fn generate(self, cfg: &WorkloadConfig) -> Trace {
         match self {
             Benchmark::Compress => compress::generate(cfg),
@@ -194,6 +195,67 @@ impl Benchmark {
             Benchmark::Vortex => vortex::generate(cfg),
             Benchmark::Xlisp => xlisp::generate(cfg),
         }
+    }
+
+    /// Streams the benchmark's branch trace into `sink` chunk by chunk and
+    /// returns the sink. The record sequence is identical to
+    /// [`Benchmark::generate`]; the trace never exists as one allocation,
+    /// so targets far beyond memory (100M–1B branches) are fine when the
+    /// sink is itself bounded (a counting sink, an artifact builder, an
+    /// on-disk writer).
+    pub fn generate_into<S: TraceSink>(self, cfg: &WorkloadConfig, sink: S) -> S {
+        match self {
+            Benchmark::Compress => compress::generate_into(cfg, sink),
+            Benchmark::Gcc => gcc::generate_into(cfg, sink),
+            Benchmark::Go => go::generate_into(cfg, sink),
+            Benchmark::Ijpeg => ijpeg::generate_into(cfg, sink),
+            Benchmark::M88ksim => m88ksim::generate_into(cfg, sink),
+            Benchmark::Perl => perl::generate_into(cfg, sink),
+            Benchmark::Vortex => vortex::generate_into(cfg, sink),
+            Benchmark::Xlisp => xlisp::generate_into(cfg, sink),
+        }
+    }
+
+    /// A replayable [`TraceSource`] that *regenerates* this benchmark on
+    /// every scan instead of storing anything: determinism makes the
+    /// workload itself the storage. Memory per scan is one record chunk.
+    pub fn source(self, cfg: WorkloadConfig) -> WorkloadSource {
+        WorkloadSource {
+            benchmark: self,
+            cfg,
+        }
+    }
+}
+
+/// Regenerating trace source (see [`Benchmark::source`]).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSource {
+    benchmark: Benchmark,
+    cfg: WorkloadConfig,
+}
+
+impl WorkloadSource {
+    /// The benchmark this source regenerates.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The generation parameters.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+}
+
+impl TraceSource for WorkloadSource {
+    fn scan(&self, visit: &mut dyn FnMut(&[bp_trace::BranchRecord])) -> Result<(), TraceIoError> {
+        struct Fwd<'a>(&'a mut dyn FnMut(&[bp_trace::BranchRecord]));
+        impl TraceSink for Fwd<'_> {
+            fn chunk(&mut self, records: &[bp_trace::BranchRecord]) {
+                (self.0)(records);
+            }
+        }
+        self.benchmark.generate_into(&self.cfg, Fwd(visit));
+        Ok(())
     }
 }
 
@@ -265,5 +327,26 @@ mod tests {
     fn salted_seeds_differ() {
         let cfg = WorkloadConfig::default();
         assert_ne!(salted_seed(&cfg, 1), salted_seed(&cfg, 2));
+    }
+
+    #[test]
+    fn streamed_generation_matches_materialized() {
+        let cfg = WorkloadConfig {
+            seed: 5,
+            target_branches: 10_000,
+        };
+        for b in [Benchmark::Compress, Benchmark::Xlisp] {
+            let direct = b.generate(&cfg);
+            let streamed = b
+                .generate_into(&cfg, bp_trace::TraceBuffer::new())
+                .into_trace();
+            assert_eq!(direct, streamed, "{b}");
+
+            let mut via_source = Vec::new();
+            b.source(cfg)
+                .scan(&mut |chunk| via_source.extend_from_slice(chunk))
+                .unwrap();
+            assert_eq!(direct.records(), &via_source[..], "{b} via source");
+        }
     }
 }

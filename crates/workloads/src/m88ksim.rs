@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use bp_trace::{Pc, Recorder, Trace};
+use bp_trace::{Pc, Recorder, Trace, TraceBuffer, TraceSink};
 
 use crate::{salted_seed, WorkloadConfig};
 
@@ -103,7 +103,7 @@ impl Machine {
     }
 
     /// Executes one guest instruction, recording the simulator's branches.
-    fn step(&mut self, rec: &mut Recorder, prog: &[GuestOp]) -> bool {
+    fn step<S: TraceSink>(&mut self, rec: &mut Recorder<S>, prog: &[GuestOp]) -> bool {
         let op = prog[self.pc];
         self.cycles += 1;
 
@@ -157,8 +157,13 @@ impl Machine {
 
 /// Generates the m88ksim trace.
 pub fn generate(cfg: &WorkloadConfig) -> Trace {
+    generate_into(cfg, TraceBuffer::new()).into_trace()
+}
+
+/// Streams the m88ksim trace into `sink`, chunk by chunk.
+pub fn generate_into<S: TraceSink>(cfg: &WorkloadConfig, sink: S) -> S {
     let mut rng = StdRng::seed_from_u64(salted_seed(cfg, 0x88));
-    let mut rec = Recorder::with_capacity(cfg.target_branches + 1024);
+    let mut rec = Recorder::with_sink(sink);
     while rec.conditional_len() < cfg.target_branches {
         // A diagnostic binary runs the same kernel (same loop length) many
         // times before the suite moves on, so the guest-branch trip count
@@ -182,7 +187,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Trace {
             }
         }
     }
-    rec.into_trace()
+    rec.into_sink()
 }
 
 #[cfg(test)]

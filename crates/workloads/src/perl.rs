@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use bp_trace::{Pc, Recorder, Trace};
+use bp_trace::{Pc, Recorder, Trace, TraceBuffer, TraceSink};
 
 use crate::{salted_seed, WorkloadConfig};
 
@@ -84,7 +84,7 @@ fn gen_script(rng: &mut StdRng) -> Script {
     Script { code, words }
 }
 
-fn run_script(rec: &mut Recorder, script: &Script, rng: &mut StdRng) {
+fn run_script<S: TraceSink>(rec: &mut Recorder<S>, script: &Script, rng: &mut StdRng) {
     let mut stack: Vec<i32> = vec![0];
     let mut counter = 0i32;
     let mut pc = 0usize;
@@ -164,8 +164,13 @@ fn run_script(rec: &mut Recorder, script: &Script, rng: &mut StdRng) {
 
 /// Generates the perl trace.
 pub fn generate(cfg: &WorkloadConfig) -> Trace {
+    generate_into(cfg, TraceBuffer::new()).into_trace()
+}
+
+/// Streams the perl trace into `sink`, chunk by chunk.
+pub fn generate_into<S: TraceSink>(cfg: &WorkloadConfig, sink: S) -> S {
     let mut rng = StdRng::seed_from_u64(salted_seed(cfg, 0xBE7));
-    let mut rec = Recorder::with_capacity(cfg.target_branches + 1024);
+    let mut rec = Recorder::with_sink(sink);
     while rec.conditional_len() < cfg.target_branches {
         // Like the Scrabble solver scoring successive racks: the same
         // script body runs repeatedly over its data.
@@ -177,7 +182,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Trace {
             }
         }
     }
-    rec.into_trace()
+    rec.into_sink()
 }
 
 #[cfg(test)]

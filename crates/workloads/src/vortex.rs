@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use bp_trace::{Pc, Recorder, Trace};
+use bp_trace::{Pc, Recorder, Trace, TraceBuffer, TraceSink};
 
 use crate::{salted_seed, WorkloadConfig};
 
@@ -61,7 +61,7 @@ impl Store {
     /// Index walk like a B-tree descent: skip whole pages while their last
     /// key is below the target (strongly biased taken), then scan within
     /// the page (biased taken until the stopping point).
-    fn position(&self, rec: &mut Recorder, key: u32) -> Result<usize, usize> {
+    fn position<S: TraceSink>(&self, rec: &mut Recorder<S>, key: u32) -> Result<usize, usize> {
         const PAGE: usize = 256;
         let len = self.objects.len();
         let mut i = 0usize;
@@ -87,7 +87,7 @@ impl Store {
     }
 }
 
-fn validate(rec: &mut Recorder, obj: Object) -> bool {
+fn validate<S: TraceSink>(rec: &mut Recorder<S>, obj: Object) -> bool {
     // The 99%-biased wall: real vortex spends its life here.
     let h = rec.cond(PC_VALID_HANDLE, obj.key != u32::MAX);
     let s = rec.cond(PC_VALID_SCHEMA, obj.schema < 8);
@@ -111,7 +111,12 @@ fn op_for(step: u64) -> u8 {
     }
 }
 
-fn transaction(rec: &mut Recorder, store: &mut Store, rng: &mut StdRng, step: u64) {
+fn transaction<S: TraceSink>(
+    rec: &mut Recorder<S>,
+    store: &mut Store,
+    rng: &mut StdRng,
+    step: u64,
+) {
     // Strong temporal locality: most operations touch a small working set
     // of recently used keys; occasionally a fresh key enters.
     let key = if step % 16 == 15 {
@@ -171,8 +176,13 @@ fn transaction(rec: &mut Recorder, store: &mut Store, rng: &mut StdRng, step: u6
 
 /// Generates the vortex trace.
 pub fn generate(cfg: &WorkloadConfig) -> Trace {
+    generate_into(cfg, TraceBuffer::new()).into_trace()
+}
+
+/// Streams the vortex trace into `sink`, chunk by chunk.
+pub fn generate_into<S: TraceSink>(cfg: &WorkloadConfig, sink: S) -> S {
     let mut rng = StdRng::seed_from_u64(salted_seed(cfg, 0x0DB));
-    let mut rec = Recorder::with_capacity(cfg.target_branches + 1024);
+    let mut rec = Recorder::with_sink(sink);
     let mut store = Store::new();
     let mut txns = 0u64;
     while rec.conditional_len() < cfg.target_branches {
@@ -183,7 +193,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Trace {
             store = Store::new();
         }
     }
-    rec.into_trace()
+    rec.into_sink()
 }
 
 #[cfg(test)]

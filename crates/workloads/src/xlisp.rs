@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use bp_trace::{Pc, Recorder, Trace};
+use bp_trace::{Pc, Recorder, Trace, TraceBuffer, TraceSink};
 
 use crate::{salted_seed, WorkloadConfig};
 
@@ -128,7 +128,7 @@ impl Interp {
         }
     }
 
-    fn lookup(&self, rec: &mut Recorder, name: u8) -> i64 {
+    fn lookup<S: TraceSink>(&self, rec: &mut Recorder<S>, name: u8) -> i64 {
         // Association-list scan: hit distance depends on nesting depth.
         for (i, &(n, v)) in self.env.iter().rev().enumerate() {
             if rec.cond(PC_ENV_HIT, n == name) {
@@ -139,7 +139,7 @@ impl Interp {
         0
     }
 
-    fn maybe_gc(&mut self, rec: &mut Recorder) {
+    fn maybe_gc<S: TraceSink>(&mut self, rec: &mut Recorder<S>) {
         self.allocs += 1;
         if rec.cond(PC_GC_DUE, self.allocs.is_multiple_of(300)) {
             let n = self.heap.len();
@@ -159,7 +159,7 @@ impl Interp {
         }
     }
 
-    fn eval(&mut self, rec: &mut Recorder, expr: &Expr, depth: u32) -> i64 {
+    fn eval<S: TraceSink>(&mut self, rec: &mut Recorder<S>, expr: &Expr, depth: u32) -> i64 {
         rec.call(FN_EVAL + depth as u64 % 4, FN_EVAL);
         // Recursion-depth guard: almost never trips.
         rec.cond(PC_DEPTH_GUARD, depth > 64);
@@ -261,8 +261,13 @@ impl Interp {
 /// data. Reuse makes most branches highly predictable; the rebinding keeps
 /// a data-dependent residue.
 pub fn generate(cfg: &WorkloadConfig) -> Trace {
+    generate_into(cfg, TraceBuffer::new()).into_trace()
+}
+
+/// Streams the xlisp trace into `sink`, chunk by chunk.
+pub fn generate_into<S: TraceSink>(cfg: &WorkloadConfig, sink: S) -> S {
     let mut rng = StdRng::seed_from_u64(salted_seed(cfg, 0x115b));
-    let mut rec = Recorder::with_capacity(cfg.target_branches + 1024);
+    let mut rec = Recorder::with_sink(sink);
     let mut interp = Interp::new();
     while rec.conditional_len() < cfg.target_branches {
         interp.fns = gen_fns(&mut rng);
@@ -280,7 +285,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Trace {
             }
         }
     }
-    rec.into_trace()
+    rec.into_sink()
 }
 
 #[cfg(test)]

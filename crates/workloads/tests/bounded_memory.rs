@@ -1,0 +1,48 @@
+//! Regression test for the streaming pipeline's memory model: pushing a
+//! paper-scale branch count through `generate_into` must keep the peak
+//! resident footprint at chunk scale — the trace must never exist in
+//! memory as one giant `Vec<BranchRecord>`.
+//!
+//! This lives in its own integration-test binary so no sibling test's
+//! allocations inflate the process-wide `VmHWM` high-water mark.
+
+use bp_trace::CountingSink;
+use bp_workloads::{Benchmark, WorkloadConfig};
+
+/// Peak resident set size of this process in KiB (Linux `VmHWM`).
+#[cfg(target_os = "linux")]
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn paper_scale_generation_stays_at_chunk_scale() {
+    // 20M branch records materialized would be ≥ 480 MiB (24 bytes each);
+    // the chunked sink path hands off 64Ki-record chunks and should keep
+    // the whole process comfortably under this cap.
+    const TARGET: usize = 20_000_000;
+    const CAP_KIB: u64 = 256 * 1024;
+
+    let cfg = WorkloadConfig {
+        seed: 0x5CA1E,
+        target_branches: TARGET,
+    };
+    let counts = Benchmark::M88ksim.generate_into(&cfg, CountingSink::default());
+    assert!(
+        counts.conditionals >= TARGET as u64,
+        "generator stopped early: {} conditionals",
+        counts.conditionals
+    );
+    assert!(counts.records >= counts.conditionals);
+
+    let peak = peak_rss_kib().expect("VmHWM available on Linux");
+    assert!(
+        peak < CAP_KIB,
+        "peak RSS {peak} KiB at {TARGET} branches — a full-trace \
+         materialization would need ≥ {} KiB; streaming must stay bounded",
+        (TARGET * std::mem::size_of::<bp_trace::BranchRecord>()) / 1024
+    );
+}

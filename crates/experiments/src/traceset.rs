@@ -3,6 +3,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
 use bp_trace::io::{self, ChunkWriter, FileTraceSource, TraceIoError};
+use bp_trace::sidecar::{fnv1a, Sidecar, SidecarError, CONTENT_OFFSET, FNV_OFFSET};
 use bp_trace::{BranchRecord, Trace, TraceSource};
 use bp_workloads::{Benchmark, WorkloadConfig, WorkloadSource};
 
@@ -85,33 +86,30 @@ impl TraceSet {
         })
     }
 
-    /// FNV-1a over `bytes`, seeded with `init` so the config and content
-    /// hashes occupy distinct streams.
-    fn fnv1a(init: u64, bytes: &[u8]) -> u64 {
-        let mut hash = init;
-        for &b in bytes {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x100_0000_01b3);
-        }
-        hash
-    }
-
     /// Fingerprint of everything the generated trace depends on: the
     /// benchmark identity and the workload configuration.
     fn config_fingerprint(cfg: &WorkloadConfig, benchmark: Benchmark) -> u64 {
-        let mut hash = Self::fnv1a(0xcbf2_9ce4_8422_2325, benchmark.name().as_bytes());
-        hash = Self::fnv1a(hash, &cfg.seed.to_le_bytes());
-        Self::fnv1a(hash, &(cfg.target_branches as u64).to_le_bytes())
+        let mut hash = fnv1a(FNV_OFFSET, benchmark.name().as_bytes());
+        hash = fnv1a(hash, &cfg.seed.to_le_bytes());
+        fnv1a(hash, &(cfg.target_branches as u64).to_le_bytes())
     }
 
     fn content_fingerprint(encoded: &[u8]) -> u64 {
-        Self::fnv1a(0x6c62_272e_07bb_0142, encoded)
+        fnv1a(CONTENT_OFFSET, encoded)
     }
 
+    #[cfg(test)]
     fn sidecar_path(path: &Path) -> PathBuf {
-        let mut os = path.as_os_str().to_owned();
-        os.push(".fp");
-        PathBuf::from(os)
+        Sidecar::path_for(path)
+    }
+
+    /// The one-line regeneration reason for a sidecar failure.
+    fn sidecar_reason(e: SidecarError) -> &'static str {
+        match e {
+            SidecarError::Missing => "missing fingerprint sidecar",
+            SidecarError::Malformed => "malformed fingerprint sidecar",
+            SidecarError::WrongVersion => "unknown fingerprint sidecar version",
+        }
     }
 
     /// Validates a cached `.bpt` against its sidecar and the current
@@ -122,20 +120,11 @@ impl TraceSet {
         path: &Path,
     ) -> Result<Trace, &'static str> {
         let encoded = std::fs::read(path).map_err(|_| "unreadable")?;
-        let sidecar = std::fs::read_to_string(Self::sidecar_path(path))
-            .map_err(|_| "missing fingerprint sidecar")?;
-        let mut parts = sidecar.split_whitespace();
-        let (Some(config_fp), Some(content_fp), None) = (
-            parts.next().and_then(|s| u64::from_str_radix(s, 16).ok()),
-            parts.next().and_then(|s| u64::from_str_radix(s, 16).ok()),
-            parts.next(),
-        ) else {
-            return Err("malformed fingerprint sidecar");
-        };
-        if config_fp != Self::config_fingerprint(cfg, benchmark) {
+        let sidecar = Sidecar::load(path).map_err(Self::sidecar_reason)?;
+        if sidecar.config != Self::config_fingerprint(cfg, benchmark) {
             return Err("workload config fingerprint mismatch");
         }
-        if content_fp != Self::content_fingerprint(&encoded) {
+        if sidecar.content != Self::content_fingerprint(&encoded) {
             return Err("content fingerprint mismatch");
         }
         let trace = io::read_trace(encoded.as_slice()).map_err(|_| "corrupt trace encoding")?;
@@ -169,14 +158,11 @@ impl TraceSet {
                 let mut encoded = Vec::new();
                 io::write_trace(&mut encoded, &trace)?;
                 std::fs::write(path, &encoded)?;
-                std::fs::write(
-                    Self::sidecar_path(path),
-                    format!(
-                        "{:016x} {:016x}\n",
-                        Self::config_fingerprint(cfg, benchmark),
-                        Self::content_fingerprint(&encoded)
-                    ),
-                )?;
+                Sidecar {
+                    config: Self::config_fingerprint(cfg, benchmark),
+                    content: Self::content_fingerprint(&encoded),
+                }
+                .write(path)?;
                 Ok(())
             };
             if let Err(e) = write() {
@@ -222,21 +208,12 @@ impl TraceSet {
         benchmark: Benchmark,
         path: &Path,
     ) -> Result<FileTraceSource, &'static str> {
-        let sidecar = std::fs::read_to_string(Self::sidecar_path(path))
-            .map_err(|_| "missing fingerprint sidecar")?;
-        let mut parts = sidecar.split_whitespace();
-        let (Some(config_fp), Some(total), None) = (
-            parts.next().and_then(|s| u64::from_str_radix(s, 16).ok()),
-            parts.next().and_then(|s| u64::from_str_radix(s, 16).ok()),
-            parts.next(),
-        ) else {
-            return Err("malformed fingerprint sidecar");
-        };
-        if config_fp != Self::config_fingerprint(cfg, benchmark) {
+        let sidecar = Sidecar::load(path).map_err(Self::sidecar_reason)?;
+        if sidecar.config != Self::config_fingerprint(cfg, benchmark) {
             return Err("workload config fingerprint mismatch");
         }
         let source = FileTraceSource::open(path).map_err(|_| "corrupt stream file")?;
-        if source.len() != total {
+        if source.len() != sidecar.content {
             return Err("record count mismatch");
         }
         Ok(source)
@@ -259,14 +236,11 @@ impl TraceSet {
         let writer = ChunkWriter::new(std::io::BufWriter::new(std::fs::File::create(&tmp)?))?;
         let total = benchmark.generate_into(cfg, writer).finish()?;
         std::fs::rename(&tmp, path)?;
-        std::fs::write(
-            Self::sidecar_path(path),
-            format!(
-                "{:016x} {:016x}\n",
-                Self::config_fingerprint(cfg, benchmark),
-                total
-            ),
-        )?;
+        Sidecar {
+            config: Self::config_fingerprint(cfg, benchmark),
+            content: total,
+        }
+        .write(path)?;
         FileTraceSource::open(path)
     }
 
@@ -466,14 +440,11 @@ mod tests {
         // Rewrite the sidecar with a bogus config fingerprint but a
         // correct content hash: the entry must be treated as stale.
         let encoded = std::fs::read(&path).expect("read cache");
-        std::fs::write(
-            TraceSet::sidecar_path(&path),
-            format!(
-                "{:016x} {:016x}\n",
-                0xdead_beefu64,
-                TraceSet::content_fingerprint(&encoded)
-            ),
-        )
+        Sidecar {
+            config: 0xdead_beef,
+            content: TraceSet::content_fingerprint(&encoded),
+        }
+        .write(&path)
         .expect("forge sidecar");
         assert_eq!(
             TraceSet::with_disk_cache(cfg, &dir).trace(Benchmark::Compress),

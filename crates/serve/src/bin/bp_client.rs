@@ -1,50 +1,66 @@
-//! `bp-client` — CLI for the `bp-serve` daemon.
+//! `bp-client` — CLI for one or many `bp-serve` daemons.
 //!
 //! ```text
-//! bp-client [--addr HOST:PORT] eval EXPERIMENT [--seed N] [--target N] [--deadline-ms N]
+//! bp-client [--addr HOST:PORT]... eval EXPERIMENT [--seed N] [--target N] [--deadline-ms N]
 //! bp-client [--addr HOST:PORT] trace PATH --predictor KIND [--bits N] [--history-bits N]
-//! bp-client [--addr HOST:PORT] stats
+//! bp-client [--addr HOST:PORT]... stats
 //! bp-client [--addr HOST:PORT] ping [--delay-ms N]
-//! bp-client [--addr HOST:PORT] shutdown
-//! bp-client [--addr HOST:PORT] bench --conns N --requests M [--experiment ID]
-//!           [--seed N] [--target N] [--rps R] [--deadline-ms N] [--json]
+//! bp-client [--addr HOST:PORT]... shutdown
+//! bp-client [--addr HOST:PORT]... bench --conns N --requests M [--experiment ID]
+//!           [--seed N] [--spread K] [--target N] [--rps R] [--deadline-ms N]
+//!           [--chaos-kill SHARD --chaos-after-ms T] [--json]
+//! bp-client [--addr HOST:PORT] idle --conns N [--hold-ms T]
 //! ```
 //!
-//! `eval` prints the served output with a trailing newline, exactly as
-//! `repro --bare EXPERIMENT` prints it — the two are diffable.
+//! `--addr` may repeat: `eval`, `bench`, and `shutdown` then treat the
+//! addresses as a shard fleet, routing each key over the consistent-hash
+//! ring with bounded retry (`--retries`, `--retry-base-ms`,
+//! `--retry-seed`) and failover. `eval` prints the served output with a
+//! trailing newline, exactly as `repro --bare EXPERIMENT` prints it —
+//! the two are diffable through every layer (reactor, cache, ring).
+//!
+//! `idle` opens N connections and holds them open without sending a
+//! byte — the harness behind the idle-connection memory numbers in
+//! `BENCH_repro.json`.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use bp_serve::{run_bench, BenchOptions, Client, PredictorSpec, Response, StatsSnapshot};
+use bp_serve::{
+    run_bench, BenchOptions, ChaosOptions, Client, PredictorSpec, Response, RetryPolicy,
+    ShardedClient, StatsSnapshot,
+};
 use bp_workloads::WorkloadConfig;
 
 fn usage() {
     eprintln!(
-        "usage: bp-client [--addr HOST:PORT] <eval|trace|stats|ping|shutdown|bench> [options]\n\
+        "usage: bp-client [--addr HOST:PORT]... <eval|trace|stats|ping|shutdown|bench|idle> [options]\n\
          \x20 eval EXPERIMENT [--seed N] [--target N] [--deadline-ms N]\n\
          \x20 trace PATH --predictor gshare|if_gshare|pas|if_pas [--bits N] [--history-bits N]\n\
          \x20 stats | ping [--delay-ms N] | shutdown\n\
-         \x20 bench --conns N --requests M [--experiment ID] [--seed N] [--target N] \
-         [--rps R] [--deadline-ms N] [--json]"
+         \x20 bench --conns N --requests M [--experiment ID] [--seed N] [--spread K] [--target N] \
+         [--rps R] [--deadline-ms N] [--chaos-kill SHARD --chaos-after-ms T] [--json]\n\
+         \x20 idle --conns N [--hold-ms T]\n\
+         \x20 retry (eval/bench): [--retries N] [--retry-base-ms T] [--retry-seed N]"
     );
 }
 
 struct Flags {
-    addr: String,
+    addrs: Vec<String>,
     command: String,
     positional: Vec<String>,
     options: Vec<(String, Option<String>)>,
 }
 
 fn parse_args() -> Result<Flags, ()> {
-    let mut addr = "127.0.0.1:4098".to_owned();
+    let mut addrs = Vec::new();
     let mut command = String::new();
     let mut positional = Vec::new();
     let mut options = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         if arg == "--addr" {
-            addr = args.next().ok_or(())?;
+            addrs.push(args.next().ok_or(())?);
         } else if arg == "--help" || arg == "-h" {
             return Err(());
         } else if let Some(flag) = arg.strip_prefix("--") {
@@ -63,8 +79,11 @@ fn parse_args() -> Result<Flags, ()> {
     if command.is_empty() {
         return Err(());
     }
+    if addrs.is_empty() {
+        addrs.push("127.0.0.1:4098".to_owned());
+    }
     Ok(Flags {
-        addr,
+        addrs,
         command,
         positional,
         options,
@@ -92,6 +111,20 @@ fn has_flag(flags: &Flags, name: &str) -> bool {
     flags.options.iter().any(|(k, _)| k == name)
 }
 
+fn retry_policy(flags: &Flags) -> Result<RetryPolicy, ()> {
+    let mut policy = RetryPolicy::default();
+    if let Some(n) = opt_u64(flags, "retries")? {
+        policy.attempts = (n as u32).max(1);
+    }
+    if let Some(ms) = opt_u64(flags, "retry-base-ms")? {
+        policy.base = Duration::from_millis(ms);
+    }
+    if let Some(seed) = opt_u64(flags, "retry-seed")? {
+        policy.seed = seed;
+    }
+    Ok(policy)
+}
+
 fn print_stats(s: &StatsSnapshot) {
     println!("endpoint      requests        ok    errors");
     for (name, e) in [
@@ -108,22 +141,39 @@ fn print_stats(s: &StatsSnapshot) {
         s.overloaded, s.deadline_missed, s.bad_frames
     );
     println!(
-        "caching: result_cache_hits {}  coalesced {}  engines {}  engine cache {} hits / {} misses",
-        s.result_cache_hits, s.coalesced, s.engines, s.engine_cache_hits, s.engine_cache_misses
+        "caching: memory_hits {}  disk_hits {}  entries {}  bytes {}  evictions {}  \
+         warm_start {}  coalesced {}",
+        s.result_cache_hits,
+        s.disk_cache_hits,
+        s.cache_entries,
+        s.cache_bytes,
+        s.cache_evictions,
+        s.warm_start_entries,
+        s.coalesced
     );
     println!(
-        "eval latency: count {}  p50 {:.3}ms  p99 {:.3}ms  max {:.3}ms",
+        "engines: {}  engine cache {} hits / {} misses",
+        s.engines, s.engine_cache_hits, s.engine_cache_misses
+    );
+    println!(
+        "connections: open {}  accepted {}",
+        s.open_connections, s.conns_accepted
+    );
+    println!(
+        "eval latency: count {}  p50 {:.3}ms  p99 {:.3}ms  p999 {:.3}ms  max {:.3}ms",
         s.eval_latency.count,
         s.eval_latency.p50_us as f64 / 1e3,
         s.eval_latency.p99_us as f64 / 1e3,
+        s.eval_latency.p999_us as f64 / 1e3,
         s.eval_latency.max_us as f64 / 1e3
     );
     if s.trace_latency.count > 0 {
         println!(
-            "trace latency: count {}  p50 {:.3}ms  p99 {:.3}ms  max {:.3}ms",
+            "trace latency: count {}  p50 {:.3}ms  p99 {:.3}ms  p999 {:.3}ms  max {:.3}ms",
             s.trace_latency.count,
             s.trace_latency.p50_us as f64 / 1e3,
             s.trace_latency.p99_us as f64 / 1e3,
+            s.trace_latency.p999_us as f64 / 1e3,
             s.trace_latency.max_us as f64 / 1e3
         );
     }
@@ -156,7 +206,8 @@ fn main() -> ExitCode {
                 let seed = opt_u64(&flags, "seed").map_err(|()| "bad --seed")?;
                 let target = opt_u64(&flags, "target").map_err(|()| "bad --target")?;
                 let deadline = opt_u64(&flags, "deadline-ms").map_err(|()| "bad --deadline-ms")?;
-                let mut client = Client::connect(&flags.addr)?;
+                let retry = retry_policy(&flags).map_err(|()| "bad retry flags")?;
+                let mut client = ShardedClient::new(flags.addrs.clone(), retry);
                 let resp = client.eval(
                     experiment,
                     seed.unwrap_or(defaults.seed),
@@ -202,7 +253,7 @@ fn main() -> ExitCode {
                     }
                 };
                 let deadline = opt_u64(&flags, "deadline-ms").map_err(|()| "bad --deadline-ms")?;
-                let mut client = Client::connect(&flags.addr)?;
+                let mut client = Client::connect(&flags.addrs[0])?;
                 match client.trace_eval(path, predictor, deadline)? {
                     Response::TraceResult {
                         predictions,
@@ -222,18 +273,33 @@ fn main() -> ExitCode {
                 }
             }
             "stats" => {
-                let mut client = Client::connect(&flags.addr)?;
-                match client.stats()? {
-                    Response::Stats { snapshot, .. } => {
-                        print_stats(&snapshot);
-                        Ok(ExitCode::SUCCESS)
+                let many = flags.addrs.len() > 1;
+                let mut failures = 0;
+                for addr in &flags.addrs {
+                    if many {
+                        println!("== shard {addr} ==");
                     }
-                    other => Ok(report_unexpected(&other)),
+                    match Client::connect(addr).and_then(|mut c| c.stats()) {
+                        Ok(Response::Stats { snapshot, .. }) => print_stats(&snapshot),
+                        Ok(other) => {
+                            report_unexpected(&other);
+                            failures += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("error: {addr}: {e}");
+                            failures += 1;
+                        }
+                    }
                 }
+                Ok(if failures == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                })
             }
             "ping" => {
                 let delay = opt_u64(&flags, "delay-ms").map_err(|()| "bad --delay-ms")?;
-                let mut client = Client::connect(&flags.addr)?;
+                let mut client = Client::connect(&flags.addrs[0])?;
                 match client.ping(delay)? {
                     Response::Pong { .. } => {
                         println!("pong");
@@ -243,14 +309,27 @@ fn main() -> ExitCode {
                 }
             }
             "shutdown" => {
-                let mut client = Client::connect(&flags.addr)?;
-                match client.shutdown()? {
-                    Response::ShuttingDown { .. } => {
-                        println!("server draining");
-                        Ok(ExitCode::SUCCESS)
+                let mut failures = 0;
+                for addr in &flags.addrs {
+                    match Client::connect(addr).and_then(|mut c| c.shutdown()) {
+                        Ok(Response::ShuttingDown { .. }) => {
+                            println!("{addr} draining");
+                        }
+                        Ok(other) => {
+                            report_unexpected(&other);
+                            failures += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("error: {addr}: {e}");
+                            failures += 1;
+                        }
                     }
-                    other => Ok(report_unexpected(&other)),
                 }
+                Ok(if failures == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                })
             }
             "bench" => {
                 let conns = opt_u64(&flags, "conns")
@@ -260,21 +339,44 @@ fn main() -> ExitCode {
                     .map_err(|()| "bad --requests")?
                     .unwrap_or(32) as usize;
                 let seed = opt_u64(&flags, "seed").map_err(|()| "bad --seed")?;
+                let spread = opt_u64(&flags, "spread").map_err(|()| "bad --spread")?;
                 let target = opt_u64(&flags, "target").map_err(|()| "bad --target")?;
                 let deadline = opt_u64(&flags, "deadline-ms").map_err(|()| "bad --deadline-ms")?;
                 let rps = match opt(&flags, "rps") {
                     None => None,
                     Some(v) => Some(v.parse::<f64>().map_err(|_| "bad --rps")?),
                 };
+                let retry = retry_policy(&flags).map_err(|()| "bad retry flags")?;
+                let chaos_kill = opt_u64(&flags, "chaos-kill").map_err(|()| "bad --chaos-kill")?;
+                let chaos_after =
+                    opt_u64(&flags, "chaos-after-ms").map_err(|()| "bad --chaos-after-ms")?;
+                let chaos = match (chaos_kill, chaos_after) {
+                    (Some(shard), after) => {
+                        if shard as usize >= flags.addrs.len() {
+                            return Err("--chaos-kill is out of range for the address list".into());
+                        }
+                        Some(ChaosOptions {
+                            kill_shard: shard as usize,
+                            after: Duration::from_millis(after.unwrap_or(500)),
+                        })
+                    }
+                    (None, Some(_)) => {
+                        return Err("--chaos-after-ms needs --chaos-kill".into());
+                    }
+                    (None, None) => None,
+                };
                 let opts = BenchOptions {
-                    addr: flags.addr.clone(),
+                    addrs: flags.addrs.clone(),
                     conns: conns.max(1),
                     requests_per_conn: requests.max(1),
                     experiment: opt(&flags, "experiment").unwrap_or("fig4").to_owned(),
                     seed: seed.unwrap_or(defaults.seed),
+                    seed_spread: spread.unwrap_or(1).max(1),
                     target: target.unwrap_or(defaults.target_branches as u64),
                     deadline_ms: deadline,
                     rps,
+                    retry,
+                    chaos,
                 };
                 let report = run_bench(&opts)?;
                 if has_flag(&flags, "json") {
@@ -283,6 +385,38 @@ fn main() -> ExitCode {
                     println!("{}", report.render_text());
                 }
                 Ok(ExitCode::SUCCESS)
+            }
+            "idle" => {
+                let conns = opt_u64(&flags, "conns")
+                    .map_err(|()| "bad --conns")?
+                    .unwrap_or(100) as usize;
+                let hold = opt_u64(&flags, "hold-ms")
+                    .map_err(|()| "bad --hold-ms")?
+                    .unwrap_or(60_000);
+                let mut held = Vec::with_capacity(conns);
+                for i in 0..conns {
+                    let addr = &flags.addrs[i % flags.addrs.len()];
+                    match std::net::TcpStream::connect(addr.as_str()) {
+                        Ok(stream) => held.push(stream),
+                        Err(e) => {
+                            eprintln!("error: connection {i} to {addr} failed: {e}");
+                            break;
+                        }
+                    }
+                }
+                // Printed once all sockets are up so harnesses can key
+                // their memory measurement off this line.
+                let complete = held.len() == conns;
+                println!("idle holding {} connections", held.len());
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+                std::thread::sleep(Duration::from_millis(hold));
+                drop(held);
+                Ok(if complete {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                })
             }
             _ => {
                 usage();

@@ -2,8 +2,14 @@
 //!
 //! ```text
 //! bp-serve [--addr HOST:PORT] [--workers N] [--queue N] [--jobs N]
-//!          [--trace-dir DIR] [--max-frame BYTES] [--quiet]
+//!          [--trace-dir DIR] [--max-frame BYTES]
+//!          [--cache-dir DIR] [--cache-budget-mb N] [--quiet]
 //! ```
+//!
+//! With `--cache-dir` the rendered-output cache persists across
+//! restarts: the daemon warm-starts from the directory's `.bpo` entries
+//! at boot, so a restarted shard serves its prior working set without
+//! recomputation.
 //!
 //! Binds, prints `listening <addr>` on stdout (so scripts binding `:0`
 //! can discover the port), and serves until a client sends `shutdown`,
@@ -19,7 +25,7 @@ use bp_serve::{spawn, ServerConfig};
 fn usage() {
     eprintln!(
         "usage: bp-serve [--addr HOST:PORT] [--workers N] [--queue N] [--jobs N] \
-         [--trace-dir DIR] [--max-frame BYTES] [--quiet]"
+         [--trace-dir DIR] [--max-frame BYTES] [--cache-dir DIR] [--cache-budget-mb N] [--quiet]"
     );
 }
 
@@ -68,6 +74,16 @@ fn main() -> ExitCode {
                 _ => Err(()),
             }),
             "--trace-dir" => take("--trace-dir").map(|v| cfg.trace_dir = Some(v.into())),
+            "--cache-dir" => take("--cache-dir").map(|v| cfg.cache_dir = Some(v.into())),
+            "--cache-budget-mb" => {
+                take("--cache-budget-mb").and_then(|v| match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        cfg.cache_budget = n << 20;
+                        Ok(())
+                    }
+                    _ => Err(()),
+                })
+            }
             "--quiet" => {
                 cfg.quiet = true;
                 Ok(())

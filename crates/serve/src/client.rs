@@ -1,5 +1,7 @@
-//! Blocking client for the `bp-serve` protocol, plus the closed-loop
-//! load generator behind `bp-client bench`.
+//! Clients for the `bp-serve` protocol: the blocking single-connection
+//! [`Client`], the ring-routing [`ShardedClient`] with bounded
+//! retry/backoff and failover, and the closed-loop load generator
+//! behind `bp-client bench` (including its kill-a-shard chaos mode).
 
 use std::fmt;
 use std::net::TcpStream;
@@ -9,6 +11,7 @@ use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameError, PredictorSpec, ProtocolError, Request,
     Response, DEFAULT_MAX_FRAME,
 };
+use crate::ring::{Jitter, RetryPolicy, Ring};
 
 /// Client-side failure talking to a server.
 #[derive(Debug)]
@@ -19,6 +22,14 @@ pub enum ClientError {
     Protocol(ProtocolError),
     /// The server closed the connection before answering.
     ClosedEarly,
+    /// Failover exhausted the ring: every candidate shard was down,
+    /// draining, or unreachable through the whole retry budget.
+    ShardUnreachable {
+        /// Shards tried (the full failover sequence for the key).
+        shards: usize,
+        /// Total connection/request attempts spent across them.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -27,6 +38,10 @@ impl fmt::Display for ClientError {
             ClientError::Frame(e) => write!(f, "{e}"),
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::ClosedEarly => write!(f, "server closed the connection early"),
+            ClientError::ShardUnreachable { shards, attempts } => write!(
+                f,
+                "shard unreachable: all {shards} ring candidates failed ({attempts} attempts)"
+            ),
         }
     }
 }
@@ -177,19 +192,205 @@ impl Client {
     }
 }
 
+/// How long a shard that failed its whole retry budget sits out before
+/// being probed again.
+const SHARD_COOLDOWN: Duration = Duration::from_secs(1);
+
+/// A client over N shards: every eval key routes deterministically over
+/// the consistent-hash [`Ring`], with bounded retry + backoff per shard
+/// and failover to the next ring candidate when a shard is down or
+/// draining. All clients with the same address list agree on routing,
+/// so each shard's caches see a stable partition of the key space.
+pub struct ShardedClient {
+    addrs: Vec<String>,
+    ring: Ring,
+    conns: Vec<Option<Client>>,
+    down_until: Vec<Option<Instant>>,
+    retry: RetryPolicy,
+    jitter: Jitter,
+}
+
+impl ShardedClient {
+    /// Builds the client; connections are opened lazily per shard.
+    #[must_use]
+    pub fn new(addrs: Vec<String>, retry: RetryPolicy) -> Self {
+        let ring = Ring::new(&addrs);
+        let n = addrs.len();
+        let jitter = retry.jitter();
+        ShardedClient {
+            addrs,
+            ring,
+            conns: (0..n).map(|_| None).collect(),
+            down_until: vec![None; n],
+            retry,
+            jitter,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The shard this key routes to first (before failover).
+    #[must_use]
+    pub fn owner_of(&self, experiment: &str, seed: u64, target: u64) -> Option<usize> {
+        self.ring
+            .route(Ring::key_hash(experiment, seed, target))
+            .first()
+            .copied()
+    }
+
+    /// Evaluates one experiment, routing by key and failing over across
+    /// the ring.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ShardUnreachable`] once every candidate shard has
+    /// exhausted its retry budget (or is cooling down from a recent
+    /// failure). Server-side errors other than `shutting_down` arrive
+    /// as `Ok(Response::Error)` from the owning shard.
+    pub fn eval(
+        &mut self,
+        experiment: &str,
+        seed: u64,
+        target: u64,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        let order = self.ring.route(Ring::key_hash(experiment, seed, target));
+        let shards = order.len();
+        let mut attempts = 0u32;
+        for shard in order {
+            let now = Instant::now();
+            if self.down_until[shard].is_some_and(|until| now < until) {
+                continue; // Cooling down; try the next ring candidate.
+            }
+            match self.try_shard(shard, experiment, seed, target, deadline_ms, &mut attempts) {
+                Ok(Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    ..
+                }) => {
+                    // The shard is draining: treat like a down shard and
+                    // let the next ring candidate serve the key.
+                    self.mark_down(shard);
+                }
+                Ok(resp) => {
+                    self.down_until[shard] = None;
+                    return Ok(resp);
+                }
+                Err(_) => self.mark_down(shard),
+            }
+        }
+        Err(ClientError::ShardUnreachable { shards, attempts })
+    }
+
+    /// One shard's full retry budget: connect (reusing a live
+    /// connection), send, read; exponential backoff with deterministic
+    /// jitter between attempts.
+    fn try_shard(
+        &mut self,
+        shard: usize,
+        experiment: &str,
+        seed: u64,
+        target: u64,
+        deadline_ms: Option<u64>,
+        attempts: &mut u32,
+    ) -> Result<Response, ClientError> {
+        let mut last_err = ClientError::ClosedEarly;
+        for attempt in 0..self.retry.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.retry.backoff(attempt, &mut self.jitter));
+            }
+            *attempts += 1;
+            if self.conns[shard].is_none() {
+                match Client::connect(&self.addrs[shard]) {
+                    Ok(c) => self.conns[shard] = Some(c),
+                    Err(e) => {
+                        last_err = e;
+                        continue;
+                    }
+                }
+            }
+            let client = self.conns[shard].as_mut().expect("connection just ensured");
+            match client.eval(experiment, seed, target, deadline_ms) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    // The connection is suspect after any transport
+                    // error; reconnect on the next attempt.
+                    self.conns[shard] = None;
+                    last_err = e;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn mark_down(&mut self, shard: usize) {
+        self.conns[shard] = None;
+        self.down_until[shard] = Some(Instant::now() + SHARD_COOLDOWN);
+    }
+
+    /// Health-checks one shard with a plain ping (no retry, no
+    /// cooldown side effects beyond clearing a stale one on success).
+    pub fn check(&mut self, shard: usize) -> bool {
+        let ok = Client::connect(&self.addrs[shard])
+            .and_then(|mut c| c.ping(None))
+            .is_ok_and(|r| matches!(r, Response::Pong { .. }));
+        if ok {
+            self.down_until[shard] = None;
+        }
+        ok
+    }
+
+    /// Fetches stats from every reachable shard.
+    #[must_use]
+    pub fn stats_all(&mut self) -> Vec<(String, Result<Response, ClientError>)> {
+        let addrs = self.addrs.clone();
+        addrs
+            .into_iter()
+            .map(|addr| {
+                let r = Client::connect(&addr).and_then(|mut c| c.stats());
+                (addr, r)
+            })
+            .collect()
+    }
+
+    /// Asks every reachable shard to drain.
+    pub fn shutdown_all(&mut self) {
+        for addr in self.addrs.clone() {
+            let _ = Client::connect(&addr).and_then(|mut c| c.shutdown());
+        }
+    }
+}
+
+/// Chaos-mode settings for the load generator: kill one shard mid-run
+/// and let routing fail over.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Index (into `addrs`) of the shard to kill.
+    pub kill_shard: usize,
+    /// How long into the run to send it `shutdown`.
+    pub after: Duration,
+}
+
 /// Load-generator options (`bp-client bench`).
 #[derive(Debug, Clone)]
 pub struct BenchOptions {
-    /// Server address.
-    pub addr: String,
+    /// Shard addresses (one = the classic single-daemon bench).
+    pub addrs: Vec<String>,
     /// Concurrent connections, each a closed loop.
     pub conns: usize,
     /// Requests issued per connection.
     pub requests_per_conn: usize,
     /// Experiment to evaluate.
     pub experiment: String,
-    /// Workload seed.
+    /// Base workload seed.
     pub seed: u64,
+    /// Distinct seeds to spread requests over (`seed..seed+spread`),
+    /// exercising routing across shards; 1 = the classic identical-key
+    /// loop.
+    pub seed_spread: u64,
     /// Workload target branches.
     pub target: u64,
     /// Optional per-request deadline.
@@ -197,6 +398,28 @@ pub struct BenchOptions {
     /// Optional total request rate; each connection paces itself at
     /// `rps / conns`. `None` = as fast as the closed loop allows.
     pub rps: Option<f64>,
+    /// Per-shard retry/backoff policy.
+    pub retry: RetryPolicy,
+    /// Optional kill-one-shard chaos mode.
+    pub chaos: Option<ChaosOptions>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            addrs: Vec::new(),
+            conns: 1,
+            requests_per_conn: 1,
+            experiment: "fig4".to_owned(),
+            seed: 0,
+            seed_spread: 1,
+            target: 40_000,
+            deadline_ms: None,
+            rps: None,
+            retry: RetryPolicy::default(),
+            chaos: None,
+        }
+    }
 }
 
 /// Load-generator outcome.
@@ -212,6 +435,8 @@ pub struct BenchReport {
     pub overloaded: u64,
     /// `deadline_exceeded` errors.
     pub deadline_missed: u64,
+    /// Requests that exhausted failover across the whole ring.
+    pub unreachable: u64,
     /// Any other error responses or transport failures.
     pub other_errors: u64,
     /// Wall time of the whole run, seconds.
@@ -222,6 +447,8 @@ pub struct BenchReport {
     pub p50_ms: f64,
     /// 99th-percentile latency, milliseconds.
     pub p99_ms: f64,
+    /// 99.9th-percentile latency, milliseconds — the soak-test tail.
+    pub p999_ms: f64,
     /// Maximum latency, milliseconds.
     pub max_ms: f64,
 }
@@ -238,19 +465,22 @@ impl BenchReport {
     /// Renders the report as the `bp-client bench` text output.
     pub fn render_text(&self) -> String {
         format!(
-            "requests: {} ({} ok, {} cached, {} overloaded, {} deadline, {} other errors)\n\
+            "requests: {} ({} ok, {} cached, {} overloaded, {} deadline, \
+             {} unreachable, {} other errors)\n\
              wall: {:.3}s  throughput: {:.1} req/s\n\
-             latency ms: p50 {:.3}  p99 {:.3}  max {:.3}",
+             latency ms: p50 {:.3}  p99 {:.3}  p999 {:.3}  max {:.3}",
             self.sent,
             self.ok,
             self.cached,
             self.overloaded,
             self.deadline_missed,
+            self.unreachable,
             self.other_errors,
             self.wall_seconds,
             self.achieved_rps,
             self.p50_ms,
             self.p99_ms,
+            self.p999_ms,
             self.max_ms
         )
     }
@@ -260,53 +490,83 @@ impl BenchReport {
     pub fn render_json(&self) -> String {
         format!(
             "{{\"sent\": {}, \"ok\": {}, \"cached\": {}, \"overloaded\": {}, \
-             \"deadline\": {}, \"other_errors\": {}, \"wall_seconds\": {:.3}, \
-             \"achieved_rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}}}",
+             \"deadline\": {}, \"unreachable\": {}, \"other_errors\": {}, \
+             \"wall_seconds\": {:.3}, \"achieved_rps\": {:.1}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \"max_ms\": {:.3}}}",
             self.sent,
             self.ok,
             self.cached,
             self.overloaded,
             self.deadline_missed,
+            self.unreachable,
             self.other_errors,
             self.wall_seconds,
             self.achieved_rps,
             self.p50_ms,
             self.p99_ms,
+            self.p999_ms,
             self.max_ms
         )
     }
 }
 
 /// Runs the load generator: `conns` closed-loop connections, each
-/// issuing `requests_per_conn` identical eval requests (the repeat of an
-/// identical query is exactly the warm-cache serving path).
+/// issuing `requests_per_conn` eval requests routed over the shard
+/// ring (seeds cycle over `seed..seed+seed_spread`). With one address
+/// and one seed this is exactly the warm-cache serving path; with
+/// chaos enabled, one shard is killed mid-run and the report shows how
+/// failover absorbed it.
 ///
 /// # Errors
 ///
-/// Only setup failures (first connection refused); per-request failures
-/// are counted in the report instead.
+/// Only setup failures (no address, or every shard refusing the first
+/// connection); per-request failures are counted in the report instead.
 pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, ClientError> {
-    // Fail fast if the server is unreachable rather than spawning
+    if opts.addrs.is_empty() {
+        return Err(ClientError::ShardUnreachable {
+            shards: 0,
+            attempts: 0,
+        });
+    }
+    // Fail fast if the whole fleet is unreachable rather than spawning
     // threads that all error out.
-    drop(Client::connect(&opts.addr)?);
+    if !opts.addrs.iter().any(|a| Client::connect(a).is_ok()) {
+        return Err(ClientError::ShardUnreachable {
+            shards: opts.addrs.len(),
+            attempts: opts.addrs.len() as u32,
+        });
+    }
     let pace = opts
         .rps
         .filter(|r| *r > 0.0)
         .map(|rps| Duration::from_secs_f64(opts.conns as f64 / rps));
     let started = Instant::now();
     let per_conn: Vec<(Vec<f64>, BenchReport)> = std::thread::scope(|scope| {
+        let chaos = opts.chaos.clone().map(|chaos| {
+            let addr = opts
+                .addrs
+                .get(chaos.kill_shard)
+                .cloned()
+                .unwrap_or_else(|| opts.addrs[0].clone());
+            scope.spawn(move || {
+                std::thread::sleep(chaos.after);
+                let _ = Client::connect(&addr).and_then(|mut c| c.shutdown());
+            })
+        });
         let handles: Vec<_> = (0..opts.conns)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|conn_idx| {
+                scope.spawn(move || {
                     let mut latencies_ms: Vec<f64> = Vec::new();
                     let mut report = BenchReport::default();
-                    let Ok(mut client) = Client::connect(&opts.addr) else {
-                        report.other_errors += opts.requests_per_conn as u64;
-                        report.sent += opts.requests_per_conn as u64;
-                        return (latencies_ms, report);
+                    // Distinct jitter seed per connection so backoff
+                    // sleeps desynchronize (still deterministic).
+                    let retry = RetryPolicy {
+                        seed: opts.retry.seed.wrapping_add(conn_idx as u64),
+                        ..opts.retry.clone()
                     };
+                    let mut client = ShardedClient::new(opts.addrs.clone(), retry);
                     let mut next_fire = Instant::now();
-                    for _ in 0..opts.requests_per_conn {
+                    for r in 0..opts.requests_per_conn {
                         if let Some(interval) = pace {
                             let now = Instant::now();
                             if next_fire > now {
@@ -314,14 +574,10 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, ClientError> {
                             }
                             next_fire += interval;
                         }
+                        let seed = opts.seed + (r as u64 % opts.seed_spread.max(1));
                         let t0 = Instant::now();
                         report.sent += 1;
-                        match client.eval(
-                            &opts.experiment,
-                            opts.seed,
-                            opts.target,
-                            opts.deadline_ms,
-                        ) {
+                        match client.eval(&opts.experiment, seed, opts.target, opts.deadline_ms) {
                             Ok(Response::Result { cached, .. }) => {
                                 report.ok += 1;
                                 if cached {
@@ -338,24 +594,24 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, ClientError> {
                                 }
                             }
                             Ok(_) => report.other_errors += 1,
-                            Err(_) => {
-                                report.other_errors += 1;
-                                // The connection may be unusable; reconnect.
-                                match Client::connect(&opts.addr) {
-                                    Ok(c) => client = c,
-                                    Err(_) => break,
-                                }
+                            Err(ClientError::ShardUnreachable { .. }) => {
+                                report.unreachable += 1;
                             }
+                            Err(_) => report.other_errors += 1,
                         }
                     }
                     (latencies_ms, report)
                 })
             })
             .collect();
-        handles
+        let merged = handles
             .into_iter()
             .map(|h| h.join().expect("bench connection thread"))
-            .collect()
+            .collect();
+        if let Some(chaos) = chaos {
+            chaos.join().expect("chaos thread");
+        }
+        merged
     });
     let wall_seconds = started.elapsed().as_secs_f64();
     let mut merged = BenchReport {
@@ -370,6 +626,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, ClientError> {
         merged.cached += r.cached;
         merged.overloaded += r.overloaded;
         merged.deadline_missed += r.deadline_missed;
+        merged.unreachable += r.unreachable;
         merged.other_errors += r.other_errors;
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -380,6 +637,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, ClientError> {
     };
     merged.p50_ms = BenchReport::quantile(&latencies, 0.50);
     merged.p99_ms = BenchReport::quantile(&latencies, 0.99);
+    merged.p999_ms = BenchReport::quantile(&latencies, 0.999);
     merged.max_ms = latencies.last().copied().unwrap_or(0.0);
     Ok(merged)
 }

@@ -1,0 +1,525 @@
+//! The connection reactor: one thread, all sockets, `poll(2)` readiness.
+//!
+//! The previous server spent one OS thread (≈2 MiB of address space and
+//! a kernel stack) per connection, blocked in `read`. This module
+//! replaces that with a single event loop that owns the listener and
+//! every client socket, parses length-prefixed frames incrementally out
+//! of per-connection buffers, and hands each complete request to a
+//! callback — 10k idle connections cost 10k file descriptors and their
+//! buffers, not 10k stacks.
+//!
+//! ## Structure
+//!
+//! * The loop polls the listener (accept), a *waker* socket, and every
+//!   connection for readability, plus writability where output is
+//!   buffered.
+//! * Complete frames invoke the server's dispatch callback *on the
+//!   reactor thread*; dispatch answers cheap requests inline (cache
+//!   hits, `stats`, `ping`) by queueing bytes on the connection, and
+//!   forwards compute to the bounded worker queue.
+//! * Worker threads deliver results through the shared **outbox**
+//!   ([`ConnRef::send`]): they enqueue the encoded response and nudge
+//!   the waker, and the reactor copies it onto the connection's write
+//!   buffer on its next iteration. All socket I/O therefore stays on
+//!   one thread; no per-frame locks are held across a syscall.
+//! * The waker is a loopback TCP socket pair (std has no pipe): one
+//!   byte written to it makes `poll` return, and the reactor drains it.
+//!
+//! Backpressure on the write side is bounded: a peer that stops reading
+//! while responses accumulate past [`WRITE_BUF_CAP`] is disconnected
+//! rather than buffered without limit.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::protocol::{write_frame, Response};
+use crate::stats::ConnGauges;
+use crate::sys::{poll_fds, PollFd, POLLIN, POLLOUT};
+
+/// Disconnect a connection whose unflushed output exceeds this many
+/// bytes: the peer has stopped reading and unbounded buffering is the
+/// only alternative.
+pub const WRITE_BUF_CAP: usize = 8 << 20;
+
+/// Bytes read from one connection per loop iteration, so a firehosing
+/// peer cannot starve the rest of the fleet.
+const READ_CHUNK_CAP: usize = 256 << 10;
+
+/// How long a finishing reactor keeps trying to flush buffered
+/// responses before giving up on slow peers.
+const FINISH_GRACE: Duration = Duration::from_secs(3);
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(s: &T) -> i32 {
+    s.as_raw_fd()
+}
+
+/// Non-unix hosts run the degenerate poll in [`crate::sys`], which
+/// reports every entry ready regardless of fd — the value is unused.
+#[cfg(not(unix))]
+fn raw_fd<T>(_s: &T) -> i32 {
+    0
+}
+
+/// Something worth delivering to the server's dispatch callback.
+pub enum ConnEvent {
+    /// One complete frame payload arrived.
+    Frame {
+        /// The connection it arrived on.
+        conn: ConnRef,
+        /// The frame payload (length prefix stripped).
+        payload: Vec<u8>,
+    },
+    /// The peer announced a frame larger than the cap. The connection
+    /// is poisoned (no further frames will be parsed); the callback
+    /// should answer with an error and close.
+    Oversized {
+        /// The offending connection.
+        conn: ConnRef,
+        /// The announced payload length.
+        len: usize,
+        /// The cap in force.
+        max: usize,
+    },
+}
+
+enum Out {
+    Data(Vec<u8>),
+    CloseAfterFlush,
+}
+
+struct ReactorShared {
+    outbox: Mutex<Vec<(u64, Out)>>,
+    waker_tx: Mutex<TcpStream>,
+    stop_accepting: AtomicBool,
+    finished: AtomicBool,
+    open: AtomicU64,
+    accepted: AtomicU64,
+}
+
+impl ReactorShared {
+    fn wake(&self) {
+        // A single byte; WouldBlock means a wake is already pending,
+        // which is just as good.
+        if let Ok(mut tx) = self.waker_tx.lock() {
+            let _ = tx.write(&[1]);
+        }
+    }
+}
+
+/// A handle to one connection, held by waiters while their evaluation
+/// is queued or computing. Cloneable and cheap; sending from any thread
+/// is safe (the bytes travel via the outbox, the reactor does the I/O).
+#[derive(Clone)]
+pub struct ConnRef {
+    shared: Arc<ReactorShared>,
+    id: u64,
+}
+
+impl ConnRef {
+    /// Queues one response for delivery. A response to a connection
+    /// that has since closed is silently dropped — the computation's
+    /// result is already in the caches for whoever asks next.
+    pub fn send(&self, resp: &Response) {
+        self.push(Out::Data(resp.encode()));
+    }
+
+    /// Queues one response, then closes the connection once it has been
+    /// flushed (the oversized-frame path: the stream position past the
+    /// prefix is unrecoverable).
+    pub fn send_then_close(&self, resp: &Response) {
+        let mut outbox = self.shared.outbox.lock().expect("reactor outbox lock");
+        outbox.push((self.id, Out::Data(resp.encode())));
+        outbox.push((self.id, Out::CloseAfterFlush));
+        drop(outbox);
+        self.shared.wake();
+    }
+
+    fn push(&self, out: Out) {
+        self.shared
+            .outbox
+            .lock()
+            .expect("reactor outbox lock")
+            .push((self.id, out));
+        self.shared.wake();
+    }
+}
+
+/// Control handle shared with the server: stop accepting, finish, and
+/// read the connection gauges.
+#[derive(Clone)]
+pub struct ReactorHandle {
+    shared: Arc<ReactorShared>,
+}
+
+impl ReactorHandle {
+    /// Stops accepting new connections (existing ones keep serving).
+    pub fn stop_accepting(&self) {
+        self.shared.stop_accepting.store(true, Ordering::SeqCst);
+        self.shared.wake();
+    }
+
+    /// Asks the reactor to flush buffered responses and exit. Call only
+    /// after the workers have drained — frames arriving after this are
+    /// not parsed.
+    pub fn finish(&self) {
+        self.shared.finished.store(true, Ordering::SeqCst);
+        self.shared.wake();
+    }
+
+    /// Point-in-time connection counters.
+    pub fn gauges(&self) -> ConnGauges {
+        ConnGauges {
+            open_connections: self.shared.open.load(Ordering::Relaxed),
+            conns_accepted: self.shared.accepted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Frame parsing stopped (oversized announcement or read EOF/error).
+    poisoned: bool,
+    close_after_flush: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn wants_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// Writes as much buffered output as the socket accepts.
+    fn flush(&mut self) {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.write_buf.clear();
+        self.write_pos = 0;
+        if self.close_after_flush {
+            self.dead = true;
+        }
+    }
+}
+
+/// The event loop. Owns the listener and every connection socket.
+pub struct Reactor {
+    listener: TcpListener,
+    waker_rx: TcpStream,
+    shared: Arc<ReactorShared>,
+    conns: HashMap<u64, Conn>,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl Reactor {
+    /// Wraps a bound listener. `max_frame` caps accepted frame payloads
+    /// exactly as the blocking `read_frame` did.
+    ///
+    /// # Errors
+    ///
+    /// Setting up the loopback waker pair can fail under fd exhaustion.
+    pub fn new(listener: TcpListener, max_frame: usize) -> std::io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        // std has no pipe; a loopback socket pair is the portable waker.
+        let pair_listener = TcpListener::bind("127.0.0.1:0")?;
+        let waker_tx = TcpStream::connect(pair_listener.local_addr()?)?;
+        let (waker_rx, _) = pair_listener.accept()?;
+        waker_tx.set_nonblocking(true)?;
+        waker_rx.set_nonblocking(true)?;
+        let _ = waker_tx.set_nodelay(true);
+        Ok(Reactor {
+            listener,
+            waker_rx,
+            shared: Arc::new(ReactorShared {
+                outbox: Mutex::new(Vec::new()),
+                waker_tx: Mutex::new(waker_tx),
+                stop_accepting: AtomicBool::new(false),
+                finished: AtomicBool::new(false),
+                open: AtomicU64::new(0),
+                accepted: AtomicU64::new(0),
+            }),
+            conns: HashMap::new(),
+            next_id: 1,
+            max_frame,
+        })
+    }
+
+    /// The control handle (cloneable, shared with the server).
+    pub fn handle(&self) -> ReactorHandle {
+        ReactorHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the loop until [`ReactorHandle::finish`] and the final
+    /// flush. `on_event` is invoked on the reactor thread for every
+    /// complete frame; it must not block.
+    pub fn run(mut self, mut on_event: impl FnMut(ConnEvent)) {
+        let mut finish_deadline: Option<Instant> = None;
+        loop {
+            let finishing = self.shared.finished.load(Ordering::SeqCst);
+            if finishing && finish_deadline.is_none() {
+                finish_deadline = Some(Instant::now() + FINISH_GRACE);
+            }
+
+            let accepting = !finishing && !self.shared.stop_accepting.load(Ordering::SeqCst);
+            let mut fds = Vec::with_capacity(2 + self.conns.len());
+            fds.push(PollFd::new(raw_fd(&self.waker_rx), POLLIN));
+            let listener_slot = if accepting {
+                fds.push(PollFd::new(raw_fd(&self.listener), POLLIN));
+                Some(fds.len() - 1)
+            } else {
+                None
+            };
+            let mut order: Vec<u64> = Vec::with_capacity(self.conns.len());
+            for (&id, conn) in &self.conns {
+                let mut events = 0;
+                if !conn.poisoned && !finishing {
+                    events |= POLLIN;
+                }
+                if conn.wants_write() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd::new(raw_fd(&conn.stream), events));
+                order.push(id);
+            }
+
+            let timeout_ms = if finishing { 50 } else { 500 };
+            if poll_fds(&mut fds, timeout_ms).is_err() {
+                // Transient poll failure: back off a beat and retry
+                // rather than dropping the fleet.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+
+            if fds[0].ready(POLLIN) {
+                let mut sink = [0u8; 64];
+                while matches!(self.waker_rx.read(&mut sink), Ok(n) if n > 0) {}
+            }
+
+            if let Some(slot) = listener_slot {
+                if fds[slot].ready(POLLIN) {
+                    self.accept_ready();
+                }
+            }
+
+            let conn_fds_base = if listener_slot.is_some() { 2 } else { 1 };
+            for (i, &id) in order.iter().enumerate() {
+                let fd = fds[conn_fds_base + i];
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    continue;
+                };
+                if fd.ready(POLLIN) && !conn.poisoned && !finishing {
+                    Self::read_ready(conn, id, &self.shared, self.max_frame, &mut on_event);
+                }
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    if fd.ready(POLLOUT) && conn.wants_write() {
+                        conn.flush();
+                    }
+                }
+            }
+
+            self.drain_outbox();
+
+            // Try to push freshly queued bytes immediately instead of
+            // waiting one poll round for POLLOUT.
+            for conn in self.conns.values_mut() {
+                if !conn.dead && conn.wants_write() {
+                    conn.flush();
+                }
+            }
+
+            self.reap_dead();
+
+            if finishing {
+                let outbox_empty = self
+                    .shared
+                    .outbox
+                    .lock()
+                    .expect("reactor outbox lock")
+                    .is_empty();
+                let all_flushed = self.conns.values().all(|c| !c.wants_write());
+                let expired = finish_deadline.is_some_and(|d| Instant::now() >= d);
+                if (outbox_empty && all_flushed) || expired {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            read_buf: Vec::new(),
+                            write_buf: Vec::new(),
+                            write_pos: 0,
+                            poisoned: false,
+                            close_after_flush: false,
+                            dead: false,
+                        },
+                    );
+                    self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .open
+                        .store(self.conns.len() as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn read_ready(
+        conn: &mut Conn,
+        id: u64,
+        shared: &Arc<ReactorShared>,
+        max_frame: usize,
+        on_event: &mut impl FnMut(ConnEvent),
+    ) {
+        let mut chunk = [0u8; 16 << 10];
+        let mut read_total = 0;
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed its write side; whatever is buffered
+                    // still flushes, then the connection goes away.
+                    conn.poisoned = true;
+                    conn.close_after_flush = true;
+                    if !conn.wants_write() {
+                        conn.dead = true;
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    read_total += n;
+                    if read_total >= READ_CHUNK_CAP {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+
+        // Parse every complete frame out of the buffer.
+        let mut pos = 0;
+        while !conn.poisoned {
+            let remaining = conn.read_buf.len() - pos;
+            if remaining < 4 {
+                break;
+            }
+            let len = u32::from_be_bytes(
+                conn.read_buf[pos..pos + 4]
+                    .try_into()
+                    .expect("4-byte slice"),
+            ) as usize;
+            if len > max_frame {
+                conn.poisoned = true;
+                on_event(ConnEvent::Oversized {
+                    conn: ConnRef {
+                        shared: Arc::clone(shared),
+                        id,
+                    },
+                    len,
+                    max: max_frame,
+                });
+                break;
+            }
+            if remaining < 4 + len {
+                break;
+            }
+            let payload = conn.read_buf[pos + 4..pos + 4 + len].to_vec();
+            pos += 4 + len;
+            on_event(ConnEvent::Frame {
+                conn: ConnRef {
+                    shared: Arc::clone(shared),
+                    id,
+                },
+                payload,
+            });
+        }
+        if pos > 0 {
+            conn.read_buf.drain(..pos);
+        }
+    }
+
+    fn drain_outbox(&mut self) {
+        let pending = {
+            let mut outbox = self.shared.outbox.lock().expect("reactor outbox lock");
+            std::mem::take(&mut *outbox)
+        };
+        for (id, out) in pending {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue; // Connection closed before the answer arrived.
+            };
+            if conn.dead {
+                continue;
+            }
+            match out {
+                Out::Data(payload) => {
+                    // `Vec<u8>: Write` appends, so this cannot fail;
+                    // Oversized (a response above the frame cap) is
+                    // dropped exactly as the blocking server dropped
+                    // failed sends.
+                    let _ = write_frame(&mut conn.write_buf, &payload, self.max_frame);
+                    if conn.write_buf.len() - conn.write_pos > WRITE_BUF_CAP {
+                        // The peer stopped reading; cut it loose.
+                        conn.dead = true;
+                    }
+                }
+                Out::CloseAfterFlush => {
+                    conn.close_after_flush = true;
+                    if !conn.wants_write() {
+                        conn.dead = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn reap_dead(&mut self) {
+        if self.conns.values().any(|c| c.dead) {
+            self.conns.retain(|_, c| !c.dead);
+            self.shared
+                .open
+                .store(self.conns.len() as u64, Ordering::Relaxed);
+        }
+    }
+}

@@ -1,37 +1,45 @@
-//! The serving core: bounded worker pool, bounded request queue with
-//! typed shedding, coalescing of identical in-flight evaluations, a
-//! rendered-output cache over persistent [`Engine`]s, per-request
-//! deadlines, and graceful drain.
+//! The serving core: evented connection handling over a bounded worker
+//! pool, a two-tier persistent result cache, coalescing of identical
+//! in-flight evaluations, per-request deadlines, and graceful drain.
 //!
 //! ## Threading model
 //!
-//! * One **acceptor** (the server's main thread) blocks in `accept` and
-//!   spawns a handler thread per connection.
-//! * **Connection handlers** decode frames and answer cheap requests
-//!   inline (result-cache hits, `stats`, plain `ping`); everything that
-//!   computes goes through the bounded queue. When the queue is full the
-//!   request is rejected *immediately* with a typed `overloaded` error —
-//!   the queue never grows beyond its capacity, so memory is bounded and
-//!   latency under overload stays flat instead of collapsing.
+//! * One **reactor** thread ([`crate::reactor`]) owns the listener and
+//!   every client socket, multiplexed with `poll(2)`. It parses frames
+//!   incrementally from per-connection buffers and runs [`dispatch`]
+//!   for each complete request — 10k idle connections cost 10k fds and
+//!   their buffers, not 10k thread stacks.
+//! * **Dispatch** (on the reactor thread) answers cheap requests inline
+//!   (result-cache hits, `stats`, plain `ping`); everything that
+//!   computes goes through the bounded queue. When the queue is full
+//!   the request is rejected *immediately* with a typed `overloaded`
+//!   error — the queue never grows beyond its capacity, so memory is
+//!   bounded and latency under overload stays flat instead of
+//!   collapsing.
 //! * A fixed pool of **workers** pops jobs and computes. Identical eval
-//!   requests coalesce: the first becomes the job, later arrivals attach
-//!   as waiters and share the one computation (and, transitively, the
-//!   engine's memoized artifacts).
+//!   requests coalesce: the first becomes the job, later arrivals
+//!   attach as waiters and share the one computation (and,
+//!   transitively, the engine's memoized artifacts). Workers deliver
+//!   responses through the reactor's outbox; they never touch sockets.
+//!
+//! ## Result persistence
+//!
+//! Rendered outputs live in a [`ResultCache`]: an in-memory LRU over a
+//! byte budget, written through to one fingerprinted file per entry
+//! when `cache_dir` is set. On boot the cache warm-starts from disk, so
+//! a restarted daemon answers its prior working set at warm latency
+//! without recomputing anything.
 //!
 //! ## Shutdown
 //!
 //! A `shutdown` request (or [`ServerHandle::begin_drain`]) is
 //! acknowledged immediately; the server then stops accepting work —
 //! later evals get `shutting_down` errors — finishes everything queued
-//! and in flight, joins its workers, and returns from
-//! [`ServerHandle::join`]. Nothing queued is dropped.
-//!
-//! The build is pure `std::net` (the workspace vendors no async
-//! runtime), so blocking threads stand in for tasks; the request/batch/
-//! backpressure shape is the same as an inference-serving stack's.
+//! and in flight, joins its workers, flushes buffered responses, and
+//! returns from [`ServerHandle::join`]. Nothing queued is dropped.
 
 use std::collections::{HashMap, VecDeque};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::{Component, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -44,10 +52,11 @@ use bp_predictors::{
 use bp_trace::io as trace_io;
 use bp_workloads::WorkloadConfig;
 
+use crate::disk_cache::{CacheConfig, EvalKey, ResultCache};
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, FrameError, PredictorSpec, ProtocolError, Request,
-    Response, DEFAULT_MAX_FRAME,
+    ErrorCode, PredictorSpec, ProtocolError, Request, Response, DEFAULT_MAX_FRAME,
 };
+use crate::reactor::{ConnEvent, ConnRef, Reactor, ReactorHandle};
 use crate::stats::ServerStats;
 
 /// Upper bound on `target` a client may request per benchmark; keeps a
@@ -72,6 +81,11 @@ pub struct ServerConfig {
     /// Root directory for client-supplied `.bpt` paths; `None` disables
     /// the `trace_eval` endpoint.
     pub trace_dir: Option<PathBuf>,
+    /// Directory for persisted result-cache entries; `None` keeps the
+    /// cache memory-only (it dies with the process).
+    pub cache_dir: Option<PathBuf>,
+    /// Byte budget for rendered outputs held in memory.
+    pub cache_budget: usize,
     /// Suppress the startup/shutdown notices on stderr.
     pub quiet: bool,
 }
@@ -85,20 +99,17 @@ impl Default for ServerConfig {
             engine_jobs: 1,
             max_frame: DEFAULT_MAX_FRAME,
             trace_dir: None,
+            cache_dir: None,
+            cache_budget: 64 << 20,
             quiet: false,
         }
     }
 }
 
-/// Identity of one evaluation: experiment id + workload. Everything the
-/// output depends on, and nothing else — the coalescing map, the result
-/// cache, and the engine pool all key off (parts of) this.
-type EvalKey = (String, u64, u64);
-
 /// A response destination: one request on one connection.
 struct Waiter {
     id: u64,
-    conn: Arc<Conn>,
+    conn: ConnRef,
     arrived: Instant,
     deadline: Option<Instant>,
 }
@@ -106,24 +117,6 @@ struct Waiter {
 impl Waiter {
     fn expired(&self, now: Instant) -> bool {
         self.deadline.is_some_and(|d| now > d)
-    }
-}
-
-/// The write half of a connection (frames from handler and worker
-/// threads interleave whole, never byte-wise — the stream is locked per
-/// frame).
-struct Conn {
-    writer: Mutex<TcpStream>,
-    max_frame: usize,
-}
-
-impl Conn {
-    /// Sends one response; a failed send (client gone) is ignored — the
-    /// computation result is already in the caches for whoever asks next.
-    fn send(&self, resp: &Response) {
-        let payload = resp.encode();
-        let mut stream = self.writer.lock().expect("conn writer lock");
-        let _ = write_frame(&mut *stream, &payload, self.max_frame);
     }
 }
 
@@ -209,13 +202,15 @@ struct Shared {
     stats: ServerStats,
     queue: JobQueue,
     draining: AtomicBool,
+    reactor: ReactorHandle,
     /// One persistent engine per distinct workload, kept hot across
     /// requests — the first query for a workload builds traces and
     /// artifacts, every later one rides the engine's `EvalCache`.
     engines: Mutex<HashMap<(u64, u64), Arc<Engine>>>,
-    /// Rendered experiment outputs; a repeat of an identical query is a
-    /// pure map lookup answered inline on the connection thread.
-    results: Mutex<HashMap<EvalKey, Arc<String>>>,
+    /// Rendered experiment outputs, two-tiered: in-memory LRU plus the
+    /// persistent entries under `cache_dir`. A repeat of an identical
+    /// query is answered inline on the reactor thread.
+    cache: ResultCache,
     /// Waiters of evaluations currently queued or computing, by key.
     inflight: Mutex<HashMap<EvalKey, Vec<Waiter>>>,
 }
@@ -242,6 +237,16 @@ impl Shared {
         (engines.len() as u64, hits, misses)
     }
 
+    /// Prints (or discards, when quiet) the cache's accumulated
+    /// one-line notices about corrupt entries and failed writes.
+    fn flush_cache_notices(&self) {
+        for line in self.cache.take_notices() {
+            if !self.cfg.quiet {
+                eprintln!("bp-serve: {line}");
+            }
+        }
+    }
+
     fn begin_drain(&self) {
         if self.draining.swap(true, Ordering::SeqCst) {
             return;
@@ -250,9 +255,7 @@ impl Shared {
             eprintln!("bp-serve: draining — no new work accepted");
         }
         self.queue.close();
-        // Wake the acceptor out of its blocking accept with a throwaway
-        // connection to ourselves.
-        let _ = TcpStream::connect(self.local_addr);
+        self.reactor.stop_accepting();
     }
 
     fn draining(&self) -> bool {
@@ -285,57 +288,83 @@ impl ServerHandle {
     }
 }
 
-/// Binds the listener and spawns the server (acceptor + workers).
+/// Binds the listener and spawns the server (reactor + workers).
 ///
 /// # Errors
 ///
-/// Returns the bind error if the address is unavailable.
+/// Returns the bind error if the address is unavailable, or the reactor
+/// setup error under fd exhaustion.
 pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let local_addr = listener.local_addr()?;
+    let reactor = Reactor::new(listener, cfg.max_frame)?;
+    let cache = ResultCache::open(CacheConfig {
+        dir: cfg.cache_dir.clone(),
+        memory_budget: cfg.cache_budget,
+    });
     let shared = Arc::new(Shared {
         queue: JobQueue::new(cfg.queue_capacity),
-        cfg,
         local_addr,
         stats: ServerStats::default(),
         draining: AtomicBool::new(false),
+        reactor: reactor.handle(),
         engines: Mutex::new(HashMap::new()),
-        results: Mutex::new(HashMap::new()),
+        cache,
         inflight: Mutex::new(HashMap::new()),
+        cfg,
     });
+    shared.flush_cache_notices();
     if !shared.cfg.quiet {
+        let warm = shared.cache.gauges().warm_start_entries;
+        if warm > 0 {
+            eprintln!("bp-serve: warm-started {warm} cache entries");
+        }
         eprintln!("bp-serve: listening on {local_addr}");
     }
     let main = {
         let shared = Arc::clone(&shared);
-        std::thread::spawn(move || run(shared, listener))
+        std::thread::spawn(move || run(&shared, reactor))
     };
     Ok(ServerHandle { shared, main })
 }
 
-fn run(shared: Arc<Shared>, listener: TcpListener) {
+fn run(shared: &Arc<Shared>, reactor: Reactor) {
     let workers: Vec<_> = (0..shared.cfg.workers.max(1))
         .map(|_| {
-            let shared = Arc::clone(&shared);
+            let shared = Arc::clone(shared);
             std::thread::spawn(move || worker_loop(&shared))
         })
         .collect();
-    for stream in listener.incoming() {
-        if shared.draining() {
-            break;
-        }
-        match stream {
-            Ok(stream) => {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || handle_connection(&shared, stream));
+    // The supervisor waits the workers out (they exit once the queue is
+    // closed and empty), then tells the reactor to flush and stop. The
+    // reactor keeps delivering worker responses the whole time.
+    let supervisor = {
+        let reactor = shared.reactor.clone();
+        std::thread::spawn(move || {
+            for w in workers {
+                w.join().expect("worker thread");
             }
-            Err(_) => continue,
+            reactor.finish();
+        })
+    };
+    let dispatch_shared = Arc::clone(shared);
+    reactor.run(move |event| match event {
+        ConnEvent::Frame { conn, payload } => on_frame(&dispatch_shared, &conn, &payload),
+        ConnEvent::Oversized { conn, len, max } => {
+            dispatch_shared
+                .stats
+                .bad_frames
+                .fetch_add(1, Ordering::Relaxed);
+            // The stream position past the prefix is unrecoverable, so
+            // reject and drop the connection once the error is flushed.
+            conn.send_then_close(&Response::Error {
+                id: 0,
+                code: ErrorCode::BadRequest,
+                message: format!("frame of {len} bytes exceeds the {max}-byte cap"),
+            });
         }
-    }
-    // Queue is closed (begin_drain); workers exit once it is empty.
-    for w in workers {
-        w.join().expect("worker thread");
-    }
+    });
+    supervisor.join().expect("drain supervisor thread");
     if !shared.cfg.quiet {
         eprintln!("bp-serve: drained, exiting");
     }
@@ -351,49 +380,24 @@ fn salvage_id(payload: &[u8]) -> u64 {
         .unwrap_or(0)
 }
 
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let Ok(mut reader) = stream.try_clone() else {
-        return;
-    };
-    let conn = Arc::new(Conn {
-        writer: Mutex::new(stream),
-        max_frame: shared.cfg.max_frame,
-    });
-    loop {
-        match read_frame(&mut reader, shared.cfg.max_frame) {
-            Ok(None) => return,
-            Ok(Some(payload)) => match Request::decode(&payload) {
-                Ok(req) => dispatch(shared, &conn, req),
-                Err(ProtocolError::UnknownType(ty)) => {
-                    shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
-                    conn.send(&Response::Error {
-                        id: salvage_id(&payload),
-                        code: ErrorCode::UnknownRequest,
-                        message: format!("unknown request type {ty:?}"),
-                    });
-                }
-                Err(e) => {
-                    shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
-                    conn.send(&Response::Error {
-                        id: salvage_id(&payload),
-                        code: ErrorCode::BadRequest,
-                        message: e.to_string(),
-                    });
-                }
-            },
-            Err(FrameError::Oversized { len, max }) => {
-                // The payload was never read; the stream position is
-                // unrecoverable, so reject and drop the connection.
-                shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
-                conn.send(&Response::Error {
-                    id: 0,
-                    code: ErrorCode::BadRequest,
-                    message: format!("frame of {len} bytes exceeds the {max}-byte cap"),
-                });
-                return;
-            }
-            Err(_) => return,
+fn on_frame(shared: &Arc<Shared>, conn: &ConnRef, payload: &[u8]) {
+    match Request::decode(payload) {
+        Ok(req) => dispatch(shared, conn, req),
+        Err(ProtocolError::UnknownType(ty)) => {
+            shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+            conn.send(&Response::Error {
+                id: salvage_id(payload),
+                code: ErrorCode::UnknownRequest,
+                message: format!("unknown request type {ty:?}"),
+            });
+        }
+        Err(e) => {
+            shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+            conn.send(&Response::Error {
+                id: salvage_id(payload),
+                code: ErrorCode::BadRequest,
+                message: e.to_string(),
+            });
         }
     }
 }
@@ -402,7 +406,7 @@ fn deadline_of(arrived: Instant, deadline_ms: Option<u64>) -> Option<Instant> {
     deadline_ms.map(|ms| arrived + Duration::from_millis(ms))
 }
 
-fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
+fn dispatch(shared: &Arc<Shared>, conn: &ConnRef, req: Request) {
     let arrived = Instant::now();
     match req {
         Request::Stats { id } => {
@@ -412,7 +416,13 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
             // the snapshot it returns is self-consistent.
             s.stats.ok.fetch_add(1, Ordering::Relaxed);
             let (engines, hits, misses) = shared.engine_totals();
-            let snapshot = Box::new(s.snapshot(engines, hits, misses));
+            let snapshot = Box::new(s.snapshot(
+                engines,
+                hits,
+                misses,
+                shared.cache.gauges(),
+                shared.reactor.gauges(),
+            ));
             conn.send(&Response::Stats { id, snapshot });
         }
         Request::Ping {
@@ -432,7 +442,7 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
             shared.stats.ping.requests.fetch_add(1, Ordering::Relaxed);
             let waiter = Waiter {
                 id,
-                conn: Arc::clone(conn),
+                conn: conn.clone(),
                 arrived,
                 deadline: deadline_of(arrived, deadline_ms),
             };
@@ -471,7 +481,7 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
             shared.stats.eval.requests.fetch_add(1, Ordering::Relaxed);
             let waiter = Waiter {
                 id,
-                conn: Arc::clone(conn),
+                conn: conn.clone(),
                 arrived,
                 deadline: deadline_of(arrived, deadline_ms),
             };
@@ -534,7 +544,7 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
             s.trace_eval.requests.fetch_add(1, Ordering::Relaxed);
             let waiter = Waiter {
                 id,
-                conn: Arc::clone(conn),
+                conn: conn.clone(),
                 arrived,
                 deadline: deadline_of(arrived, deadline_ms),
             };
@@ -616,19 +626,13 @@ fn reject(
     });
 }
 
-/// Answers `waiter` from the rendered-output cache if possible.
+/// Answers `waiter` from the rendered-output cache (either tier) if
+/// possible.
 fn respond_from_cache(shared: &Shared, key: &EvalKey, waiter: &Waiter) -> bool {
-    let cached = {
-        let results = shared.results.lock().expect("results lock");
-        results.get(key).cloned()
-    };
-    let Some(output) = cached else {
+    let Some((output, _tier)) = shared.cache.get(key) else {
+        shared.flush_cache_notices();
         return false;
     };
-    shared
-        .stats
-        .result_cache_hits
-        .fetch_add(1, Ordering::Relaxed);
     respond_result(shared, waiter, &output, true);
     true
 }
@@ -638,6 +642,14 @@ fn respond_from_cache(shared: &Shared, key: &EvalKey, waiter: &Waiter) -> bool {
 fn respond_result(shared: &Shared, waiter: &Waiter, output: &str, cached: bool) {
     let now = Instant::now();
     let elapsed = now.duration_since(waiter.arrived);
+    // Record before sending: the moment the response leaves, the client
+    // may issue a stats request that the reactor answers concurrently
+    // with this (worker) thread, and a snapshot must never show fewer
+    // latency samples than completed requests.
+    shared
+        .stats
+        .eval_latency
+        .record_us(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
     if waiter.expired(now) {
         shared.stats.deadline_missed.fetch_add(1, Ordering::Relaxed);
         shared.stats.eval.errors.fetch_add(1, Ordering::Relaxed);
@@ -655,10 +667,6 @@ fn respond_result(shared: &Shared, waiter: &Waiter, output: &str, cached: bool) 
             output: output.to_owned(),
         });
     }
-    shared
-        .stats
-        .eval_latency
-        .record_us(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -690,22 +698,20 @@ fn run_eval(shared: &Arc<Shared>, key: EvalKey) {
     // A racing request may have completed this key between job admission
     // and now; serve everyone from the cache if so.
     {
-        let cached = {
-            let results = shared.results.lock().expect("results lock");
-            results.get(&key).cloned()
-        };
-        if let Some(output) = cached {
-            let waiters = shared
-                .inflight
-                .lock()
-                .expect("inflight lock")
-                .remove(&key)
-                .unwrap_or_default();
+        let mut cached = None;
+        {
+            let mut inflight = shared.inflight.lock().expect("inflight lock");
+            if inflight.contains_key(&key) {
+                if let Some((output, _tier)) = shared.cache.get(&key) {
+                    let waiters = inflight.remove(&key).unwrap_or_default();
+                    cached = Some((output, waiters));
+                }
+            } else {
+                return;
+            }
+        }
+        if let Some((output, waiters)) = cached {
             for waiter in &waiters {
-                shared
-                    .stats
-                    .result_cache_hits
-                    .fetch_add(1, Ordering::Relaxed);
                 respond_result(shared, waiter, &output, true);
             }
             return;
@@ -767,11 +773,8 @@ fn run_eval(shared: &Arc<Shared>, key: EvalKey) {
     match outcome {
         Ok(output) => {
             let output = Arc::new(output);
-            shared
-                .results
-                .lock()
-                .expect("results lock")
-                .insert(key.clone(), Arc::clone(&output));
+            shared.cache.put(&key, &output);
+            shared.flush_cache_notices();
             let waiters = shared
                 .inflight
                 .lock()

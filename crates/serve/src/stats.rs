@@ -16,8 +16,9 @@ const BUCKETS: usize = 16 + (64 - 4) * SUBBUCKETS;
 ///
 /// Values below 16µs are counted exactly; above that, buckets subdivide
 /// each power-of-two octave into [`SUBBUCKETS`] slices, so any reported
-/// quantile is within ~19% of the true value — plenty for the p50/p99
-/// the `stats` endpoint reports.
+/// quantile is within ~19% of the true value — plenty for the
+/// p50/p99/p999 the `stats` endpoint reports (and the recorded maximum
+/// is exact).
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: Vec<AtomicU64>,
@@ -137,8 +138,6 @@ pub struct ServerStats {
     pub deadline_missed: AtomicU64,
     /// Eval requests coalesced onto an identical in-flight computation.
     pub coalesced: AtomicU64,
-    /// Eval requests answered from the rendered-output cache.
-    pub result_cache_hits: AtomicU64,
     /// Frames that failed to decode (bad JSON, unknown type, oversized).
     pub bad_frames: AtomicU64,
     /// End-to-end latency of `eval` requests (arrival → response).
@@ -167,6 +166,9 @@ pub struct LatencySnapshot {
     pub p50_us: u64,
     /// 99th-percentile latency in µs.
     pub p99_us: u64,
+    /// 99.9th-percentile latency in µs — the tail that matters under
+    /// soak, where p99 still hides one request in a thousand.
+    pub p999_us: u64,
     /// Largest latency in µs.
     pub max_us: u64,
 }
@@ -177,9 +179,36 @@ impl LatencySnapshot {
             count: h.count(),
             p50_us: h.quantile_us(0.50),
             p99_us: h.quantile_us(0.99),
+            p999_us: h.quantile_us(0.999),
             max_us: h.max_us(),
         }
     }
+}
+
+/// Point-in-time numbers from the rendered-output cache (both tiers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheGauges {
+    /// Eval requests answered from the in-memory LRU tier.
+    pub memory_hits: u64,
+    /// Eval requests answered by reloading a persisted disk entry.
+    pub disk_hits: u64,
+    /// Entries currently held in the in-memory LRU.
+    pub entries: u64,
+    /// Bytes of rendered output held in the in-memory LRU.
+    pub bytes: u64,
+    /// Entries evicted from memory to stay under the byte budget.
+    pub evictions: u64,
+    /// Entries loaded from disk into memory at boot (warm start).
+    pub warm_start_entries: u64,
+}
+
+/// Point-in-time numbers from the connection reactor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnGauges {
+    /// Connections currently open.
+    pub open_connections: u64,
+    /// Connections accepted since boot.
+    pub conns_accepted: u64,
 }
 
 /// The `stats` response payload: every counter the server exposes.
@@ -201,8 +230,22 @@ pub struct StatsSnapshot {
     pub deadline_missed: u64,
     /// Eval requests coalesced onto an in-flight computation.
     pub coalesced: u64,
-    /// Eval requests served from the rendered-output cache.
+    /// Eval requests served from the in-memory rendered-output cache.
     pub result_cache_hits: u64,
+    /// Eval requests served by reloading a persisted disk cache entry.
+    pub disk_cache_hits: u64,
+    /// In-memory cache entries held right now.
+    pub cache_entries: u64,
+    /// Bytes of rendered output held in memory right now.
+    pub cache_bytes: u64,
+    /// In-memory entries evicted to stay under the byte budget.
+    pub cache_evictions: u64,
+    /// Disk entries loaded into memory at boot (warm start).
+    pub warm_start_entries: u64,
+    /// Connections currently open on the reactor.
+    pub open_connections: u64,
+    /// Connections accepted since boot.
+    pub conns_accepted: u64,
     /// Undecodable frames received.
     pub bad_frames: u64,
     /// Persistent engines currently alive (one per distinct workload).
@@ -218,13 +261,15 @@ pub struct StatsSnapshot {
 }
 
 impl ServerStats {
-    /// Snapshots every counter (engine numbers are supplied by the
-    /// server, which owns the engine pool).
+    /// Snapshots every counter (engine, cache, and connection numbers
+    /// are supplied by the server, which owns those subsystems).
     pub fn snapshot(
         &self,
         engines: u64,
         engine_cache_hits: u64,
         engine_cache_misses: u64,
+        cache: CacheGauges,
+        conns: ConnGauges,
     ) -> StatsSnapshot {
         StatsSnapshot {
             eval: self.eval.snapshot(),
@@ -235,7 +280,14 @@ impl ServerStats {
             overloaded: self.overloaded.load(Ordering::Relaxed),
             deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
-            result_cache_hits: self.result_cache_hits.load(Ordering::Relaxed),
+            result_cache_hits: cache.memory_hits,
+            disk_cache_hits: cache.disk_hits,
+            cache_entries: cache.entries,
+            cache_bytes: cache.bytes,
+            cache_evictions: cache.evictions,
+            warm_start_entries: cache.warm_start_entries,
+            open_connections: conns.open_connections,
+            conns_accepted: conns.conns_accepted,
             bad_frames: self.bad_frames.load(Ordering::Relaxed),
             engines,
             engine_cache_hits,
@@ -273,6 +325,7 @@ fn latency_json(l: &LatencySnapshot) -> Json {
         ("count".to_owned(), Json::Int(l.count)),
         ("p50_us".to_owned(), Json::Int(l.p50_us)),
         ("p99_us".to_owned(), Json::Int(l.p99_us)),
+        ("p999_us".to_owned(), Json::Int(l.p999_us)),
         ("max_us".to_owned(), Json::Int(l.max_us)),
     ])
 }
@@ -288,6 +341,7 @@ fn latency_from_json(v: &Json, name: &'static str) -> Result<LatencySnapshot, Pr
         count: field("count")?,
         p50_us: field("p50_us")?,
         p99_us: field("p99_us")?,
+        p999_us: field("p999_us")?,
         max_us: field("max_us")?,
     })
 }
@@ -312,6 +366,25 @@ impl StatsSnapshot {
                 "result_cache_hits".to_owned(),
                 Json::Int(self.result_cache_hits),
             ),
+            (
+                "disk_cache_hits".to_owned(),
+                Json::Int(self.disk_cache_hits),
+            ),
+            ("cache_entries".to_owned(), Json::Int(self.cache_entries)),
+            ("cache_bytes".to_owned(), Json::Int(self.cache_bytes)),
+            (
+                "cache_evictions".to_owned(),
+                Json::Int(self.cache_evictions),
+            ),
+            (
+                "warm_start_entries".to_owned(),
+                Json::Int(self.warm_start_entries),
+            ),
+            (
+                "open_connections".to_owned(),
+                Json::Int(self.open_connections),
+            ),
+            ("conns_accepted".to_owned(), Json::Int(self.conns_accepted)),
             ("bad_frames".to_owned(), Json::Int(self.bad_frames)),
             ("engines".to_owned(), Json::Int(self.engines)),
             (
@@ -352,6 +425,13 @@ impl StatsSnapshot {
             deadline_missed: field("deadline_missed")?,
             coalesced: field("coalesced")?,
             result_cache_hits: field("result_cache_hits")?,
+            disk_cache_hits: field("disk_cache_hits")?,
+            cache_entries: field("cache_entries")?,
+            cache_bytes: field("cache_bytes")?,
+            cache_evictions: field("cache_evictions")?,
+            warm_start_entries: field("warm_start_entries")?,
+            open_connections: field("open_connections")?,
+            conns_accepted: field("conns_accepted")?,
             bad_frames: field("bad_frames")?,
             engines: field("engines")?,
             engine_cache_hits: field("engine_cache_hits")?,
@@ -456,6 +536,43 @@ mod tests {
         assert_eq!(h.quantile_us(0.50), 10);
         assert_eq!(h.quantile_us(0.51), 20);
         assert_eq!(h.quantile_us(1.0), 20);
+    }
+
+    #[test]
+    fn p999_at_an_exact_bucket_edge() {
+        // 999 small samples and 1 large: the p999 rank (999) is the last
+        // small sample, so p999 stays small while max already sees the
+        // outlier. One more large sample moves rank 1000 (of 1001) onto
+        // the outlier bucket.
+        let h = LatencyHistogram::new();
+        for _ in 0..999 {
+            h.record_us(1);
+        }
+        h.record_us(1 << 20);
+        assert_eq!(h.quantile_us(0.999), 1);
+        assert_eq!(h.quantile_us(0.99), 1);
+        assert_eq!(h.max_us(), 1 << 20);
+        h.record_us(1 << 20);
+        assert_eq!(h.quantile_us(0.999), 1 << 20);
+        let snap = LatencySnapshot::of(&h);
+        assert_eq!(snap.p999_us, 1 << 20);
+        assert_eq!(snap.max_us, 1 << 20);
+        assert_eq!(snap.p99_us, 1);
+    }
+
+    #[test]
+    fn p999_sits_between_p99_and_max() {
+        let h = LatencyHistogram::new();
+        for us in 1..=10_000u64 {
+            h.record_us(us);
+        }
+        let snap = LatencySnapshot::of(&h);
+        assert!(snap.p50_us <= snap.p99_us);
+        assert!(snap.p99_us <= snap.p999_us, "{snap:?}");
+        assert!(snap.p999_us <= snap.max_us, "{snap:?}");
+        // p999 lands within one sub-bucket (~25%) of the true 9990.
+        assert!((7_500..=9_990).contains(&snap.p999_us), "{snap:?}");
+        assert_eq!(snap.max_us, 10_000);
     }
 
     #[test]

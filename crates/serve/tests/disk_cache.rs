@@ -1,0 +1,298 @@
+//! The persistent result cache's failure matrix, ported from the spirit
+//! of `crates/trace/tests/bpt2_corruption.rs`: every way a `.bpo` entry
+//! can be damaged must surface as a typed [`DiskCacheError`] and a
+//! regenerate — one-line notice, file removed, next request recomputes —
+//! never a panic and never an allocation sized by a lying header. Plus
+//! the LRU eviction order of the memory tier and warm-start byte
+//! identity across a restart.
+
+use std::sync::Arc;
+
+use bp_serve::disk_cache::{
+    decode_entry, encode_entry, CacheConfig, DiskCacheError, EvalKey, ResultCache, MAGIC, VERSION,
+};
+use bp_serve::CacheTier;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bp-bpo-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn key(exp: &str, seed: u64, target: u64) -> EvalKey {
+    (exp.to_owned(), seed, target)
+}
+
+fn open(dir: &std::path::Path, budget: usize) -> ResultCache {
+    ResultCache::open(CacheConfig {
+        dir: Some(dir.to_path_buf()),
+        memory_budget: budget,
+    })
+}
+
+/// The only `.bpo` file in `dir` (each test key maps to one file).
+fn entry_file(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut found: Vec<_> = std::fs::read_dir(dir)
+        .expect("read cache dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bpo"))
+        .collect();
+    assert_eq!(found.len(), 1, "expected exactly one entry in {dir:?}");
+    found.pop().expect("one entry")
+}
+
+#[test]
+fn truncation_at_every_byte_boundary_is_a_typed_error() {
+    let k = key("fig4", 7, 40_000);
+    let full = encode_entry(&k, "rendered output\nwith two lines\n");
+    for cut in 0..full.len() {
+        match decode_entry(&full[..cut]) {
+            Err(DiskCacheError::Truncated(_) | DiskCacheError::LyingLength { .. }) => {}
+            Err(other) => panic!("cut at {cut}: expected Truncated/LyingLength, got {other}"),
+            Ok(_) => panic!("cut at {cut}: a truncated entry must not decode"),
+        }
+    }
+    // And the untouched entry still decodes, so the loop above really
+    // exercised truncation rather than a broken fixture.
+    let (dk, dp) = decode_entry(&full).expect("intact entry decodes");
+    assert_eq!(dk, k);
+    assert_eq!(dp, "rendered output\nwith two lines\n");
+}
+
+#[test]
+fn every_flipped_magic_byte_is_bad_magic() {
+    let k = key("fig5", 1, 1000);
+    let full = encode_entry(&k, "x");
+    for i in 0..MAGIC.len() {
+        let mut bytes = full.clone();
+        bytes[i] ^= 0xFF;
+        assert!(
+            matches!(decode_entry(&bytes), Err(DiskCacheError::BadMagic)),
+            "flipping magic byte {i} must be BadMagic"
+        );
+    }
+}
+
+#[test]
+fn unknown_version_is_typed() {
+    let k = key("fig5", 1, 1000);
+    let mut bytes = encode_entry(&k, "x");
+    bytes[4..6].copy_from_slice(&(VERSION + 9).to_le_bytes());
+    match decode_entry(&bytes) {
+        Err(DiskCacheError::BadVersion(v)) => assert_eq!(v, VERSION + 9),
+        other => panic!("expected BadVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn flipped_payload_byte_is_a_content_fingerprint_mismatch() {
+    let k = key("table1", 2, 2000);
+    let payload = "the rendered table body";
+    let mut bytes = encode_entry(&k, payload);
+    // Flip one payload byte (payload sits 8 bytes before the trailer).
+    let payload_start = bytes.len() - 8 - payload.len();
+    bytes[payload_start] ^= 0x20;
+    assert!(
+        matches!(
+            decode_entry(&bytes),
+            Err(DiskCacheError::FingerprintMismatch("content"))
+        ),
+        "payload damage must be a content fingerprint mismatch"
+    );
+}
+
+#[test]
+fn flipped_key_byte_is_a_config_fingerprint_mismatch() {
+    let k = key("table1", 2, 2000);
+    let mut bytes = encode_entry(&k, "body");
+    // The seed field follows magic(4) version(2) reserved(2) exp_len(2)
+    // and the experiment id.
+    let seed_start = 10 + k.0.len();
+    bytes[seed_start] ^= 1;
+    assert!(
+        matches!(
+            decode_entry(&bytes),
+            Err(DiskCacheError::FingerprintMismatch("config"))
+        ),
+        "key damage must be a config fingerprint mismatch"
+    );
+}
+
+#[test]
+fn lying_payload_length_is_rejected_before_any_slicing() {
+    let k = key("fig4", 3, 3000);
+    let payload = "short";
+    let mut bytes = encode_entry(&k, payload);
+    // Announce an absurd payload length. The decoder must compare the
+    // announcement against the bytes actually present *before* slicing,
+    // so this can never drive an allocation or an out-of-bounds read.
+    let len_start = 10 + k.0.len() + 24;
+    bytes[len_start..len_start + 8].copy_from_slice(&(u64::MAX).to_le_bytes());
+    match decode_entry(&bytes) {
+        Err(DiskCacheError::LyingLength { announced, actual }) => {
+            assert_eq!(announced, u64::MAX);
+            assert_eq!(actual, payload.len() as u64);
+        }
+        other => panic!("expected LyingLength, got {other:?}"),
+    }
+    // An understatement is just as much a lie.
+    bytes[len_start..len_start + 8].copy_from_slice(&1u64.to_le_bytes());
+    assert!(matches!(
+        decode_entry(&bytes),
+        Err(DiskCacheError::LyingLength {
+            announced: 1,
+            actual: 5
+        })
+    ));
+}
+
+#[test]
+fn corrupt_disk_entry_is_removed_noticed_and_regenerated() {
+    let dir = temp_dir("regen");
+    let k = key("fig4", 11, 4000);
+    let output = Arc::new("the answer\n".to_owned());
+    {
+        let cache = open(&dir, 1 << 20);
+        cache.put(&k, &output);
+        assert!(
+            cache.take_notices().is_empty(),
+            "clean put leaves no notices"
+        );
+    }
+    // Damage the persisted entry mid-payload.
+    let path = entry_file(&dir);
+    let mut bytes = std::fs::read(&path).expect("read entry");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("write damaged entry");
+
+    // A fresh cache warm-starts over the damaged file: typed error path,
+    // one-line notice, file removed — and no panic.
+    let cache = open(&dir, 1 << 20);
+    let notices = cache.take_notices();
+    assert_eq!(notices.len(), 1, "exactly one notice: {notices:?}");
+    assert!(
+        notices[0].contains("removed corrupt cache entry"),
+        "notice names the removal: {}",
+        notices[0]
+    );
+    assert!(!path.exists(), "the corrupt entry file is gone");
+    assert_eq!(cache.gauges().warm_start_entries, 0);
+    assert!(cache.get(&k).is_none(), "the damaged entry is a miss");
+
+    // Regeneration: the next put rewrites the entry and it serves again.
+    cache.put(&k, &output);
+    let (back, _) = cache.get(&k).expect("regenerated entry hits");
+    assert_eq!(*back, *output);
+    assert!(entry_file(&dir).exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_disk_entries_found_at_warm_start_never_panic() {
+    let dir = temp_dir("trunc-scan");
+    let k = key("fig5", 21, 5000);
+    let full = encode_entry(&k, "payload under test\n");
+    // One file per truncation boundary, all in one directory.
+    for cut in 0..full.len() {
+        std::fs::write(dir.join(format!("cut-{cut:04}.bpo")), &full[..cut]).expect("write stub");
+    }
+    let cache = open(&dir, 1 << 20);
+    let notices = cache.take_notices();
+    assert_eq!(
+        notices.len(),
+        full.len(),
+        "every truncated file leaves one notice"
+    );
+    assert_eq!(cache.gauges().warm_start_entries, 0);
+    let leftovers = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "bpo"))
+        .count();
+    assert_eq!(leftovers, 0, "every truncated file is removed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn memory_tier_evicts_in_lru_order_and_disk_tier_backstops() {
+    let dir = temp_dir("lru");
+    // Budget fits three 8-byte outputs but not four.
+    let cache = open(&dir, 26);
+    let out = |s: &str| Arc::new(s.to_owned());
+    let (a, b, c, d) = (
+        key("fig4", 1, 100),
+        key("fig4", 2, 100),
+        key("fig4", 3, 100),
+        key("fig4", 4, 100),
+    );
+    cache.put(&a, &out("aaaaaaaa"));
+    cache.put(&b, &out("bbbbbbbb"));
+    cache.put(&c, &out("cccccccc"));
+    assert_eq!(cache.gauges().entries, 3);
+    assert_eq!(cache.gauges().evictions, 0);
+
+    // Touch `a` so `b` becomes the least recently used...
+    assert_eq!(cache.get(&a).expect("a is resident").1, CacheTier::Memory);
+    // ...then overflow the budget: exactly `b` must go.
+    cache.put(&d, &out("dddddddd"));
+    assert_eq!(cache.gauges().evictions, 1);
+    assert_eq!(cache.get(&a).expect("a stays").1, CacheTier::Memory);
+    assert_eq!(cache.get(&c).expect("c stays").1, CacheTier::Memory);
+    assert_eq!(cache.get(&d).expect("d stays").1, CacheTier::Memory);
+    // `b` left memory but persists on disk; the hit promotes it back.
+    let (b_out, b_tier) = cache.get(&b).expect("b comes back from disk");
+    assert_eq!(b_tier, CacheTier::Disk);
+    assert_eq!(*b_out, "bbbbbbbb");
+    let g = cache.gauges();
+    assert_eq!(g.disk_hits, 1);
+    assert!(g.evictions >= 2, "promoting b evicts another entry");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn single_oversized_entry_is_never_evicted() {
+    let cache = ResultCache::open(CacheConfig {
+        dir: None,
+        memory_budget: 4,
+    });
+    let k = key("fig9", 1, 100);
+    cache.put(&k, &Arc::new("far larger than the whole budget".to_owned()));
+    assert!(
+        cache.get(&k).is_some(),
+        "the newest entry always serves, even over budget"
+    );
+    assert_eq!(cache.gauges().evictions, 0);
+}
+
+#[test]
+fn warm_start_serves_the_prior_working_set_byte_identically() {
+    let dir = temp_dir("warm");
+    let keys: Vec<EvalKey> = (0..5).map(|i| key("fig4", i, 1000 + i)).collect();
+    let outputs: Vec<Arc<String>> = (0..5)
+        .map(|i| Arc::new(format!("output {i}\nsecond line {i}\n")))
+        .collect();
+    {
+        let cold = open(&dir, 1 << 20);
+        for (k, o) in keys.iter().zip(&outputs) {
+            cold.put(k, o);
+        }
+        assert!(cold.take_notices().is_empty());
+    } // "restart": the first cache is dropped, memory tier lost.
+
+    let warm = open(&dir, 1 << 20);
+    assert_eq!(warm.gauges().warm_start_entries, 5);
+    assert!(warm.take_notices().is_empty());
+    for (k, o) in keys.iter().zip(&outputs) {
+        let (back, tier) = warm.get(k).expect("warm-started entry hits");
+        assert_eq!(
+            tier,
+            CacheTier::Memory,
+            "warm start preloads the memory tier"
+        );
+        assert_eq!(*back, **o, "byte-identical to the cold run's output");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

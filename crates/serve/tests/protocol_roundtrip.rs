@@ -90,14 +90,20 @@ fn arb_endpoint() -> impl Strategy<Value = EndpointSnapshot> {
 }
 
 fn arb_latency() -> impl Strategy<Value = LatencySnapshot> {
-    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
-        |(count, p50_us, p99_us, max_us)| LatencySnapshot {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(count, p50_us, p99_us, p999_us, max_us)| LatencySnapshot {
             count,
             p50_us,
             p99_us,
+            p999_us,
             max_us,
-        },
-    )
+        })
 }
 
 fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
@@ -117,6 +123,14 @@ fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
             any::<u64>(),
         ),
         (any::<u64>(), any::<u64>(), any::<u64>()),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (any::<u64>(), any::<u64>()),
         (arb_latency(), arb_latency()),
     )
         .prop_map(
@@ -124,6 +138,8 @@ fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
                 (eval, trace_eval, stats, ping, shutdown),
                 (overloaded, deadline_missed, coalesced, result_cache_hits, bad_frames),
                 (engines, engine_cache_hits, engine_cache_misses),
+                (disk_cache_hits, cache_entries, cache_bytes, cache_evictions, warm_start_entries),
+                (open_connections, conns_accepted),
                 (eval_latency, trace_latency),
             )| StatsSnapshot {
                 eval,
@@ -135,6 +151,13 @@ fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
                 deadline_missed,
                 coalesced,
                 result_cache_hits,
+                disk_cache_hits,
+                cache_entries,
+                cache_bytes,
+                cache_evictions,
+                warm_start_entries,
+                open_connections,
+                conns_accepted,
                 bad_frames,
                 engines,
                 engine_cache_hits,

@@ -1,0 +1,163 @@
+//! Sharded serving end to end, in process: two real daemons, a
+//! [`ShardedClient`] routing keys over the consistent-hash ring, a
+//! mid-run shard kill with byte-identical failover, and the typed
+//! [`ClientError::ShardUnreachable`] once the whole ring is down.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use bp_serve::{
+    spawn, Client, ClientError, Response, RetryPolicy, ServerConfig, ServerHandle, ShardedClient,
+};
+
+fn unique_seed() -> u64 {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    0x5AAD_0000 + u64::from(NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+const TARGET: u64 = 1500;
+
+fn shard() -> ServerHandle {
+    spawn(ServerConfig {
+        workers: 2,
+        queue_capacity: 32,
+        quiet: true,
+        ..ServerConfig::default()
+    })
+    .expect("bind 127.0.0.1:0")
+}
+
+/// A retry policy that fails over quickly so tests stay fast.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 2,
+        base: Duration::from_millis(5),
+        cap: Duration::from_millis(20),
+        seed: 7,
+    }
+}
+
+fn output_of(resp: Response) -> String {
+    match resp {
+        Response::Result { output, .. } => output,
+        other => panic!("expected a result, got {other:?}"),
+    }
+}
+
+#[test]
+fn keys_spread_over_both_shards_and_route_deterministically() {
+    let (a, b) = (shard(), shard());
+    let addrs = vec![a.local_addr().to_string(), b.local_addr().to_string()];
+    let mut client = ShardedClient::new(addrs, fast_retry());
+    let base = unique_seed() + 0x1000;
+
+    let mut owners = [0usize; 2];
+    for i in 0..16 {
+        let owner = client
+            .owner_of("fig4", base + i, TARGET)
+            .expect("two shards, every key has an owner");
+        owners[owner] += 1;
+        let resp = client
+            .eval("fig4", base + i, TARGET, None)
+            .expect("fleet is healthy");
+        output_of(resp);
+    }
+    assert!(
+        owners[0] > 0 && owners[1] > 0,
+        "16 keys all routed to one shard: {owners:?}"
+    );
+
+    // The partition is visible server-side: both shards built engines.
+    for handle in [&a, &b] {
+        let mut c = Client::connect(&handle.local_addr().to_string()).expect("connect");
+        match c.stats().expect("stats") {
+            Response::Stats { snapshot, .. } => {
+                assert!(
+                    snapshot.eval.requests > 0,
+                    "each shard served part of the key space"
+                );
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    a.begin_drain();
+    b.begin_drain();
+    a.join();
+    b.join();
+}
+
+#[test]
+fn killing_a_shard_fails_over_byte_identically() {
+    let (a, b) = (shard(), shard());
+    let addrs = vec![a.local_addr().to_string(), b.local_addr().to_string()];
+    let mut client = ShardedClient::new(addrs, fast_retry());
+    let seed = unique_seed() + 0x2000;
+
+    // Serve once with both shards up and note who owns the key.
+    let owner = client
+        .owner_of("fig5", seed, TARGET)
+        .expect("key has an owner");
+    let healthy = output_of(client.eval("fig5", seed, TARGET, None).expect("both up"));
+
+    // Kill the owner mid-run; the ring's next candidate must serve the
+    // same key with byte-identical output (it recomputes — different
+    // process, same deterministic engine).
+    let (victim, survivor) = if owner == 0 { (a, b) } else { (b, a) };
+    victim.begin_drain();
+    victim.join();
+
+    let after = output_of(
+        client
+            .eval("fig5", seed, TARGET, None)
+            .expect("failover serves the key"),
+    );
+    assert_eq!(after, healthy, "failover output must be byte-identical");
+
+    // Recovery probing: the survivor answers health checks, the corpse
+    // does not.
+    let survivor_idx = 1 - owner;
+    assert!(client.check(survivor_idx), "survivor passes health check");
+    assert!(!client.check(owner), "killed shard fails health check");
+
+    survivor.begin_drain();
+    survivor.join();
+}
+
+#[test]
+fn exhausting_the_ring_is_a_typed_shard_unreachable_error() {
+    let (a, b) = (shard(), shard());
+    let addrs = vec![a.local_addr().to_string(), b.local_addr().to_string()];
+    let mut client = ShardedClient::new(addrs, fast_retry());
+    let seed = unique_seed() + 0x3000;
+
+    // Prove the fleet works, then take all of it down.
+    output_of(client.eval("fig4", seed, TARGET, None).expect("fleet up"));
+    a.begin_drain();
+    b.begin_drain();
+    a.join();
+    b.join();
+
+    match client.eval("fig4", seed, TARGET, None) {
+        Err(ClientError::ShardUnreachable { shards, attempts }) => {
+            assert_eq!(shards, 2, "both ring candidates were tried");
+            assert!(attempts >= 1);
+            // The error renders as the documented one-liner.
+            let msg = ClientError::ShardUnreachable { shards, attempts }.to_string();
+            assert!(msg.starts_with("shard unreachable"), "got: {msg}");
+        }
+        other => panic!("expected ShardUnreachable, got {other:?}"),
+    }
+}
+
+#[test]
+fn single_shard_ring_degenerates_to_a_plain_client() {
+    let a = shard();
+    let mut client = ShardedClient::new(vec![a.local_addr().to_string()], RetryPolicy::none());
+    let seed = unique_seed() + 0x4000;
+    let first = output_of(client.eval("table1", seed, TARGET, None).expect("serves"));
+    let again = output_of(client.eval("table1", seed, TARGET, None).expect("serves"));
+    assert_eq!(first, again);
+    a.begin_drain();
+    a.join();
+}

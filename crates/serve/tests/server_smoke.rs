@@ -489,3 +489,68 @@ fn graceful_drain_finishes_queued_work_then_exits() {
     // the test by timeout.
     handle.join();
 }
+
+#[test]
+fn restarted_server_serves_prior_working_set_from_the_warm_cache() {
+    let dir = std::env::temp_dir().join(format!("bp-serve-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let seed = unique_seed();
+    let cached_server = || {
+        spawn(ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_dir: Some(dir.clone()),
+            quiet: true,
+            ..ServerConfig::default()
+        })
+        .expect("bind 127.0.0.1:0")
+    };
+
+    // First life: compute once, cache persists to disk.
+    let cold = {
+        let handle = cached_server();
+        let mut client = connect(&handle);
+        let output = match client.eval("fig4", seed, TARGET, None).expect("cold eval") {
+            Response::Result { output, cached, .. } => {
+                assert!(!cached, "first-ever query computes");
+                output
+            }
+            other => panic!("expected a result, got {other:?}"),
+        };
+        handle.begin_drain();
+        handle.join();
+        output
+    };
+
+    // Second life: the same key must be served as a cache hit without
+    // recomputation, byte-identical to the cold run.
+    let handle = cached_server();
+    let mut client = connect(&handle);
+    match client.eval("fig4", seed, TARGET, None).expect("warm eval") {
+        Response::Result { output, cached, .. } => {
+            assert!(cached, "a restarted daemon must hit its warm-started cache");
+            assert_eq!(
+                output, cold,
+                "warm output is byte-identical to the cold run"
+            );
+        }
+        other => panic!("expected a result, got {other:?}"),
+    }
+    match client.stats().expect("stats") {
+        Response::Stats { snapshot, .. } => {
+            assert!(
+                snapshot.warm_start_entries >= 1,
+                "boot reloaded the persisted entry"
+            );
+            assert_eq!(snapshot.result_cache_hits, 1, "the repeat was a memory hit");
+            assert_eq!(
+                snapshot.engines, 0,
+                "no engine was built — the warm hit skipped computation entirely"
+            );
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    handle.begin_drain();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

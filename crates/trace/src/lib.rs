@@ -43,6 +43,7 @@ pub mod io;
 mod profile;
 mod record;
 mod recorder;
+pub mod sidecar;
 mod sink;
 mod source;
 mod stats;

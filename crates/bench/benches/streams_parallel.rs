@@ -1,0 +1,58 @@
+//! `streams_parallel`: the sharded streaming executor and the parallel
+//! classification sweep at 1/2/4/8 shards.
+//!
+//! `sharded_build` measures [`BranchStreams::from_source_sharded`] — the
+//! broadcast executor that fans trace chunks out to per-PC-shard workers
+//! and merges their disjoint partial streams; `classify_sweep` measures
+//! [`Classifier::classify_streams_parallel`] — the branch-sharded k-ago
+//! sweep and class replay over the packed streams. Both are bit-identical
+//! to their serial twins for every shard count (the conformance
+//! `parallel` suite pins that); this bench measures what the sharding
+//! costs or buys at each count, which on a many-core host is the
+//! per-phase scaling curve of the `scale --jobs N` pipeline.
+//!
+//! `m88ksim` is the workload: few static branches with long streams, the
+//! regime where per-shard work dominates executor overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use bp_bench::bench_workload_config;
+use bp_core::{Classifier, ClassifierConfig};
+use bp_trace::BranchStreams;
+use bp_workloads::Benchmark;
+
+fn bench_streams_parallel(c: &mut Criterion) {
+    let cfg = ClassifierConfig::default();
+    let mut group = c.benchmark_group("streams_parallel");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+
+    let trace = Benchmark::M88ksim.generate(&bench_workload_config());
+    let streams = BranchStreams::of(&trace);
+
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("sharded_build", shards), |b| {
+            b.iter(|| {
+                black_box(
+                    BranchStreams::from_source_sharded(black_box(&trace), shards)
+                        .expect("in-memory scans cannot fail"),
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("classify_sweep", shards), |b| {
+            b.iter(|| {
+                black_box(Classifier::classify_streams_parallel(
+                    black_box(&streams),
+                    &cfg,
+                    shards,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streams_parallel);
+criterion_main!(benches);

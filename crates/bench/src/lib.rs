@@ -8,6 +8,8 @@
 //! * `ablations` — oracle search strategy, tagging schemes, counter
 //!   configuration, and trace-length scaling (the design choices DESIGN.md
 //!   §5 calls out).
+//! * `streams_parallel` — the sharded streaming executor and parallel
+//!   classification sweep at 1/2/4/8 shards.
 //!
 //! Benchmarks run at deliberately small trace targets so the suite
 //! completes in minutes; the `repro` binary is the tool for full-scale

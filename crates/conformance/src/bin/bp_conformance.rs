@@ -198,7 +198,7 @@ fn cmd_sweep(opts: &Options) -> ExitCode {
 
     let mut failures = run_differential(&cases, &cfg, &kernels, &opts.repro_dir);
     eprintln!(
-        "[differential: {} cases x 5 suites, {} divergences, {:.1}s]",
+        "[differential: {} cases x 7 suites, {} divergences, {:.1}s]",
         cases.len(),
         failures,
         started.elapsed().as_secs_f64()

@@ -15,6 +15,15 @@
 //! the self-test can inject a deliberately buggy kernel and prove the
 //! harness catches it. On divergence, [`minimize`] shrinks the failing
 //! trace with a ddmin-style chunk removal loop before it is reported.
+//!
+//! Two further suites pin the paper-scale machinery: `parallel` diffs the
+//! sharded executor and every parallel kernel (classify, oracle select,
+//! sweep materialization) against their serial twins at adversarial shard
+//! and job counts, and `bps` round-trips the packed `.bps` artifacts
+//! through a write → reopen cycle and diffs the analysis summary computed
+//! from the reopened planes against the freshly built ones.
+
+use std::path::Path;
 
 use bp_core::reference;
 use bp_core::{
@@ -22,6 +31,7 @@ use bp_core::{
     OutcomeMatrix, SweepMatrix, TagCandidates,
 };
 use bp_predictors::SaturatingCounter;
+use bp_trace::bps::{open_streams, write_streams};
 use bp_trace::io::{self, ChunkWriter, TraceIoError};
 use bp_trace::{BranchRecord, BranchStreams, TagScheme, Trace, TraceSink, TraceSource};
 
@@ -457,6 +467,187 @@ pub fn diff_streaming(
     None
 }
 
+/// Shard counts the parallel suite drives the sharded builders at: the
+/// serial degenerate case and the word-boundary straddle (most corpus
+/// traces have far fewer static branches than 64, so these also exercise
+/// the workers-above-branches regime).
+pub const PARALLEL_SHARDS: [usize; 4] = [1, 63, 64, 65];
+
+/// Job counts the parallel suite drives the parallel analysis kernels at.
+pub const PARALLEL_JOBS: [usize; 3] = [1, 2, 7];
+
+/// Diffs the sharded streaming builders and the parallel analysis kernels
+/// against their serial twins on one trace: the executor-backed
+/// `from_source_sharded` builders at every [`PARALLEL_SHARDS`] count
+/// (planes must be bit-identical), then classification, oracle subset
+/// search, and sweep materialization at every [`PARALLEL_JOBS`] count.
+pub fn diff_parallel(
+    trace: &Trace,
+    cfg: &OracleConfig,
+    classify: &[ClassifierConfig],
+    windows: &[usize],
+    caps: &[usize],
+) -> Option<String> {
+    let records = trace.records();
+    let source = Rechunked { records, chunk: 64 };
+    let want_streams = BranchStreams::of(trace);
+    let want_cands = TagCandidates::collect(trace, cfg.window, cfg.candidate_cap);
+    let want_matrix = OutcomeMatrix::build(trace, &want_cands, cfg.window);
+    for &shards in &PARALLEL_SHARDS {
+        let label = format!("{shards} shards");
+
+        let got = BranchStreams::from_source_sharded(&source, shards)
+            .expect("in-memory scans cannot fail");
+        if got != want_streams {
+            return Some(format!("{label}: sharded BranchStreams differ"));
+        }
+
+        let got = TagCandidates::collect_from_source_sharded(
+            &source,
+            cfg.window,
+            cfg.candidate_cap,
+            &TagScheme::ALL,
+            shards,
+        )
+        .expect("in-memory scans cannot fail");
+        if got.branch_count() != want_cands.branch_count() {
+            return Some(format!("{label}: sharded candidate branch count differs"));
+        }
+        for (pc, tags) in want_cands.iter() {
+            if got.tags(pc) != tags {
+                return Some(format!(
+                    "{label}: branch {pc:#x}: sharded candidates differ"
+                ));
+            }
+        }
+
+        let got =
+            OutcomeMatrix::build_from_source_sharded(&source, &want_cands, cfg.window, shards)
+                .expect("in-memory scans cannot fail");
+        if let Some(why) = diff_matrices(&label, &got, &want_matrix) {
+            return Some(format!("sharded matrix: {why}"));
+        }
+    }
+
+    let want_oracle = OracleSelector::analyze_matrix(&want_matrix, cfg);
+    let want_sweep = SweepMatrix::build(trace, windows, caps);
+    for &jobs in &PARALLEL_JOBS {
+        let label = format!("{jobs} jobs");
+
+        for ccfg in classify {
+            let want = Classifier::classify_streams(&want_streams, ccfg);
+            let (got, _) = Classifier::classify_streams_parallel(&want_streams, ccfg, jobs);
+            if got.iter().count() != want.iter().count() {
+                return Some(format!(
+                    "{label}: cfg {ccfg:?}: parallel classifier branch count differs"
+                ));
+            }
+            for (pc, w) in want.iter() {
+                if got.get(pc) != Some(w) {
+                    return Some(format!(
+                        "{label}: cfg {ccfg:?}: branch {pc:#x}: parallel classification differs"
+                    ));
+                }
+            }
+        }
+
+        let got = OracleSelector::analyze_matrix_parallel(&want_matrix, cfg, jobs);
+        if got.branch_count() != want_oracle.branch_count() {
+            return Some(format!("{label}: parallel oracle branch count differs"));
+        }
+        for (pc, w) in want_oracle.iter() {
+            if got.selection(pc) != Some(w) {
+                return Some(format!(
+                    "{label}: branch {pc:#x}: parallel subset search differs"
+                ));
+            }
+        }
+
+        for (i, window) in windows.iter().enumerate() {
+            if let Some(why) = diff_matrices(
+                &format!("{label} window {window}"),
+                &want_sweep.materialize_parallel(i, jobs),
+                &want_sweep.materialize(i),
+            ) {
+                return Some(format!("parallel sweep: {why}"));
+            }
+        }
+    }
+    None
+}
+
+/// Diffs the packed `.bps` artifact codecs on one trace: the built
+/// [`BranchStreams`] and [`OutcomeMatrix`] are written, reopened, and
+/// compared plane by plane, and the analysis summary (classification,
+/// oracle subset search) computed from the reopened planes must match the
+/// one computed from the freshly built artifacts.
+pub fn diff_bps(trace: &Trace, cfg: &OracleConfig) -> Option<String> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bp-conformance-bps-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return Some(format!("bps: cannot create {}: {e}", dir.display()));
+    }
+    let verdict = diff_bps_in(&dir, trace, cfg);
+    std::fs::remove_dir_all(&dir).ok();
+    verdict
+}
+
+fn diff_bps_in(dir: &Path, trace: &Trace, cfg: &OracleConfig) -> Option<String> {
+    const CONFIG: u64 = 0xB5B5;
+
+    let streams = BranchStreams::of(trace);
+    let path = dir.join("streams.bps");
+    if let Err(e) = write_streams(&path, &streams, CONFIG) {
+        return Some(format!("bps: cannot write streams artifact: {e}"));
+    }
+    let reopened = match open_streams(&path, CONFIG) {
+        Ok(o) => o.streams,
+        Err(e) => return Some(format!("bps: cannot reopen streams artifact: {e}")),
+    };
+    if reopened != streams {
+        return Some("bps: reopened BranchStreams differ from the built ones".to_owned());
+    }
+    let ccfg = ClassifierConfig::default();
+    let want = Classifier::classify_streams(&streams, &ccfg);
+    let got = Classifier::classify_streams(&reopened, &ccfg);
+    for (pc, w) in want.iter() {
+        if got.get(pc) != Some(w) {
+            return Some(format!(
+                "bps: branch {pc:#x}: classification from reopened streams differs"
+            ));
+        }
+    }
+
+    let cands = TagCandidates::collect(trace, cfg.window, cfg.candidate_cap);
+    let matrix = OutcomeMatrix::build(trace, &cands, cfg.window);
+    let path = dir.join("matrix.bps");
+    if let Err(e) = bp_core::write_matrix(&path, &matrix, CONFIG) {
+        return Some(format!("bps: cannot write matrix artifact: {e}"));
+    }
+    let reopened = match bp_core::open_matrix(&path, CONFIG) {
+        Ok(o) => o.matrix,
+        Err(e) => return Some(format!("bps: cannot reopen matrix artifact: {e}")),
+    };
+    if let Some(why) = diff_matrices("bps matrix", &reopened, &matrix) {
+        return Some(why);
+    }
+    let want = OracleSelector::analyze_matrix(&matrix, cfg);
+    let got = OracleSelector::analyze_matrix(&reopened, cfg);
+    for (pc, w) in want.iter() {
+        if got.selection(pc) != Some(w) {
+            return Some(format!(
+                "bps: branch {pc:#x}: subset search on reopened matrix differs"
+            ));
+        }
+    }
+    None
+}
+
 /// Runs every differential suite on one named trace; on the first
 /// divergence, minimizes the trace against that suite and reports it.
 pub fn run_case(
@@ -525,6 +716,39 @@ pub fn run_case(
             .expect("minimize preserves the divergence");
         return Some(Divergence {
             suite: "streaming",
+            case_name: name.to_owned(),
+            detail,
+            trace: minimized,
+        });
+    }
+    if diff_parallel(trace, &cfg.oracle, &cfg.classify, &cfg.windows, &cfg.caps).is_some() {
+        let oracle_cfg = cfg.oracle;
+        let configs = cfg.classify.clone();
+        let (windows, caps) = (cfg.windows.clone(), cfg.caps.clone());
+        let minimized = minimize(trace, |t| {
+            diff_parallel(t, &oracle_cfg, &configs, &windows, &caps).is_some()
+        });
+        let detail = diff_parallel(
+            &minimized,
+            &cfg.oracle,
+            &cfg.classify,
+            &cfg.windows,
+            &cfg.caps,
+        )
+        .expect("minimize preserves the divergence");
+        return Some(Divergence {
+            suite: "parallel",
+            case_name: name.to_owned(),
+            detail,
+            trace: minimized,
+        });
+    }
+    if diff_bps(trace, &cfg.oracle).is_some() {
+        let oracle_cfg = cfg.oracle;
+        let minimized = minimize(trace, |t| diff_bps(t, &oracle_cfg).is_some());
+        let detail = diff_bps(&minimized, &cfg.oracle).expect("minimize preserves the divergence");
+        return Some(Divergence {
+            suite: "bps",
             case_name: name.to_owned(),
             detail,
             trace: minimized,
@@ -612,6 +836,31 @@ mod tests {
             diff_streaming(&trace, &cfg.oracle, &cfg.windows, &cfg.caps),
             None
         );
+    }
+
+    #[test]
+    fn parallel_and_bps_suites_pass_on_a_long_trace() {
+        // Long enough that the sharded executor crosses several chunk
+        // boundaries and every branch spans multiple plane words.
+        let mut recs = Vec::new();
+        let mut lcg = 0x9E37_79B9_7F4A_7C15_u64;
+        for i in 0..900u64 {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            recs.push(BranchRecord::conditional(
+                0x40 + (i % 11) * 4,
+                (lcg >> 60) & 1 == 1,
+            ));
+            recs.push(BranchRecord::conditional(0x100, i % 7 < 3));
+        }
+        let trace = Trace::from_records(recs);
+        let cfg = DiffConfig::default();
+        assert_eq!(
+            diff_parallel(&trace, &cfg.oracle, &cfg.classify, &cfg.windows, &cfg.caps),
+            None
+        );
+        assert_eq!(diff_bps(&trace, &cfg.oracle), None);
     }
 
     #[test]

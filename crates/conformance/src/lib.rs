@@ -30,8 +30,8 @@ pub mod gen;
 pub mod laws;
 
 pub use diff::{
-    diff_simd, diff_streaming, minimize, run_case, DiffConfig, Divergence, Kernels,
-    STREAM_CHUNK_SIZES,
+    diff_bps, diff_parallel, diff_simd, diff_streaming, minimize, run_case, DiffConfig, Divergence,
+    Kernels, PARALLEL_JOBS, PARALLEL_SHARDS, STREAM_CHUNK_SIZES,
 };
 pub use gen::{corpus, BranchScript, Interleave, NamedTrace, Segment, TraceSpec};
 pub use laws::{all_laws, Law};

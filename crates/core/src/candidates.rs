@@ -88,15 +88,59 @@ impl TagCandidates {
             }
         })?;
 
-        let per_branch = counts
-            .into_iter()
-            .map(|(pc, tag_counts)| {
-                let mut ranked: Vec<(InstanceTag, u64)> = tag_counts.into_iter().collect();
-                ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-                ranked.truncate(cap);
-                (pc, ranked.into_iter().map(|(tag, _)| tag).collect())
-            })
-            .collect();
+        Ok(TagCandidates {
+            per_branch: rank_counts(counts, cap).collect(),
+        })
+    }
+
+    /// As [`TagCandidates::collect_from_source`], built with the
+    /// pipelined chunk executor: `shards` workers each replicate the
+    /// [`PathWindow`] over the full record sequence but count visibility
+    /// only for the branches their shard owns, and every partial count
+    /// map is ranked by the one shared ranking function — so the merged
+    /// result is identical to the serial build for every shard count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's scan error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `cap` is zero, or `schemes` is empty.
+    pub fn collect_from_source_sharded<T: TraceSource + Sync + ?Sized>(
+        source: &T,
+        window: usize,
+        cap: usize,
+        schemes: &[TagScheme],
+        shards: usize,
+    ) -> Result<Self, TraceIoError> {
+        assert!(cap > 0, "candidate cap must be positive");
+        assert!(!schemes.is_empty(), "need at least one tagging scheme");
+        let shards = shards.max(1);
+        let parts = bp_trace::scan_sharded(source, shards, |shard, chunks| {
+            let mut counts: FxHashMap<Pc, FxHashMap<InstanceTag, u64>> = FxHashMap::default();
+            let mut path = PathWindow::new(window);
+            let mut visible = Vec::new();
+            for chunk in chunks {
+                for rec in chunk.iter() {
+                    if rec.is_conditional() && bp_trace::shard_of(rec.pc, shards) == shard {
+                        path.visible_tags(&mut visible);
+                        let branch_counts = counts.entry(rec.pc).or_default();
+                        for (tag, _) in &visible {
+                            if schemes.contains(&tag.scheme) {
+                                *branch_counts.entry(*tag).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                    path.push(rec);
+                }
+            }
+            counts
+        })?;
+        let mut per_branch = HashMap::new();
+        for counts in parts {
+            per_branch.extend(rank_counts(counts, cap));
+        }
         Ok(TagCandidates { per_branch })
     }
 
@@ -115,6 +159,21 @@ impl TagCandidates {
     pub fn iter(&self) -> impl Iterator<Item = (Pc, &[InstanceTag])> {
         self.per_branch.iter().map(|(pc, v)| (*pc, v.as_slice()))
     }
+}
+
+/// Ranks raw visibility counts into capped candidate lists — the one
+/// place the (count desc, tag asc) ordering lives, shared by the serial
+/// and sharded builders so their outputs cannot drift.
+fn rank_counts(
+    counts: FxHashMap<Pc, FxHashMap<InstanceTag, u64>>,
+    cap: usize,
+) -> impl Iterator<Item = (Pc, Vec<InstanceTag>)> {
+    counts.into_iter().map(move |(pc, tag_counts)| {
+        let mut ranked: Vec<(InstanceTag, u64)> = tag_counts.into_iter().collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(cap);
+        (pc, ranked.into_iter().map(|(tag, _)| tag).collect())
+    })
 }
 
 #[cfg(test)]
@@ -150,6 +209,25 @@ mod tests {
         assert_eq!(capped.tags(0x200).len(), 2);
         // The capped list is a prefix of the full ranking.
         assert_eq!(&full.tags(0x200)[..2], capped.tags(0x200));
+    }
+
+    #[test]
+    fn sharded_collection_is_identical_for_every_shard_count() {
+        let trace = pair_trace(200);
+        let serial = TagCandidates::collect(&trace, 8, 6);
+        for shards in [1, 2, 7, 64] {
+            let sharded =
+                TagCandidates::collect_from_source_sharded(&trace, 8, 6, &TagScheme::ALL, shards)
+                    .expect("in-memory scan");
+            assert_eq!(
+                sharded.branch_count(),
+                serial.branch_count(),
+                "{shards} shards"
+            );
+            for (pc, tags) in serial.iter() {
+                assert_eq!(sharded.tags(pc), tags, "{shards} shards pc {pc:#x}");
+            }
+        }
     }
 
     #[test]

@@ -287,29 +287,100 @@ impl Classifier {
         let mut phases = ClassifyPhases::default();
         let mut per_branch = HashMap::with_capacity(streams.static_count());
         for (pc, stream) in streams.iter() {
-            let executions = stream.len() as u64;
-            let taken = stream.taken_count();
-            let t0 = Instant::now();
-            let (fixed_correct, best_period) = sweep_best(stream, cfg.max_period);
-            let t1 = Instant::now();
-            phases.sweep_seconds += (t1 - t0).as_secs_f64();
-            let scores = BranchClassScores {
-                executions,
-                static_correct: taken.max(executions - taken),
-                loop_correct: loop_replay(stream),
-                fixed_correct,
-                best_period,
-                block_correct: block_replay(stream),
-                pas_correct: pas.score(stream),
-            };
-            phases.replay_seconds += t1.elapsed().as_secs_f64();
-            per_branch.insert(pc, scores);
+            per_branch.insert(pc, score_branch(stream, cfg, &mut pas, &mut phases));
         }
         (
             Classification::from_parts(per_branch, streams.dynamic_count()),
             phases,
         )
     }
+
+    /// As [`Classifier::classify_streams_timed`], scoring branches on up
+    /// to `jobs` threads. Scoring is pure per branch and the merge is
+    /// keyed by PC, so the classification is identical to the serial
+    /// kernel for every `jobs` value; the reported phase times are summed
+    /// per-worker busy seconds. Work is claimed in small chunks off a
+    /// shared cursor (the `sharded_select` pattern) so a few huge streams
+    /// cannot serialize the run.
+    pub fn classify_streams_parallel(
+        streams: &BranchStreams,
+        cfg: &ClassifierConfig,
+        jobs: usize,
+    ) -> (Classification, ClassifyPhases) {
+        let threads = jobs.max(1).min(streams.static_count().max(1));
+        if threads <= 1 {
+            return Self::classify_streams_timed(streams, cfg);
+        }
+        let mut branches: Vec<(Pc, &OutcomeStream)> = streams.iter().collect();
+        branches.sort_unstable_by_key(|&(pc, _)| pc);
+        let chunk = branches.len().div_ceil(threads * 8).max(1);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let collected: std::sync::Mutex<(HashMap<Pc, BranchClassScores>, ClassifyPhases)> =
+            std::sync::Mutex::new((
+                HashMap::with_capacity(branches.len()),
+                ClassifyPhases::default(),
+            ));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut pas = PasScratch::new(cfg.pas_history_bits);
+                    let mut phases = ClassifyPhases::default();
+                    let mut local: Vec<(Pc, BranchClassScores)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                        if start >= branches.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(branches.len());
+                        for &(pc, stream) in &branches[start..end] {
+                            local.push((pc, score_branch(stream, cfg, &mut pas, &mut phases)));
+                        }
+                    }
+                    let mut guard = collected.lock().expect("classify worker poisoned");
+                    guard.0.extend(local);
+                    guard.1.sweep_seconds += phases.sweep_seconds;
+                    guard.1.replay_seconds += phases.replay_seconds;
+                });
+            }
+        });
+        let (per_branch, phases) = collected.into_inner().expect("classify workers poisoned");
+        (
+            Classification::from_parts(per_branch, streams.dynamic_count()),
+            phases,
+        )
+    }
+}
+
+/// Scores one branch's stream with every class predictor — the single
+/// per-branch kernel behind both the serial and parallel entry points,
+/// so they cannot drift.
+fn score_branch(
+    stream: &OutcomeStream,
+    cfg: &ClassifierConfig,
+    pas: &mut PasScratch,
+    phases: &mut ClassifyPhases,
+) -> BranchClassScores {
+    assert!(
+        (1..=64).contains(&cfg.max_period),
+        "max fixed-pattern period must be 1..=64"
+    );
+    let executions = stream.len() as u64;
+    let taken = stream.taken_count();
+    let t0 = Instant::now();
+    let (fixed_correct, best_period) = sweep_best(stream, cfg.max_period);
+    let t1 = Instant::now();
+    phases.sweep_seconds += (t1 - t0).as_secs_f64();
+    let scores = BranchClassScores {
+        executions,
+        static_correct: taken.max(executions - taken),
+        loop_correct: loop_replay(stream),
+        fixed_correct,
+        best_period,
+        block_correct: block_replay(stream),
+        pas_correct: pas.score(stream),
+    };
+    phases.replay_seconds += t1.elapsed().as_secs_f64();
+    scores
 }
 
 /// Popcount of the first `m` bits of a packed stream.
@@ -852,6 +923,30 @@ mod tests {
             assert_eq!(via_streams.get(pc), Some(s), "{pc:#x}");
         }
         assert!(phases.sweep_seconds >= 0.0 && phases.replay_seconds >= 0.0);
+    }
+
+    #[test]
+    fn parallel_kernel_is_identical_for_every_jobs_count() {
+        let mut recs = Vec::new();
+        let mut state = 0xabcd_1234u64;
+        for i in 0..4000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pc = 0x100 + (i % 17) * 8;
+            recs.push(BranchRecord::conditional(pc, (state >> 40) & 3 != 0));
+        }
+        let streams = BranchStreams::of(&Trace::from_records(recs));
+        let cfg = ClassifierConfig::default();
+        let (serial, _) = Classifier::classify_streams_timed(&streams, &cfg);
+        for jobs in [1, 2, 7, 64] {
+            let (par, phases) = Classifier::classify_streams_parallel(&streams, &cfg, jobs);
+            assert_eq!(par.iter().count(), serial.iter().count(), "jobs {jobs}");
+            for (pc, s) in serial.iter() {
+                assert_eq!(par.get(pc), Some(s), "jobs {jobs} pc {pc:#x}");
+            }
+            assert!(phases.sweep_seconds >= 0.0 && phases.replay_seconds >= 0.0);
+        }
     }
 
     /// Satellite regression: the k = max_period = 64 ring boundary. The

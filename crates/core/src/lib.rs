@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod bestof;
+mod bps;
 mod candidates;
 mod classify;
 mod cost;
@@ -63,6 +64,7 @@ mod sweep;
 pub use bestof::{
     best_of, combined_correct, per_branch_max, BestOfDistribution, Contender, IDEAL_STATIC_NAME,
 };
+pub use bps::{open_matrix, write_matrix, OpenedMatrix};
 pub use candidates::TagCandidates;
 #[doc(hidden)]
 pub use classify::{kth_ago_correct, kth_ago_correct_scalar};

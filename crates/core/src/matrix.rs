@@ -1,6 +1,8 @@
 use bp_trace::fx::FxHashMap;
 use bp_trace::io::TraceIoError;
-use bp_trace::{InstanceTag, PathWindow, Pc, TagOutcome, Trace, TraceSource};
+use bp_trace::{
+    scan_sharded, shard_of, InstanceTag, PathWindow, Pc, TagOutcome, Trace, TraceSource, Words,
+};
 
 use crate::candidates::TagCandidates;
 
@@ -18,16 +20,18 @@ use crate::candidates::TagCandidates;
 /// not a byte-per-digit array — are the storage of record. Selective-
 /// history tag sets are scored by replaying these planes through small
 /// counter tables; no further trace passes are needed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BranchMatrix {
     tags: Vec<InstanceTag>,
     executions: usize,
     /// One in-path plane per candidate column, `words()` u64s each.
-    inpath: Vec<Vec<u64>>,
+    /// Planes are [`Words`] — owned while building, zero-copy views when
+    /// re-opened from a `.bps` artifact; the kernels only see `&[u64]`.
+    inpath: Vec<Words>,
     /// One direction plane per candidate column; `dir[c] ⊆ inpath[c]`.
-    dir: Vec<Vec<u64>>,
+    dir: Vec<Words>,
     /// The branch's own outcome plane.
-    taken: Vec<u64>,
+    taken: Words,
 }
 
 #[inline]
@@ -48,9 +52,9 @@ impl BranchMatrix {
         BranchMatrix {
             tags,
             executions: 0,
-            inpath: vec![Vec::new(); columns],
-            dir: vec![Vec::new(); columns],
-            taken: Vec::new(),
+            inpath: vec![Words::default(); columns],
+            dir: vec![Words::default(); columns],
+            taken: Words::default(),
         }
     }
 
@@ -79,6 +83,30 @@ impl BranchMatrix {
         BranchMatrix {
             tags,
             executions,
+            inpath: inpath.into_iter().map(Words::owned).collect(),
+            dir: dir.into_iter().map(Words::owned).collect(),
+            taken: Words::owned(taken),
+        }
+    }
+
+    /// As [`BranchMatrix::from_planes`] but over [`Words`] directly — the
+    /// `.bps` re-open path, whose planes are views into the mapped file.
+    /// The store has already validated plane extents and padding bits.
+    pub(crate) fn from_words(
+        tags: Vec<InstanceTag>,
+        executions: usize,
+        inpath: Vec<Words>,
+        dir: Vec<Words>,
+        taken: Words,
+    ) -> Self {
+        let words = executions.div_ceil(64);
+        debug_assert_eq!(inpath.len(), tags.len());
+        debug_assert_eq!(dir.len(), tags.len());
+        debug_assert_eq!(taken.len(), words);
+        debug_assert!(inpath.iter().all(|p| p.len() == words));
+        BranchMatrix {
+            tags,
+            executions,
             inpath,
             dir,
             taken,
@@ -96,18 +124,18 @@ impl BranchMatrix {
         let e = self.executions;
         self.executions += 1;
         if e.is_multiple_of(64) {
-            self.taken.push(0);
+            self.taken.vec_mut().push(0);
             for plane in self.inpath.iter_mut().chain(self.dir.iter_mut()) {
-                plane.push(0);
+                plane.vec_mut().push(0);
             }
         }
         if taken {
-            set_bit(&mut self.taken, e);
+            set_bit(self.taken.vec_mut(), e);
         }
         for (c, tag_taken) in in_path {
-            set_bit(&mut self.inpath[c], e);
+            set_bit(self.inpath[c].vec_mut(), e);
             if tag_taken {
-                set_bit(&mut self.dir[c], e);
+                set_bit(self.dir[c].vec_mut(), e);
             }
         }
     }
@@ -193,7 +221,7 @@ impl BranchMatrix {
 /// dynamic branch, the taken / not-taken / not-in-path status of each of its
 /// candidate correlated instances. All subsequent subset-search passes run
 /// over this compact matrix instead of the trace.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OutcomeMatrix {
     branches: FxHashMap<Pc, BranchMatrix>,
     window: usize,
@@ -253,8 +281,63 @@ impl OutcomeMatrix {
         })
     }
 
+    /// As [`OutcomeMatrix::build_from_source`], built with the pipelined
+    /// chunk executor: one scan, `shards` workers each replicating the
+    /// [`PathWindow`] over the full record sequence but packing planes
+    /// only for the branches their shard owns. The per-branch loop is the
+    /// serial one verbatim, and the partial maps are disjoint by PC, so
+    /// the merged matrix is identical for every shard count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's scan error.
+    pub fn build_from_source_sharded<T: TraceSource + Sync + ?Sized>(
+        source: &T,
+        candidates: &TagCandidates,
+        window: usize,
+        shards: usize,
+    ) -> Result<Self, TraceIoError> {
+        let shards = shards.max(1);
+        let parts = scan_sharded(source, shards, |shard, chunks| {
+            let mut builders: FxHashMap<Pc, (BranchMatrix, FxHashMap<InstanceTag, usize>)> =
+                candidates
+                    .iter()
+                    .filter(|&(pc, _)| shard_of(pc, shards) == shard)
+                    .map(|(pc, tags)| {
+                        let columns: FxHashMap<InstanceTag, usize> =
+                            tags.iter().enumerate().map(|(c, tag)| (*tag, c)).collect();
+                        (pc, (BranchMatrix::with_tags(tags.to_vec()), columns))
+                    })
+                    .collect();
+            let mut path = PathWindow::new(window);
+            let mut visible = Vec::new();
+            for chunk in chunks {
+                for rec in chunk.iter() {
+                    if rec.is_conditional() {
+                        if let Some((bm, columns)) = builders.get_mut(&rec.pc) {
+                            path.visible_tags(&mut visible);
+                            bm.push_execution(
+                                rec.taken,
+                                visible.iter().filter_map(|(tag, taken)| {
+                                    columns.get(tag).map(|&c| (c, *taken))
+                                }),
+                            );
+                        }
+                    }
+                    path.push(rec);
+                }
+            }
+            builders
+        })?;
+        let mut branches: FxHashMap<Pc, BranchMatrix> = FxHashMap::default();
+        for part in parts {
+            branches.extend(part.into_iter().map(|(pc, (bm, _))| (pc, bm)));
+        }
+        Ok(OutcomeMatrix { branches, window })
+    }
+
     /// Assembles a matrix from per-branch parts (the sweep artifact's
-    /// materialization path).
+    /// materialization path and the `.bps` re-open path).
     pub(crate) fn from_parts(branches: FxHashMap<Pc, BranchMatrix>, window: usize) -> Self {
         OutcomeMatrix { branches, window }
     }
@@ -338,6 +421,18 @@ mod tests {
         let tail = bm.executions() % 64;
         let full = if tail == 0 { !0u64 } else { (1u64 << tail) - 1 };
         assert_eq!(bm.inpath_plane(col), &[full]);
+    }
+
+    #[test]
+    fn sharded_build_is_identical_for_every_shard_count() {
+        let trace = copy_trace(300);
+        let cands = TagCandidates::collect(&trace, 8, 16);
+        let serial = OutcomeMatrix::build(&trace, &cands, 8);
+        for shards in [1, 2, 7, 64] {
+            let sharded = OutcomeMatrix::build_from_source_sharded(&trace, &cands, 8, shards)
+                .expect("in-memory scan");
+            assert_eq!(sharded, serial, "{shards} shards");
+        }
     }
 
     #[test]

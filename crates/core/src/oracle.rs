@@ -71,7 +71,7 @@ pub struct TagSetScore {
 }
 
 /// Per-branch oracle outcome: the best selective histories of sizes 1..=3.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BranchSelection {
     /// Dynamic executions of the branch.
     pub executions: u64,
@@ -182,6 +182,53 @@ impl OracleSelector {
     /// pairs back into an [`OracleResult`] via `FromIterator`.
     pub fn select_branch(bm: &BranchMatrix, cfg: &OracleConfig) -> BranchSelection {
         select_for_branch(bm, cfg)
+    }
+
+    /// As [`OracleSelector::analyze_matrix`], searching branches on up to
+    /// `jobs` threads. [`OracleSelector::select_branch`] is pure per
+    /// branch and the merge is keyed by PC, so the result is identical to
+    /// the serial kernel for every `jobs` value. Branches are claimed in
+    /// small PC-sorted chunks off a shared cursor (the `sharded_select`
+    /// pattern) so a few candidate-heavy branches cannot serialize the
+    /// run.
+    pub fn analyze_matrix_parallel(
+        matrix: &OutcomeMatrix,
+        cfg: &OracleConfig,
+        jobs: usize,
+    ) -> OracleResult {
+        let threads = jobs.max(1).min(matrix.branch_count().max(1));
+        if threads <= 1 {
+            return Self::analyze_matrix(matrix, cfg);
+        }
+        let mut branches: Vec<(Pc, &BranchMatrix)> = matrix.iter().collect();
+        branches.sort_unstable_by_key(|&(pc, _)| pc);
+        let chunk = branches.len().div_ceil(threads * 8).max(1);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let collected: std::sync::Mutex<HashMap<Pc, BranchSelection>> =
+            std::sync::Mutex::new(HashMap::with_capacity(branches.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut local: Vec<(Pc, BranchSelection)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                        if start >= branches.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(branches.len());
+                        for &(pc, bm) in &branches[start..end] {
+                            local.push((pc, Self::select_branch(bm, cfg)));
+                        }
+                    }
+                    collected
+                        .lock()
+                        .expect("oracle worker poisoned")
+                        .extend(local);
+                });
+            }
+        });
+        let per_branch = collected.into_inner().expect("oracle workers poisoned");
+        OracleResult { per_branch }
     }
 }
 
@@ -622,6 +669,26 @@ mod tests {
         for (pc, g) in greedy.iter() {
             let e = exhaustive.selection(pc).unwrap();
             assert!(e.best[2].correct >= g.best[2].correct, "branch {pc:#x}");
+        }
+    }
+
+    #[test]
+    fn parallel_analysis_is_identical_for_every_jobs_count() {
+        let trace = and_trace(400);
+        let cfg = OracleConfig::default();
+        let cands = TagCandidates::collect(&trace, cfg.window, cfg.candidate_cap);
+        let matrix = OutcomeMatrix::build(&trace, &cands, cfg.window);
+        let serial = OracleSelector::analyze_matrix(&matrix, &cfg);
+        for jobs in [1, 2, 7, 64] {
+            let par = OracleSelector::analyze_matrix_parallel(&matrix, &cfg, jobs);
+            assert_eq!(par.branch_count(), serial.branch_count(), "jobs {jobs}");
+            for (pc, s) in serial.iter() {
+                let p = par.selection(pc).expect("branch present");
+                assert_eq!(p.executions, s.executions, "jobs {jobs} pc {pc:#x}");
+                for k in 0..MAX_SELECTIVE_TAGS {
+                    assert_eq!(p.best[k], s.best[k], "jobs {jobs} pc {pc:#x} k {k}");
+                }
+            }
         }
     }
 

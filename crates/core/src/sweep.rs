@@ -242,6 +242,52 @@ impl SweepMatrix {
             .collect();
         OutcomeMatrix::from_parts(branches, self.windows[idx])
     }
+
+    /// As [`SweepMatrix::materialize`], assembling branch planes on up to
+    /// `jobs` threads. The per-branch masking is pure and the merge is
+    /// keyed by PC, so the matrix is identical to the serial replay for
+    /// every `jobs` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn materialize_parallel(&self, idx: usize, jobs: usize) -> OutcomeMatrix {
+        assert!(idx < self.windows.len(), "sweep point out of range");
+        let threads = jobs.max(1).min(self.branches.len().max(1));
+        if threads <= 1 {
+            return self.materialize(idx);
+        }
+        let mut branches: Vec<(Pc, &SweepBranch)> =
+            self.branches.iter().map(|(pc, sb)| (*pc, sb)).collect();
+        branches.sort_unstable_by_key(|&(pc, _)| pc);
+        let chunk = branches.len().div_ceil(threads * 8).max(1);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let collected: std::sync::Mutex<FxHashMap<Pc, BranchMatrix>> =
+            std::sync::Mutex::new(FxHashMap::default());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut local: Vec<(Pc, BranchMatrix)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                        if start >= branches.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(branches.len());
+                        for &(pc, sb) in &branches[start..end] {
+                            local.push((pc, sb.materialize(idx)));
+                        }
+                    }
+                    collected
+                        .lock()
+                        .expect("sweep worker poisoned")
+                        .extend(local);
+                });
+            }
+        });
+        let branches = collected.into_inner().expect("sweep workers poisoned");
+        OutcomeMatrix::from_parts(branches, self.windows[idx])
+    }
 }
 
 impl SweepBranch {
@@ -382,6 +428,22 @@ mod tests {
                         "window {n} branch {pc:#x} col {c} dir"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_materialization_is_identical_for_every_jobs_count() {
+        let trace = mixed_trace(200);
+        let sweep = SweepMatrix::build(&trace, &WINDOWS, &[12; 4]);
+        for (i, _) in WINDOWS.iter().enumerate() {
+            let serial = sweep.materialize(i);
+            for jobs in [1, 2, 7, 64] {
+                assert_eq!(
+                    sweep.materialize_parallel(i, jobs),
+                    serial,
+                    "point {i} jobs {jobs}"
+                );
             }
         }
     }

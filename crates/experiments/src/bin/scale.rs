@@ -6,14 +6,21 @@
 //! scale --bench gcc --target 2m --materialized   same run via the in-memory path
 //! scale --target 10m --cache DIR                 stream through an on-disk .bpt2
 //! scale --target 1b --skip-oracle                classification only
+//! scale --target 100m --jobs 8                   sharded executor + parallel kernels
+//! scale --target 1b --artifacts DIR              reuse packed .bps artifacts (mmap)
 //! ```
 //!
 //! The artifact summary on stdout is deterministic and identical between
-//! the streaming and `--materialized` paths (CI diffs them at the 2M
-//! overlap); wall-clock per phase and peak resident memory go to stderr.
-//! In streaming mode the full trace never exists in memory — the workload
-//! is consumed chunk by chunk, either regenerated per scan or read back
-//! through a fixed-size window from the `--cache` stream file.
+//! the streaming and `--materialized` paths, for every `--jobs` value,
+//! and whether artifacts were rebuilt or re-opened (CI diffs all of
+//! these); wall-clock per phase — with the thread count that produced it —
+//! and peak resident memory go to stderr. In streaming mode the full
+//! trace never exists in memory — the workload is consumed chunk by
+//! chunk, either regenerated per scan or read back through a fixed-size
+//! window from the `--cache` stream file. With `--artifacts DIR` the
+//! packed streams and oracle matrix are persisted as `.bps` files on
+//! first use and re-opened zero-copy afterwards; a rotten artifact is
+//! evicted with a one-line notice and rebuilt.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -22,6 +29,7 @@ use bp_core::{
     Classifier, ClassifierConfig, OracleConfig, OracleSelector, OutcomeMatrix, PaClass,
     TagCandidates,
 };
+use bp_experiments::artifacts::{matrix_config_fp, streams_config_fp, ArtifactStore};
 use bp_experiments::cli::parse_target;
 use bp_experiments::TraceSet;
 use bp_trace::{BranchStreams, TagScheme};
@@ -30,7 +38,8 @@ use bp_workloads::{Benchmark, WorkloadConfig};
 fn usage() {
     eprintln!(
         "usage: scale [--bench NAME] [--target N[k|m|b]] [--seed N] [--cache DIR] \
-         [--materialized] [--skip-oracle] [--oracle-window N] [--oracle-cap N]"
+         [--artifacts DIR] [--jobs N] [--materialized] [--skip-oracle] \
+         [--oracle-window N] [--oracle-cap N]"
     );
     let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
     eprintln!("benchmarks: {}", names.join(" "));
@@ -47,6 +56,10 @@ fn main() -> ExitCode {
     let mut bench = Benchmark::M88ksim;
     let mut cfg = WorkloadConfig::default().with_target(10_000_000);
     let mut cache_dir: Option<String> = None;
+    let mut artifacts_dir: Option<String> = None;
+    let mut jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut materialized = false;
     let mut skip_oracle = false;
     let mut oracle_cfg = OracleConfig::default();
@@ -96,6 +109,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--artifacts" => match args.next() {
+                Some(dir) => artifacts_dir = Some(dir),
+                None => {
+                    eprintln!("error: --artifacts needs a directory");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("error: --jobs needs a positive thread count");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
             "--materialized" => materialized = true,
             "--skip-oracle" => skip_oracle = true,
             "--oracle-window" => match args.next().and_then(|v| v.parse().ok()) {
@@ -141,6 +170,16 @@ fn main() -> ExitCode {
         eprintln!("[materialize: {:.1}s]", t0.elapsed().as_secs_f64());
     }
     let source = traces.source(bench);
+    let store = match &artifacts_dir {
+        Some(dir) => match ArtifactStore::open(dir) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("error: cannot open artifact directory {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     println!(
         "# scale run: bench={} seed={} target={}",
@@ -150,21 +189,47 @@ fn main() -> ExitCode {
     );
 
     let t0 = Instant::now();
-    let streams = match BranchStreams::from_source(&source) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: trace scan failed: {e}");
-            return ExitCode::FAILURE;
+    let streams_fp = streams_config_fp(bench.name(), cfg.seed, cfg.target_branches);
+    let reused = store
+        .as_ref()
+        .and_then(|s| s.load_streams(bench.name(), streams_fp));
+    let streams = match reused {
+        Some((streams, mapped)) => {
+            eprintln!(
+                "[streams: {:.1}s, reused ({})]",
+                t0.elapsed().as_secs_f64(),
+                if mapped { "mmap" } else { "read" }
+            );
+            streams
+        }
+        None => {
+            let streams = match BranchStreams::from_source_sharded(&source, jobs) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: trace scan failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some(store) = &store {
+                store.save_streams(bench.name(), &streams, streams_fp);
+            }
+            eprintln!(
+                "[streams: {:.1}s, {jobs} threads]",
+                t0.elapsed().as_secs_f64()
+            );
+            streams
         }
     };
-    eprintln!("[streams: {:.1}s]", t0.elapsed().as_secs_f64());
     println!("conditionals: {}", streams.dynamic_count());
     println!("static branches: {}", streams.static_count());
 
     let t0 = Instant::now();
     let (classification, _) =
-        Classifier::classify_streams_timed(&streams, &ClassifierConfig::default());
-    eprintln!("[classify: {:.1}s]", t0.elapsed().as_secs_f64());
+        Classifier::classify_streams_parallel(&streams, &ClassifierConfig::default(), jobs);
+    eprintln!(
+        "[classify: {:.1}s, {jobs} threads]",
+        t0.elapsed().as_secs_f64()
+    );
     let dist = classification.dynamic_distribution();
     let mut static_counts: std::collections::HashMap<PaClass, u64> = Default::default();
     for (_, scores) in classification.iter() {
@@ -182,32 +247,83 @@ fn main() -> ExitCode {
 
     if !skip_oracle {
         let t0 = Instant::now();
-        let candidates = match TagCandidates::collect_from_source(
-            &source,
+        let matrix_fp = matrix_config_fp(
+            bench.name(),
+            cfg.seed,
+            cfg.target_branches,
             oracle_cfg.window,
             oracle_cfg.candidate_cap,
-            &TagScheme::ALL,
-        ) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("error: candidate scan failed: {e}");
-                return ExitCode::FAILURE;
+        );
+        let reused = store.as_ref().and_then(|s| {
+            s.load_matrix(
+                bench.name(),
+                oracle_cfg.window,
+                oracle_cfg.candidate_cap,
+                matrix_fp,
+            )
+        });
+        let matrix = match reused {
+            Some((matrix, mapped)) => {
+                eprintln!(
+                    "[oracle matrix: {:.1}s, reused ({})]",
+                    t0.elapsed().as_secs_f64(),
+                    if mapped { "mmap" } else { "read" }
+                );
+                matrix
+            }
+            None => {
+                let candidates = match TagCandidates::collect_from_source_sharded(
+                    &source,
+                    oracle_cfg.window,
+                    oracle_cfg.candidate_cap,
+                    &TagScheme::ALL,
+                    jobs,
+                ) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("error: candidate scan failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                eprintln!(
+                    "[oracle candidates: {:.1}s, {jobs} threads]",
+                    t0.elapsed().as_secs_f64()
+                );
+                let t0 = Instant::now();
+                let matrix = match OutcomeMatrix::build_from_source_sharded(
+                    &source,
+                    &candidates,
+                    oracle_cfg.window,
+                    jobs,
+                ) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("error: matrix scan failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Some(store) = &store {
+                    store.save_matrix(
+                        bench.name(),
+                        oracle_cfg.window,
+                        oracle_cfg.candidate_cap,
+                        &matrix,
+                        matrix_fp,
+                    );
+                }
+                eprintln!(
+                    "[oracle matrix: {:.1}s, {jobs} threads]",
+                    t0.elapsed().as_secs_f64()
+                );
+                matrix
             }
         };
-        eprintln!("[oracle candidates: {:.1}s]", t0.elapsed().as_secs_f64());
         let t0 = Instant::now();
-        let matrix = match OutcomeMatrix::build_from_source(&source, &candidates, oracle_cfg.window)
-        {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("error: matrix scan failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        eprintln!("[oracle matrix: {:.1}s]", t0.elapsed().as_secs_f64());
-        let t0 = Instant::now();
-        let oracle = OracleSelector::analyze_matrix(&matrix, &oracle_cfg);
-        eprintln!("[oracle select: {:.1}s]", t0.elapsed().as_secs_f64());
+        let oracle = OracleSelector::analyze_matrix_parallel(&matrix, &oracle_cfg, jobs);
+        eprintln!(
+            "[oracle select: {:.1}s, {jobs} threads]",
+            t0.elapsed().as_secs_f64()
+        );
         println!("oracle branches: {}", oracle.branch_count());
         for k in 1..=3 {
             println!("oracle accuracy k={k}: {:.6}", oracle.accuracy(k));

@@ -306,6 +306,18 @@ impl Engine {
         self.jobs
     }
 
+    /// The shard budget a nested artifact build may claim right now: the
+    /// calling thread plus whatever workers the benchmark-level fan-out
+    /// currently leaves idle, never more than `--jobs`. Every nested
+    /// kernel produces results identical to its serial twin for any
+    /// budget, so this only steers wall-clock, never output.
+    fn nested_budget(&self) -> usize {
+        let spare = self
+            .jobs
+            .saturating_sub(self.active_workers.load(Ordering::Relaxed));
+        (spare + 1).min(self.jobs)
+    }
+
     /// The underlying trace set.
     pub fn traces(&self) -> &TraceSet {
         &self.traces
@@ -458,15 +470,22 @@ impl Engine {
             || {
                 let source = self.source(benchmark);
                 let t0 = Instant::now();
-                let candidates = TagCandidates::collect_from_source(
+                let shards = self.nested_budget();
+                let candidates = TagCandidates::collect_from_source_sharded(
                     &source,
                     cfg.window,
                     cfg.candidate_cap,
                     &TagScheme::ALL,
+                    shards,
                 )
                 .expect("trace stream failed");
-                let matrix = OutcomeMatrix::build_from_source(&source, &candidates, cfg.window)
-                    .expect("trace stream failed");
+                let matrix = OutcomeMatrix::build_from_source_sharded(
+                    &source,
+                    &candidates,
+                    cfg.window,
+                    shards,
+                )
+                .expect("trace stream failed");
                 let matrix_seconds = t0.elapsed().as_secs_f64();
                 let t1 = Instant::now();
                 let (result, shards) = self.sharded_select(&matrix, cfg);
@@ -547,7 +566,7 @@ impl Engine {
                             },
                         );
                         let t0 = Instant::now();
-                        let matrix = sweep.materialize(i);
+                        let matrix = sweep.materialize_parallel(i, self.nested_budget());
                         let matrix_seconds = t0.elapsed().as_secs_f64();
                         let t1 = Instant::now();
                         let (result, shards) = self.sharded_select(&matrix, &point);
@@ -659,7 +678,8 @@ impl Engine {
             .get_or_compute(benchmark, &self.cache.hits, &self.cache.misses, || {
                 let source = self.source(benchmark);
                 let t0 = Instant::now();
-                let streams = BranchStreams::from_source(&source).expect("trace stream failed");
+                let streams = BranchStreams::from_source_sharded(&source, self.nested_budget())
+                    .expect("trace stream failed");
                 self.record_classify_phases(benchmark, t0.elapsed().as_secs_f64(), 0.0, 0.0, 0);
                 streams
             })
@@ -679,7 +699,8 @@ impl Engine {
             &self.cache.misses,
             || {
                 let streams = self.streams(benchmark);
-                let (classification, phases) = Classifier::classify_streams_timed(&streams, cfg);
+                let (classification, phases) =
+                    Classifier::classify_streams_parallel(&streams, cfg, self.nested_budget());
                 self.record_classify_phases(
                     benchmark,
                     0.0,

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod cli;
 pub mod engine;
 pub mod ext_adaptivity;

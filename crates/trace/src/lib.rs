@@ -35,11 +35,17 @@
 //! assert_eq!(stats.static_conditional, 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the mmap module (the `.bps` artifact
+// store's zero-copy re-open path) carries the crate's only
+// `#[allow(unsafe_code)]` exceptions, mirroring bp-serve's `sys.rs`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bps;
+mod executor;
 pub mod fx;
 pub mod io;
+pub mod mmap;
 mod profile;
 mod record;
 mod recorder;
@@ -54,6 +60,8 @@ pub mod testgen;
 mod trace;
 mod window;
 
+pub use bps::{BpsBytes, BpsError, Words};
+pub use executor::{scan_sharded, shard_of, Chunk, ChunkStream};
 pub use fx::{FxHashMap, FxHashSet};
 pub use profile::{BranchProfile, ProfileEntry};
 pub use record::{BranchKind, BranchRecord, Pc};

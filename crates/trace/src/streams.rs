@@ -2,6 +2,8 @@ use crate::fx::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::bps::Words;
+use crate::executor::{scan_sharded, shard_of};
 use crate::io::TraceIoError;
 use crate::profile::{BranchProfile, ProfileEntry};
 use crate::record::{BranchRecord, Pc};
@@ -20,18 +22,27 @@ use crate::trace::Trace;
 /// execution at a time.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OutcomeStream {
-    words: Vec<u64>,
+    words: Words,
     len: usize,
 }
 
 impl OutcomeStream {
+    /// Wraps an already-packed plane (the `.bps` store's re-open path).
+    /// Bits at positions `>= len` must be zero, as [`OutcomeStream::push`]
+    /// guarantees and the store validates.
+    pub(crate) fn from_words(words: Words, len: usize) -> Self {
+        debug_assert_eq!(words.len(), len.div_ceil(64));
+        OutcomeStream { words, len }
+    }
+
     /// Appends one outcome.
     pub fn push(&mut self, taken: bool) {
+        let words = self.words.vec_mut();
         if self.len.is_multiple_of(64) {
-            self.words.push(0);
+            words.push(0);
         }
         if taken {
-            self.words[self.len / 64] |= 1u64 << (self.len % 64);
+            words[self.len / 64] |= 1u64 << (self.len % 64);
         }
         self.len += 1;
     }
@@ -184,6 +195,59 @@ impl BranchStreams {
         let mut sink = BranchStreams::sink();
         source.scan(&mut |chunk| sink.chunk(chunk))?;
         Ok(sink.finish())
+    }
+
+    /// Reassembles an artifact from already-built parts (the `.bps`
+    /// re-open path and the sharded builders' merge). `total_dynamic`
+    /// must equal the summed stream lengths.
+    pub(crate) fn from_parts(streams: FxHashMap<Pc, OutcomeStream>, total_dynamic: u64) -> Self {
+        debug_assert_eq!(
+            streams.values().map(|s| s.len() as u64).sum::<u64>(),
+            total_dynamic
+        );
+        BranchStreams {
+            streams,
+            total_dynamic,
+        }
+    }
+
+    /// Builds the artifact with the pipelined chunk executor: one scan on
+    /// the calling thread, `shards` workers each packing the streams of
+    /// the PCs they own. The partial maps are disjoint by PC, so their
+    /// union — and therefore the returned artifact — is identical to
+    /// [`BranchStreams::from_source`] for every shard count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's scan error.
+    pub fn from_source_sharded<T: TraceSource + Sync + ?Sized>(
+        source: &T,
+        shards: usize,
+    ) -> Result<Self, TraceIoError> {
+        let shards = shards.max(1);
+        let parts = scan_sharded(source, shards, |shard, chunks| {
+            let mut streams: FxHashMap<Pc, OutcomeStream> = FxHashMap::default();
+            let mut total = 0u64;
+            for chunk in chunks {
+                for rec in chunk.iter() {
+                    if rec.is_conditional() && shard_of(rec.pc, shards) == shard {
+                        streams.entry(rec.pc).or_default().push(rec.taken);
+                        total += 1;
+                    }
+                }
+            }
+            (streams, total)
+        })?;
+        let mut streams: FxHashMap<Pc, OutcomeStream> = FxHashMap::with_capacity_and_hasher(
+            parts.iter().map(|(m, _)| m.len()).sum(),
+            Default::default(),
+        );
+        let mut total = 0u64;
+        for (part, part_total) in parts {
+            streams.extend(part);
+            total += part_total;
+        }
+        Ok(BranchStreams::from_parts(streams, total))
     }
 
     /// The stream for a branch, if it executed.
@@ -370,6 +434,28 @@ mod tests {
             assert_eq!(sink.finish(), direct, "chunk size {chunk_size}");
         }
         assert_eq!(BranchStreams::from_source(&trace).unwrap(), direct);
+    }
+
+    #[test]
+    fn sharded_build_is_identical_for_every_shard_count() {
+        let mut recs = Vec::new();
+        for i in 0..5000u64 {
+            recs.push(BranchRecord::conditional(0x10 + (i % 23) * 8, i % 3 == 0));
+            if i % 7 == 0 {
+                recs.push(BranchRecord {
+                    pc: 0x900,
+                    target: 0x1000,
+                    taken: true,
+                    kind: crate::record::BranchKind::Jump,
+                });
+            }
+        }
+        let trace = Trace::from_records(recs);
+        let direct = BranchStreams::of(&trace);
+        for shards in [1usize, 2, 7, 64] {
+            let sharded = BranchStreams::from_source_sharded(&trace, shards).unwrap();
+            assert_eq!(sharded, direct, "shards = {shards}");
+        }
     }
 
     #[test]

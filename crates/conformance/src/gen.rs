@@ -1,189 +1,20 @@
-//! Adversarial trace-generator DSL.
+//! Adversarial trace corpus built on the shared [`bp_trace::script`] DSL.
 //!
-//! Random traces rarely hit the inputs that break bit-parallel kernels:
-//! runs crossing the 255 trip-count cap, patterns whose period straddles
-//! the 64-bit word size, histories exactly at ring capacity, PC maps
-//! where everything aliases. This module is a small composable DSL for
-//! writing exactly those traces — per-branch outcome scripts built from
-//! [`Segment`]s, interleaved into one trace by an [`Interleave`] policy —
-//! plus a seeded generator that mixes a canned set of known-nasty cases
-//! with random compositions drawn from adversarial parameter ranges.
+//! The trace DSL itself — [`Segment`] outcome scripts, [`Interleave`]
+//! policies, [`TraceSpec`] — started life here and now lives in
+//! [`bp_trace::script`] as a first-class workload source (bp-probe's
+//! measurement programs are composed from the same primitives). This
+//! module re-exports it and keeps what is conformance-specific: the
+//! canned set of known-nasty cases and the seeded generator that mixes
+//! them with random compositions drawn from adversarial parameter
+//! ranges. Every canned case is byte-identical to its pre-relocation
+//! expansion (pinned by `tests/dsl_relocation.rs`).
 
-use bp_trace::{BranchRecord, Pc, Trace};
+pub use bp_trace::script::{BranchScript, Interleave, Segment, TraceSpec};
+
+use bp_trace::Trace;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-
-/// One phase of a branch's outcome script.
-#[derive(Debug, Clone)]
-pub enum Segment {
-    /// `len` consecutive outcomes in the same direction — trip-cap and
-    /// popcount-word stress when `len` nears 255 or a multiple of 64.
-    Run {
-        /// Direction of every outcome in the run.
-        taken: bool,
-        /// Run length.
-        len: usize,
-    },
-    /// A fixed pattern repeated verbatim; periods near 63..=65 probe the
-    /// ring-capacity boundary of the k-ago sweep.
-    Pattern {
-        /// One period of outcomes.
-        bits: Vec<bool>,
-        /// Number of times the period is emitted.
-        repeats: usize,
-    },
-    /// A counted loop: `trip` taken outcomes then one not-taken exit,
-    /// repeated `exits` times — `trip` near 255 crosses the run-length
-    /// class-replay cap.
-    Loop {
-        /// Taken iterations before each exit.
-        trip: usize,
-        /// Number of complete loop executions.
-        exits: usize,
-    },
-    /// A pattern whose polarity inverts whenever the branch's cumulative
-    /// outcome index crosses a 64-outcome word boundary — the exact seam
-    /// word-parallel kernels split work at.
-    WordFlip {
-        /// One period of outcomes (pre-inversion).
-        bits: Vec<bool>,
-        /// Number of times the period is emitted.
-        repeats: usize,
-    },
-}
-
-impl Segment {
-    /// Appends this segment's outcomes to `out` (`out.len()` is the
-    /// branch's cumulative outcome index, which [`Segment::WordFlip`]
-    /// keys its polarity on).
-    fn expand(&self, out: &mut Vec<bool>) {
-        match self {
-            Segment::Run { taken, len } => out.extend(std::iter::repeat_n(*taken, *len)),
-            Segment::Pattern { bits, repeats } => {
-                for _ in 0..*repeats {
-                    out.extend_from_slice(bits);
-                }
-            }
-            Segment::Loop { trip, exits } => {
-                for _ in 0..*exits {
-                    out.extend(std::iter::repeat_n(true, *trip));
-                    out.push(false);
-                }
-            }
-            Segment::WordFlip { bits, repeats } => {
-                for _ in 0..*repeats {
-                    for &b in bits {
-                        let flip = (out.len() / 64) % 2 == 1;
-                        out.push(b ^ flip);
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// One static branch: an address, an optional backward target, and its
-/// outcome script.
-#[derive(Debug, Clone)]
-pub struct BranchScript {
-    /// The branch's address.
-    pub pc: Pc,
-    /// Taken-target; `Some(t)` with `t <= pc` makes the branch backward.
-    pub target: Option<Pc>,
-    /// Outcome script, expanded in order.
-    pub segments: Vec<Segment>,
-}
-
-impl BranchScript {
-    /// A forward branch at `pc` with the given script.
-    pub fn new(pc: Pc, segments: Vec<Segment>) -> Self {
-        BranchScript {
-            pc,
-            target: None,
-            segments,
-        }
-    }
-
-    /// The branch's full outcome sequence.
-    pub fn outcomes(&self) -> Vec<bool> {
-        let mut out = Vec::new();
-        for seg in &self.segments {
-            seg.expand(&mut out);
-        }
-        out
-    }
-}
-
-/// How per-branch outcome scripts are merged into one dynamic trace.
-#[derive(Debug, Clone, Copy)]
-pub enum Interleave {
-    /// One outcome from each live branch per round, in script order.
-    RoundRobin,
-    /// `n` consecutive outcomes from each live branch per round.
-    Blocks(usize),
-    /// Globally shuffled execution order (seeded, deterministic); every
-    /// branch still sees its own outcomes in script order.
-    Shuffled(u64),
-}
-
-/// A complete trace specification.
-#[derive(Debug, Clone)]
-pub struct TraceSpec {
-    /// The static branches.
-    pub branches: Vec<BranchScript>,
-    /// Merge policy.
-    pub interleave: Interleave,
-}
-
-impl TraceSpec {
-    /// Builds the dynamic trace.
-    pub fn build(&self) -> Trace {
-        let outcomes: Vec<Vec<bool>> = self.branches.iter().map(BranchScript::outcomes).collect();
-        let order: Vec<usize> = match self.interleave {
-            Interleave::RoundRobin => interleave_blocks(&outcomes, 1),
-            Interleave::Blocks(n) => interleave_blocks(&outcomes, n.max(1)),
-            Interleave::Shuffled(seed) => {
-                let mut order: Vec<usize> = outcomes
-                    .iter()
-                    .enumerate()
-                    .flat_map(|(b, o)| std::iter::repeat_n(b, o.len()))
-                    .collect();
-                order.shuffle(&mut StdRng::seed_from_u64(seed));
-                order
-            }
-        };
-        let mut next = vec![0usize; outcomes.len()];
-        let mut recs = Vec::with_capacity(order.len());
-        for b in order {
-            let script = &self.branches[b];
-            let taken = outcomes[b][next[b]];
-            next[b] += 1;
-            let rec = BranchRecord::conditional(script.pc, taken);
-            recs.push(match script.target {
-                Some(t) => rec.with_target(t),
-                None => rec,
-            });
-        }
-        Trace::from_records(recs)
-    }
-}
-
-/// Emission order for block interleaving: `n` outcomes per live branch
-/// per round until all scripts are drained.
-fn interleave_blocks(outcomes: &[Vec<bool>], n: usize) -> Vec<usize> {
-    let total: usize = outcomes.iter().map(Vec::len).sum();
-    let mut emitted = vec![0usize; outcomes.len()];
-    let mut order = Vec::with_capacity(total);
-    while order.len() < total {
-        for (b, o) in outcomes.iter().enumerate() {
-            let take = n.min(o.len() - emitted[b]);
-            order.extend(std::iter::repeat_n(b, take));
-            emitted[b] += take;
-        }
-    }
-    order
-}
 
 /// A generated trace with a human-readable case name.
 #[derive(Debug, Clone)]
@@ -317,7 +148,7 @@ fn canned_cases() -> Vec<NamedTrace> {
 
 /// One random segment with parameters drawn from adversarial ranges
 /// (lengths clustered at the 64-word and 255-cap boundaries).
-fn random_segment(rng: &mut StdRng) -> Segment {
+pub(crate) fn random_segment(rng: &mut StdRng) -> Segment {
     match rng.gen_range(0u32..4) {
         0 => Segment::Run {
             taken: rng.gen_bool(0.5),
@@ -359,7 +190,7 @@ fn random_segment(rng: &mut StdRng) -> Segment {
 /// One random composition: a few branches (PC strides from dense to
 /// aliasing-heavy), each a chain of random segments, randomly
 /// interleaved.
-fn random_case(rng: &mut StdRng, idx: usize) -> NamedTrace {
+pub(crate) fn random_spec(rng: &mut StdRng) -> TraceSpec {
     const STRIDES: [u64; 3] = [4, 0x100, 0x10000];
     let stride = STRIDES[rng.gen_range(0usize..STRIDES.len())];
     let n_branches = rng.gen_range(1usize..6);
@@ -381,14 +212,26 @@ fn random_case(rng: &mut StdRng, idx: usize) -> NamedTrace {
         1 => Interleave::Blocks(rng.gen_range(1usize..80)),
         _ => Interleave::Shuffled(rng.gen::<u64>()),
     };
+    TraceSpec {
+        branches,
+        interleave,
+    }
+}
+
+fn random_case(rng: &mut StdRng, idx: usize) -> NamedTrace {
     NamedTrace {
         name: format!("random-{idx}"),
-        trace: TraceSpec {
-            branches,
-            interleave,
-        }
-        .build(),
+        trace: random_spec(rng).build(),
     }
+}
+
+/// A seeded stream of random [`TraceSpec`]s from the adversarial
+/// parameter ranges — the raw material of the corpus, exposed so the
+/// relocation tests can compare both emission paths on exactly the
+/// specs the corpus draws from.
+pub fn random_specs(seed: u64, count: usize) -> Vec<TraceSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| random_spec(&mut rng)).collect()
 }
 
 /// The adversarial corpus: every canned case, then random compositions
@@ -410,78 +253,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn segments_expand_as_specified() {
-        let script = BranchScript::new(
-            0x40,
-            vec![
-                Segment::Run {
-                    taken: true,
-                    len: 3,
-                },
-                Segment::Loop { trip: 2, exits: 1 },
-                Segment::Pattern {
-                    bits: vec![false, true],
-                    repeats: 2,
-                },
-            ],
-        );
-        assert_eq!(
-            script.outcomes(),
-            vec![true, true, true, true, true, false, false, true, false, true]
-        );
-    }
-
-    #[test]
-    fn word_flip_inverts_exactly_at_word_boundaries() {
-        let script = BranchScript::new(
-            0x40,
-            vec![Segment::WordFlip {
-                bits: vec![true],
-                repeats: 192,
-            }],
-        );
-        let outcomes = script.outcomes();
-        assert_eq!(outcomes.len(), 192);
-        for (i, &o) in outcomes.iter().enumerate() {
-            assert_eq!(o, (i / 64) % 2 == 0, "outcome {i}");
-        }
-    }
-
-    #[test]
-    fn interleaves_preserve_per_branch_order() {
-        let spec = TraceSpec {
-            branches: vec![
-                BranchScript::new(
-                    0x100,
-                    vec![Segment::Pattern {
-                        bits: vec![true, false, true],
-                        repeats: 5,
-                    }],
-                ),
-                BranchScript::new(
-                    0x200,
-                    vec![Segment::Run {
-                        taken: false,
-                        len: 9,
-                    }],
-                ),
-            ],
-            interleave: Interleave::Shuffled(7),
-        };
-        let trace = spec.build();
-        assert_eq!(trace.conditional_count(), 24);
-        for script in &spec.branches {
-            let want = script.outcomes();
-            let got: Vec<bool> = trace
-                .conditionals()
-                .filter(|r| r.pc == script.pc)
-                .map(|r| r.taken)
-                .collect();
-            assert_eq!(got, want, "branch {:#x}", script.pc);
-        }
-    }
-
-    #[test]
     fn corpus_is_deterministic_and_named() {
         let a = corpus(9, 24);
         let b = corpus(9, 24);
@@ -496,6 +267,31 @@ mod tests {
                 .zip(&c)
                 .any(|(x, y)| x.trace.records() != y.trace.records()),
             "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn canned_cases_are_thirteen_and_stable() {
+        let canned = corpus(0, 0);
+        assert_eq!(canned.len(), 13);
+        let names: Vec<&str> = canned.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "run-crossing-words",
+                "trip-cap-254",
+                "trip-cap-255",
+                "trip-cap-256",
+                "ring-capacity-63",
+                "ring-capacity-64",
+                "ring-capacity-65",
+                "word-boundary-flip",
+                "tiny-1",
+                "tiny-64",
+                "tiny-65",
+                "aliasing-low-bits",
+                "correlated-copy",
+            ]
         );
     }
 }

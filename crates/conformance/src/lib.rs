@@ -8,9 +8,10 @@
 //! algebraic laws relating them to each other. This crate turns those
 //! relations into a runnable subsystem:
 //!
-//! * [`gen`] — a trace-generator DSL composing loop nests, fixed and
+//! * [`gen`] — adversarial corpora composed from the shared
+//!   [`bp_trace::script`] DSL (re-exported here): loop nests, fixed and
 //!   block patterns, word-boundary polarity flips, ring-capacity-length
-//!   histories, and aliasing-heavy PC maps into adversarial corpora.
+//!   histories, and aliasing-heavy PC maps.
 //! * [`diff`] — differential runners replaying each corpus trace through
 //!   every optimized kernel and its specification, reporting first
 //!   divergence with a ddmin-minimized reproducer trace.

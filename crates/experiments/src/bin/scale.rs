@@ -8,6 +8,7 @@
 //! scale --target 1b --skip-oracle                classification only
 //! scale --target 100m --jobs 8                   sharded executor + parallel kernels
 //! scale --target 1b --artifacts DIR              reuse packed .bps artifacts (mmap)
+//! scale --artifacts DIR --artifacts-budget-gb 2  cap the store, LRU-evict over budget
 //! ```
 //!
 //! The artifact summary on stdout is deterministic and identical between
@@ -20,7 +21,10 @@
 //! window from the `--cache` stream file. With `--artifacts DIR` the
 //! packed streams and oracle matrix are persisted as `.bps` files on
 //! first use and re-opened zero-copy afterwards; a rotten artifact is
-//! evicted with a one-line notice and rebuilt.
+//! evicted with a one-line notice and rebuilt. `--artifacts-budget-gb`
+//! caps the store: when a save busts the budget, least-recently-used
+//! artifacts (loads refresh recency) are evicted, again one notice per
+//! file, sparing whatever the current run just wrote.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -38,8 +42,8 @@ use bp_workloads::{Benchmark, WorkloadConfig};
 fn usage() {
     eprintln!(
         "usage: scale [--bench NAME] [--target N[k|m|b]] [--seed N] [--cache DIR] \
-         [--artifacts DIR] [--jobs N] [--materialized] [--skip-oracle] \
-         [--oracle-window N] [--oracle-cap N]"
+         [--artifacts DIR] [--artifacts-budget-gb F] [--jobs N] [--materialized] \
+         [--skip-oracle] [--oracle-window N] [--oracle-cap N]"
     );
     let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
     eprintln!("benchmarks: {}", names.join(" "));
@@ -57,6 +61,7 @@ fn main() -> ExitCode {
     let mut cfg = WorkloadConfig::default().with_target(10_000_000);
     let mut cache_dir: Option<String> = None;
     let mut artifacts_dir: Option<String> = None;
+    let mut artifacts_budget: Option<u64> = None;
     let mut jobs = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -117,6 +122,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--artifacts-budget-gb" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(gb) if gb > 0.0 => {
+                    artifacts_budget = Some((gb * (1u64 << 30) as f64) as u64);
+                }
+                _ => {
+                    eprintln!("error: --artifacts-budget-gb needs a positive size in GiB");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
             "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => jobs = n,
                 _ => {
@@ -172,7 +187,7 @@ fn main() -> ExitCode {
     let source = traces.source(bench);
     let store = match &artifacts_dir {
         Some(dir) => match ArtifactStore::open(dir) {
-            Ok(s) => Some(s),
+            Ok(s) => Some(s.with_budget(artifacts_budget)),
             Err(e) => {
                 eprintln!("error: cannot open artifact directory {dir}: {e}");
                 return ExitCode::FAILURE;

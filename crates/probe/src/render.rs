@@ -1,0 +1,161 @@
+//! Deterministic `repro`-style rendering of sweep results: accuracy
+//! tables, per-predictor cliff tables, and ASCII accuracy curves.
+//!
+//! Everything here is a pure function of the sweep data — no
+//! timestamps, thread counts, or float formatting that could vary by
+//! platform — so the report diffs clean across `--jobs` values and CI
+//! hosts, and can be committed as a golden.
+
+use bp_experiments::render::Table;
+
+use crate::sweep::{Cliff, ProbeKind, SweepResult};
+
+/// Glyphs for the accuracy curves, dimmest to brightest; accuracy 0–100%
+/// maps linearly onto them.
+const CURVE_GLYPHS: &[u8] = b" .:-=+*#%@";
+
+fn fmt_pct(p: f64) -> String {
+    format!("{p:.2}")
+}
+
+/// The per-point accuracy table for one sweep: one row per grid value,
+/// one column per predictor.
+pub fn accuracy_table(result: &SweepResult) -> Table {
+    let title = format!("{} — accuracy %", result.kind.title());
+    let mut headers: Vec<&str> = vec![result.kind.param()];
+    headers.extend(result.labels.iter().map(String::as_str));
+    let mut table = Table::new(&title, &headers);
+    for point in &result.points {
+        let mut row = vec![point.value.to_string()];
+        row.extend(point.accuracy_pct.iter().map(|&a| fmt_pct(a)));
+        table.row(row);
+    }
+    table
+}
+
+/// The cliff table for one sweep: one row per predictor. For the loop
+/// probe the measured capacity (`cliff - 1`) gets its own column, since
+/// the trip that *breaks* the predictor is one past the longest trip it
+/// can still capture.
+pub fn cliff_table(result: &SweepResult, cliffs: &[Option<Cliff>]) -> Table {
+    let title = format!("{} — cliffs", result.kind.title());
+    let capacity_col = result.kind == ProbeKind::HistoryLoop;
+    let mut headers = vec!["predictor", "cliff at", "drop (pp)", "before", "after"];
+    if capacity_col {
+        headers.push("capacity");
+    }
+    let mut table = Table::new(&title, &headers);
+    for (label, cliff) in result.labels.iter().zip(cliffs) {
+        let mut row = match cliff {
+            Some(c) => vec![
+                label.clone(),
+                c.at.to_string(),
+                format!("{:.1}", c.drop_pp),
+                fmt_pct(c.before_pct),
+                fmt_pct(c.after_pct),
+            ],
+            None => vec![
+                label.clone(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+            ],
+        };
+        if capacity_col {
+            row.push(match cliff {
+                Some(c) => (c.at - 1).to_string(),
+                None => "—".into(),
+            });
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// ASCII accuracy curves: one line per predictor, one glyph per grid
+/// point, accuracy 0–100% mapped onto ` .:-=+*#%@`. A capacity cliff
+/// reads as the glyph falling off mid-line.
+pub fn curves(result: &SweepResult, cliffs: &[Option<Cliff>]) -> String {
+    let width = result.labels.iter().map(String::len).max().unwrap_or(0);
+    let first = result.points.first().map_or(0, |p| p.value);
+    let last = result.points.last().map_or(0, |p| p.value);
+    let mut out = format!(
+        "curves ({} = {first}..{last}, accuracy 0-100% as ` .:-=+*#%@`):\n",
+        result.kind.param()
+    );
+    for (col, label) in result.labels.iter().enumerate() {
+        let mut line = format!("  {label:<width$} |");
+        for point in &result.points {
+            let a = point.accuracy_pct[col].clamp(0.0, 100.0);
+            let idx = ((a / 100.0) * (CURVE_GLYPHS.len() - 1) as f64).round() as usize;
+            line.push(CURVE_GLYPHS[idx] as char);
+        }
+        line.push('|');
+        match cliffs[col] {
+            Some(c) => line.push_str(&format!(" cliff@{}", c.at)),
+            None => line.push_str(" —"),
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one sweep section: accuracy table, cliff table, curves.
+pub fn section(result: &SweepResult, cliffs: &[Option<Cliff>]) -> String {
+    format!(
+        "{}\n{}\n{}",
+        accuracy_table(result),
+        cliff_table(result, cliffs),
+        curves(result, cliffs)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepPoint;
+
+    fn sample() -> SweepResult {
+        SweepResult {
+            kind: ProbeKind::PaddingGlobal,
+            labels: vec!["gshare(4)".into(), "smith(4)".into()],
+            points: (0..6)
+                .map(|v| SweepPoint {
+                    value: v,
+                    accuracy_pct: vec![if v < 4 { 99.5 } else { 60.0 }, 60.0],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn section_contains_tables_and_curves() {
+        let r = sample();
+        let cliffs = r.cliffs(10.0);
+        let s = section(&r, &cliffs);
+        assert!(s.contains("## Padding sweep (global correlated pair) — accuracy %"));
+        assert!(s.contains("## Padding sweep (global correlated pair) — cliffs"));
+        assert!(s.contains("cliff@4"), "gshare cliff annotated:\n{s}");
+        let cliff_section = s.split("— cliffs").nth(1).expect("cliff table present");
+        let smith_row = cliff_section
+            .lines()
+            .find(|l| l.contains("smith(4)"))
+            .expect("smith cliff row");
+        assert!(smith_row.contains('—'), "no smith cliff: {smith_row}");
+        assert!(s.contains("curves (pads = 0..5"));
+    }
+
+    #[test]
+    fn curves_scale_accuracy_to_glyphs() {
+        let r = sample();
+        let cliffs = r.cliffs(10.0);
+        let c = curves(&r, &cliffs);
+        let gshare_line = c.lines().find(|l| l.contains("gshare")).unwrap();
+        assert!(
+            gshare_line.contains("@@@@++"),
+            "step visible: {gshare_line}"
+        );
+    }
+}

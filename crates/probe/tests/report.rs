@@ -1,0 +1,49 @@
+//! Integration tests for the probe report: the default padding sweep is
+//! pinned byte-for-byte against a committed golden (the same bytes
+//! `bp-probe sweep padding` prints and CI diffs), and the report is
+//! identical whatever `--jobs` value fanned the grid out.
+
+use bp_probe::{run_probes, ProbeKind, ReportConfig};
+
+const PADDING_KINDS: &[ProbeKind] = &[ProbeKind::PaddingGlobal, ProbeKind::PaddingLocal];
+
+#[test]
+fn default_padding_sweep_matches_the_committed_golden() {
+    let report = run_probes(PADDING_KINDS, &ReportConfig::default());
+    let golden = include_str!("goldens/sweep_padding.txt");
+    assert_eq!(
+        report.render(),
+        golden,
+        "default `bp-probe sweep padding` output drifted from the golden; \
+         if the change is intentional, regenerate \
+         crates/probe/tests/goldens/sweep_padding.txt"
+    );
+}
+
+#[test]
+fn default_cliffs_land_at_the_configured_depths() {
+    let report = run_probes(PADDING_KINDS, &ReportConfig::default());
+    report
+        .check_assertion("gshare(16)", 16)
+        .expect("gshare cliffs at its global history depth");
+    report
+        .check_assertion("pas(12,10,4)", 12)
+        .expect("pas cliffs at its per-address history depth");
+    report
+        .check_assertion("gas(12,4)", 12)
+        .expect("gas cliffs at its global history depth");
+}
+
+#[test]
+fn report_bytes_are_identical_across_jobs() {
+    let config = |jobs: usize| {
+        let mut cfg = ReportConfig::default();
+        cfg.sweep.rounds = 600;
+        cfg.sweep.jobs = jobs;
+        cfg.padding_grid = (0..=10).collect();
+        cfg
+    };
+    let serial = run_probes(PADDING_KINDS, &config(1)).render();
+    let fanned = run_probes(PADDING_KINDS, &config(4)).render();
+    assert_eq!(serial, fanned, "sweep fan-out must not reorder the grid");
+}

@@ -7,10 +7,19 @@
 //! bp-client [--addr HOST:PORT] ping [--delay-ms N]
 //! bp-client [--addr HOST:PORT]... shutdown
 //! bp-client [--addr HOST:PORT]... bench --conns N --requests M [--experiment ID]
-//!           [--seed N] [--spread K] [--target N] [--rps R] [--deadline-ms N]
+//!           [--seed N] [--spread K] [--target N] [--rps R | --rate R] [--deadline-ms N]
 //!           [--chaos-kill SHARD --chaos-after-ms T] [--json]
 //! bp-client [--addr HOST:PORT] idle --conns N [--hold-ms T]
 //! ```
+//!
+//! `bench --rps R` throttles the closed loop (each connection sleeps
+//! from its last send, so a stalled server quietly slows the offered
+//! load). `bench --rate R` is the open-loop mode: all sends are
+//! scheduled up front at R req/s across the fleet and never re-anchored,
+//! and the report adds queueing-delay percentiles — how late each send
+//! actually left relative to its schedule — next to the usual service
+//! latency. Use `--rate` for latency-under-load measurements; `--rps`
+//! only bounds throughput.
 //!
 //! `--addr` may repeat: `eval`, `bench`, and `shutdown` then treat the
 //! addresses as a shard fleet, routing each key over the consistent-hash
@@ -39,7 +48,7 @@ fn usage() {
          \x20 trace PATH --predictor gshare|if_gshare|pas|if_pas [--bits N] [--history-bits N]\n\
          \x20 stats | ping [--delay-ms N] | shutdown\n\
          \x20 bench --conns N --requests M [--experiment ID] [--seed N] [--spread K] [--target N] \
-         [--rps R] [--deadline-ms N] [--chaos-kill SHARD --chaos-after-ms T] [--json]\n\
+         [--rps R | --rate R] [--deadline-ms N] [--chaos-kill SHARD --chaos-after-ms T] [--json]\n\
          \x20 idle --conns N [--hold-ms T]\n\
          \x20 retry (eval/bench): [--retries N] [--retry-base-ms T] [--retry-seed N]"
     );
@@ -346,6 +355,17 @@ fn main() -> ExitCode {
                     None => None,
                     Some(v) => Some(v.parse::<f64>().map_err(|_| "bad --rps")?),
                 };
+                let rate = match opt(&flags, "rate") {
+                    None => None,
+                    Some(v) => Some(v.parse::<f64>().map_err(|_| "bad --rate")?),
+                };
+                if rps.is_some() && rate.is_some() {
+                    return Err(
+                        "--rps (closed-loop throttle) and --rate (open-loop schedule) \
+                         are mutually exclusive"
+                            .into(),
+                    );
+                }
                 let retry = retry_policy(&flags).map_err(|()| "bad retry flags")?;
                 let chaos_kill = opt_u64(&flags, "chaos-kill").map_err(|()| "bad --chaos-kill")?;
                 let chaos_after =
@@ -375,6 +395,7 @@ fn main() -> ExitCode {
                     target: target.unwrap_or(defaults.target_branches as u64),
                     deadline_ms: deadline,
                     rps,
+                    rate,
                     retry,
                     chaos,
                 };

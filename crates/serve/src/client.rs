@@ -1,7 +1,17 @@
 //! Clients for the `bp-serve` protocol: the blocking single-connection
 //! [`Client`], the ring-routing [`ShardedClient`] with bounded
-//! retry/backoff and failover, and the closed-loop load generator
-//! behind `bp-client bench` (including its kill-a-shard chaos mode).
+//! retry/backoff and failover, and the load generator behind
+//! `bp-client bench` (including its kill-a-shard chaos mode).
+//!
+//! The generator has two pacing modes. The default closed loop issues
+//! the next request as soon as the previous one completes (optionally
+//! throttled by `rps`, which sleeps *from the last send* — a slow
+//! response silently stretches the schedule, the classic coordinated
+//! omission). The open loop (`rate`) instead fixes every request's send
+//! time up front from the run start and never re-anchors: when the
+//! server stalls, the slippage accumulates and is reported as queueing
+//! delay alongside the service-latency percentiles, which is what a
+//! latency-under-load claim actually needs.
 
 use std::fmt;
 use std::net::TcpStream;
@@ -398,6 +408,11 @@ pub struct BenchOptions {
     /// Optional total request rate; each connection paces itself at
     /// `rps / conns`. `None` = as fast as the closed loop allows.
     pub rps: Option<f64>,
+    /// Optional open-loop rate: request `j` of connection `k` is due at
+    /// `start + (j * conns + k) / rate` regardless of how the server is
+    /// doing, and the send-deadline slippage is reported as queueing
+    /// delay. Takes precedence over `rps` when both are set.
+    pub rate: Option<f64>,
     /// Per-shard retry/backoff policy.
     pub retry: RetryPolicy,
     /// Optional kill-one-shard chaos mode.
@@ -416,6 +431,7 @@ impl Default for BenchOptions {
             target: 40_000,
             deadline_ms: None,
             rps: None,
+            rate: None,
             retry: RetryPolicy::default(),
             chaos: None,
         }
@@ -451,6 +467,18 @@ pub struct BenchReport {
     pub p999_ms: f64,
     /// Maximum latency, milliseconds.
     pub max_ms: f64,
+    /// Whether the run was open-loop (`rate` set); gates the queueing
+    /// fields below, which are meaningless under closed-loop pacing.
+    pub open_loop: bool,
+    /// Median queueing delay, milliseconds: how far behind its fixed
+    /// schedule the median request was actually sent (0 = on time).
+    pub queue_p50_ms: f64,
+    /// 99th-percentile queueing delay, milliseconds.
+    pub queue_p99_ms: f64,
+    /// 99.9th-percentile queueing delay, milliseconds.
+    pub queue_p999_ms: f64,
+    /// Maximum queueing delay, milliseconds.
+    pub queue_max_ms: f64,
 }
 
 impl BenchReport {
@@ -462,9 +490,10 @@ impl BenchReport {
         sorted_ms[rank - 1]
     }
 
-    /// Renders the report as the `bp-client bench` text output.
+    /// Renders the report as the `bp-client bench` text output. Open-loop
+    /// runs get an extra queueing-delay line.
     pub fn render_text(&self) -> String {
-        format!(
+        let mut out = format!(
             "requests: {} ({} ok, {} cached, {} overloaded, {} deadline, \
              {} unreachable, {} other errors)\n\
              wall: {:.3}s  throughput: {:.1} req/s\n\
@@ -482,17 +511,26 @@ impl BenchReport {
             self.p99_ms,
             self.p999_ms,
             self.max_ms
-        )
+        );
+        if self.open_loop {
+            out.push_str(&format!(
+                "\nqueueing delay ms (slip past the send schedule): p50 {:.3}  \
+                 p99 {:.3}  p999 {:.3}  max {:.3}",
+                self.queue_p50_ms, self.queue_p99_ms, self.queue_p999_ms, self.queue_max_ms
+            ));
+        }
+        out
     }
 
     /// Renders the report as a JSON object (the shape recorded in
-    /// `BENCH_repro.json`).
+    /// `BENCH_repro.json`). Closed-loop runs keep the historical field
+    /// set; open-loop runs append the queueing-delay percentiles.
     pub fn render_json(&self) -> String {
-        format!(
+        let mut out = format!(
             "{{\"sent\": {}, \"ok\": {}, \"cached\": {}, \"overloaded\": {}, \
              \"deadline\": {}, \"unreachable\": {}, \"other_errors\": {}, \
              \"wall_seconds\": {:.3}, \"achieved_rps\": {:.1}, \"p50_ms\": {:.3}, \
-             \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \"max_ms\": {:.3}}}",
+             \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \"max_ms\": {:.3}",
             self.sent,
             self.ok,
             self.cached,
@@ -506,16 +544,27 @@ impl BenchReport {
             self.p99_ms,
             self.p999_ms,
             self.max_ms
-        )
+        );
+        if self.open_loop {
+            out.push_str(&format!(
+                ", \"queue_p50_ms\": {:.3}, \"queue_p99_ms\": {:.3}, \
+                 \"queue_p999_ms\": {:.3}, \"queue_max_ms\": {:.3}",
+                self.queue_p50_ms, self.queue_p99_ms, self.queue_p999_ms, self.queue_max_ms
+            ));
+        }
+        out.push('}');
+        out
     }
 }
 
-/// Runs the load generator: `conns` closed-loop connections, each
-/// issuing `requests_per_conn` eval requests routed over the shard
-/// ring (seeds cycle over `seed..seed+seed_spread`). With one address
-/// and one seed this is exactly the warm-cache serving path; with
-/// chaos enabled, one shard is killed mid-run and the report shows how
-/// failover absorbed it.
+/// Runs the load generator: `conns` connections, each issuing
+/// `requests_per_conn` eval requests routed over the shard ring (seeds
+/// cycle over `seed..seed+seed_spread`). With one address and one seed
+/// this is exactly the warm-cache serving path; with chaos enabled, one
+/// shard is killed mid-run and the report shows how failover absorbed
+/// it. With `rate` set the run is open-loop: every request's send time
+/// is fixed before the run starts, late sends are recorded as queueing
+/// delay, and the schedule is never stretched to match the server.
 ///
 /// # Errors
 ///
@@ -536,12 +585,16 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, ClientError> {
             attempts: opts.addrs.len() as u32,
         });
     }
-    let pace = opts
-        .rps
-        .filter(|r| *r > 0.0)
-        .map(|rps| Duration::from_secs_f64(opts.conns as f64 / rps));
+    let rate = opts.rate.filter(|r| *r > 0.0);
+    let pace = if rate.is_some() {
+        None
+    } else {
+        opts.rps
+            .filter(|r| *r > 0.0)
+            .map(|rps| Duration::from_secs_f64(opts.conns as f64 / rps))
+    };
     let started = Instant::now();
-    let per_conn: Vec<(Vec<f64>, BenchReport)> = std::thread::scope(|scope| {
+    let per_conn: Vec<(Vec<f64>, Vec<f64>, BenchReport)> = std::thread::scope(|scope| {
         let chaos = opts.chaos.clone().map(|chaos| {
             let addr = opts
                 .addrs
@@ -557,6 +610,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, ClientError> {
             .map(|conn_idx| {
                 scope.spawn(move || {
                     let mut latencies_ms: Vec<f64> = Vec::new();
+                    let mut queue_ms: Vec<f64> = Vec::new();
                     let mut report = BenchReport::default();
                     // Distinct jitter seed per connection so backoff
                     // sleeps desynchronize (still deterministic).
@@ -567,7 +621,24 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, ClientError> {
                     let mut client = ShardedClient::new(opts.addrs.clone(), retry);
                     let mut next_fire = Instant::now();
                     for r in 0..opts.requests_per_conn {
-                        if let Some(interval) = pace {
+                        if let Some(rate) = rate {
+                            // Open loop: the whole fleet's sends are
+                            // interleaved round-robin on one global
+                            // schedule anchored at the run start. A
+                            // slow response never pushes later
+                            // deadlines back; it shows up as slip.
+                            let due = started
+                                + Duration::from_secs_f64(
+                                    (r * opts.conns + conn_idx) as f64 / rate,
+                                );
+                            let now = Instant::now();
+                            if due > now {
+                                std::thread::sleep(due - now);
+                                queue_ms.push(0.0);
+                            } else {
+                                queue_ms.push((now - due).as_secs_f64() * 1e3);
+                            }
+                        } else if let Some(interval) = pace {
                             let now = Instant::now();
                             if next_fire > now {
                                 std::thread::sleep(next_fire - now);
@@ -600,7 +671,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, ClientError> {
                             Err(_) => report.other_errors += 1,
                         }
                     }
-                    (latencies_ms, report)
+                    (latencies_ms, queue_ms, report)
                 })
             })
             .collect();
@@ -619,8 +690,10 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, ClientError> {
         ..BenchReport::default()
     };
     let mut latencies: Vec<f64> = Vec::new();
-    for (lat, r) in per_conn {
+    let mut queue_delays: Vec<f64> = Vec::new();
+    for (lat, queue, r) in per_conn {
         latencies.extend(lat);
+        queue_delays.extend(queue);
         merged.sent += r.sent;
         merged.ok += r.ok;
         merged.cached += r.cached;
@@ -639,5 +712,13 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, ClientError> {
     merged.p99_ms = BenchReport::quantile(&latencies, 0.99);
     merged.p999_ms = BenchReport::quantile(&latencies, 0.999);
     merged.max_ms = latencies.last().copied().unwrap_or(0.0);
+    if rate.is_some() {
+        queue_delays.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+        merged.open_loop = true;
+        merged.queue_p50_ms = BenchReport::quantile(&queue_delays, 0.50);
+        merged.queue_p99_ms = BenchReport::quantile(&queue_delays, 0.99);
+        merged.queue_p999_ms = BenchReport::quantile(&queue_delays, 0.999);
+        merged.queue_max_ms = queue_delays.last().copied().unwrap_or(0.0);
+    }
     Ok(merged)
 }

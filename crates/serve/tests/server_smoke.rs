@@ -12,8 +12,8 @@ use std::time::Duration;
 
 use bp_experiments::{run_experiment, Engine, ExperimentConfig, TraceSet};
 use bp_serve::{
-    read_frame, spawn, write_frame, Client, ErrorCode, PredictorSpec, Response, ServerConfig,
-    ServerHandle, DEFAULT_MAX_FRAME,
+    read_frame, run_bench, spawn, write_frame, BenchOptions, Client, ErrorCode, PredictorSpec,
+    Response, ServerConfig, ServerHandle, DEFAULT_MAX_FRAME,
 };
 use bp_trace::{BranchKind, BranchRecord, Trace};
 use bp_workloads::WorkloadConfig;
@@ -553,4 +553,51 @@ fn restarted_server_serves_prior_working_set_from_the_warm_cache() {
     handle.begin_drain();
     handle.join();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn open_loop_bench_reports_queueing_delay_and_closed_loop_does_not() {
+    let seed = unique_seed();
+    let handle = quiet_server(2, 16);
+    let addr = handle.local_addr().to_string();
+
+    // Open loop at a rate this warm-cache path meets easily: the report
+    // carries the queueing-delay percentiles and renders them.
+    let open = run_bench(&BenchOptions {
+        addrs: vec![addr.clone()],
+        conns: 2,
+        requests_per_conn: 6,
+        seed,
+        target: TARGET,
+        rate: Some(400.0),
+        ..BenchOptions::default()
+    })
+    .expect("open-loop bench");
+    assert_eq!(open.sent, 12);
+    assert_eq!(open.ok, 12, "all requests answered: {open:?}");
+    assert!(open.open_loop);
+    assert!(
+        open.queue_max_ms >= open.queue_p50_ms,
+        "queue percentiles ordered: {open:?}"
+    );
+    assert!(open.render_text().contains("queueing delay ms"));
+    assert!(open.render_json().contains("\"queue_p50_ms\""));
+
+    // The same run closed-loop keeps the historical report shape: no
+    // queueing fields in either rendering.
+    let closed = run_bench(&BenchOptions {
+        addrs: vec![addr],
+        conns: 2,
+        requests_per_conn: 6,
+        seed,
+        target: TARGET,
+        ..BenchOptions::default()
+    })
+    .expect("closed-loop bench");
+    assert!(!closed.open_loop);
+    assert!(!closed.render_text().contains("queueing delay"));
+    assert!(!closed.render_json().contains("queue_p50_ms"));
+
+    handle.begin_drain();
+    handle.join();
 }

@@ -18,6 +18,11 @@
 //! * [`BranchStreams`] — per-branch outcomes packed 64 per u64 word, the
 //!   bit-parallel substrate of the §4 classification kernels (profiles by
 //!   popcount, run-length decomposition by trailing-zero scans).
+//! * [`script`] — the synthetic-workload DSL: per-branch outcome scripts
+//!   ([`script::Segment`], [`script::BranchScript`]) interleaved into one
+//!   trace ([`script::TraceSpec`]), emitted eagerly or streamed through
+//!   any [`TraceSink`]. Shared by the conformance corpus and the
+//!   `bp-probe` measurement programs.
 //!
 //! # Example
 //!
@@ -49,6 +54,7 @@ pub mod mmap;
 mod profile;
 mod record;
 mod recorder;
+pub mod script;
 pub mod sidecar;
 mod sink;
 mod source;

@@ -1,0 +1,552 @@
+//! First-class synthetic-workload DSL: per-branch outcome scripts,
+//! interleaving policies, and streaming emission.
+//!
+//! Born as the conformance suite's adversarial trace generator, this
+//! module is the workspace's one shared way to *say what a trace does*:
+//! per-branch outcome scripts built from [`Segment`]s, merged into one
+//! dynamic trace by an [`Interleave`] policy. Conformance composes
+//! kernel-boundary nasties from it (runs crossing the 255 trip cap,
+//! patterns straddling the 64-bit word size), and `bp-probe` composes
+//! measurement programs (correlated pairs with variable padding,
+//! loop-trip capacity probes, PC-aliasing pairs) against the predictor
+//! zoo.
+//!
+//! Two emission paths, property-tested byte-identical:
+//!
+//! * [`TraceSpec::build`] — the eager reference: expand every script to
+//!   a `Vec<bool>`, materialize the interleaved [`Trace`]. This is the
+//!   executable spec, unchanged from its conformance origin so every
+//!   canned corpus case stays byte-identical.
+//! * [`TraceSpec::emit_into`] — the streaming twin: lazy per-branch
+//!   outcome cursors feeding any [`TraceSink`] in [`CHUNK_RECORDS`]
+//!   batches, so a probe program or repro workload can flow through the
+//!   same chunked pipeline as the paper-scale generators. Only
+//!   [`Interleave::Shuffled`] materializes anything proportional to the
+//!   trace (its global emission order).
+
+use crate::{BranchRecord, Pc, Trace, TraceBuffer, TraceSink, CHUNK_RECORDS};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One phase of a branch's outcome script.
+#[derive(Debug, Clone)]
+pub enum Segment {
+    /// `len` consecutive outcomes in the same direction — trip-cap and
+    /// popcount-word stress when `len` nears 255 or a multiple of 64.
+    Run {
+        /// Direction of every outcome in the run.
+        taken: bool,
+        /// Run length.
+        len: usize,
+    },
+    /// A fixed pattern repeated verbatim; periods near 63..=65 probe the
+    /// ring-capacity boundary of the k-ago sweep.
+    Pattern {
+        /// One period of outcomes.
+        bits: Vec<bool>,
+        /// Number of times the period is emitted.
+        repeats: usize,
+    },
+    /// A counted loop: `trip` taken outcomes then one not-taken exit,
+    /// repeated `exits` times — `trip` near 255 crosses the run-length
+    /// class-replay cap.
+    Loop {
+        /// Taken iterations before each exit.
+        trip: usize,
+        /// Number of complete loop executions.
+        exits: usize,
+    },
+    /// A pattern whose polarity inverts whenever the branch's cumulative
+    /// outcome index crosses a 64-outcome word boundary — the exact seam
+    /// word-parallel kernels split work at.
+    WordFlip {
+        /// One period of outcomes (pre-inversion).
+        bits: Vec<bool>,
+        /// Number of times the period is emitted.
+        repeats: usize,
+    },
+}
+
+impl Segment {
+    /// Appends this segment's outcomes to `out` (`out.len()` is the
+    /// branch's cumulative outcome index, which [`Segment::WordFlip`]
+    /// keys its polarity on).
+    fn expand(&self, out: &mut Vec<bool>) {
+        match self {
+            Segment::Run { taken, len } => out.extend(std::iter::repeat_n(*taken, *len)),
+            Segment::Pattern { bits, repeats } => {
+                for _ in 0..*repeats {
+                    out.extend_from_slice(bits);
+                }
+            }
+            Segment::Loop { trip, exits } => {
+                for _ in 0..*exits {
+                    out.extend(std::iter::repeat_n(true, *trip));
+                    out.push(false);
+                }
+            }
+            Segment::WordFlip { bits, repeats } => {
+                for _ in 0..*repeats {
+                    for &b in bits {
+                        let flip = (out.len() / 64) % 2 == 1;
+                        out.push(b ^ flip);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of outcomes this segment contributes.
+    pub fn len(&self) -> usize {
+        match self {
+            Segment::Run { len, .. } => *len,
+            Segment::Pattern { bits, repeats } => bits.len() * repeats,
+            Segment::Loop { trip, exits } => (trip + 1) * exits,
+            Segment::WordFlip { bits, repeats } => bits.len() * repeats,
+        }
+    }
+
+    /// Whether the segment contributes no outcomes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One static branch: an address, an optional backward target, and its
+/// outcome script.
+#[derive(Debug, Clone)]
+pub struct BranchScript {
+    /// The branch's address.
+    pub pc: Pc,
+    /// Taken-target; `Some(t)` with `t <= pc` makes the branch backward.
+    pub target: Option<Pc>,
+    /// Outcome script, expanded in order.
+    pub segments: Vec<Segment>,
+}
+
+impl BranchScript {
+    /// A forward branch at `pc` with the given script.
+    pub fn new(pc: Pc, segments: Vec<Segment>) -> Self {
+        BranchScript {
+            pc,
+            target: None,
+            segments,
+        }
+    }
+
+    /// The branch's full outcome sequence.
+    pub fn outcomes(&self) -> Vec<bool> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            seg.expand(&mut out);
+        }
+        out
+    }
+
+    /// Number of outcomes the script emits, without expanding it.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(Segment::len).sum()
+    }
+
+    /// Whether the script emits no outcomes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Lazy outcome iterator over a [`BranchScript`] — the streaming twin of
+/// [`BranchScript::outcomes`], yielding the identical sequence without
+/// materializing it.
+struct OutcomeCursor<'a> {
+    segments: &'a [Segment],
+    /// Index of the segment currently being emitted.
+    seg: usize,
+    /// Position within the current segment.
+    pos: usize,
+    /// Cumulative outcomes produced — [`Segment::WordFlip`] keys its
+    /// polarity on this, exactly as the eager expansion keys on
+    /// `out.len()`.
+    emitted: usize,
+}
+
+impl<'a> OutcomeCursor<'a> {
+    fn new(script: &'a BranchScript) -> Self {
+        OutcomeCursor {
+            segments: &script.segments,
+            seg: 0,
+            pos: 0,
+            emitted: 0,
+        }
+    }
+}
+
+impl Iterator for OutcomeCursor<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        loop {
+            let seg = self.segments.get(self.seg)?;
+            if self.pos >= seg.len() {
+                self.seg += 1;
+                self.pos = 0;
+                continue;
+            }
+            let out = match seg {
+                Segment::Run { taken, .. } => *taken,
+                Segment::Pattern { bits, .. } => bits[self.pos % bits.len()],
+                Segment::Loop { trip, .. } => self.pos % (trip + 1) < *trip,
+                Segment::WordFlip { bits, .. } => {
+                    bits[self.pos % bits.len()] ^ ((self.emitted / 64) % 2 == 1)
+                }
+            };
+            self.pos += 1;
+            self.emitted += 1;
+            return Some(out);
+        }
+    }
+}
+
+/// How per-branch outcome scripts are merged into one dynamic trace.
+#[derive(Debug, Clone, Copy)]
+pub enum Interleave {
+    /// One outcome from each live branch per round, in script order.
+    RoundRobin,
+    /// `n` consecutive outcomes from each live branch per round.
+    Blocks(usize),
+    /// Globally shuffled execution order (seeded, deterministic); every
+    /// branch still sees its own outcomes in script order.
+    Shuffled(u64),
+}
+
+/// A complete trace specification.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// The static branches.
+    pub branches: Vec<BranchScript>,
+    /// Merge policy.
+    pub interleave: Interleave,
+}
+
+impl TraceSpec {
+    /// Total dynamic branches the spec emits.
+    pub fn total_len(&self) -> usize {
+        self.branches.iter().map(BranchScript::len).sum()
+    }
+
+    /// Builds the dynamic trace eagerly (the executable spec —
+    /// [`TraceSpec::emit_into`] is property-tested byte-identical).
+    pub fn build(&self) -> Trace {
+        let outcomes: Vec<Vec<bool>> = self.branches.iter().map(BranchScript::outcomes).collect();
+        let order: Vec<usize> = match self.interleave {
+            Interleave::RoundRobin => interleave_blocks(&outcomes, 1),
+            Interleave::Blocks(n) => interleave_blocks(&outcomes, n.max(1)),
+            Interleave::Shuffled(seed) => {
+                let mut order: Vec<usize> = outcomes
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(b, o)| std::iter::repeat_n(b, o.len()))
+                    .collect();
+                order.shuffle(&mut StdRng::seed_from_u64(seed));
+                order
+            }
+        };
+        let mut next = vec![0usize; outcomes.len()];
+        let mut recs = Vec::with_capacity(order.len());
+        for b in order {
+            let script = &self.branches[b];
+            let taken = outcomes[b][next[b]];
+            next[b] += 1;
+            recs.push(record_for(script, taken));
+        }
+        Trace::from_records(recs)
+    }
+
+    /// Streams the dynamic trace into `sink` in [`CHUNK_RECORDS`]
+    /// batches, never materializing the per-branch outcome vectors.
+    ///
+    /// [`Interleave::Shuffled`] is the exception to "never": a seeded
+    /// global shuffle needs the full emission order (one `usize` per
+    /// dynamic branch) before the first record can be emitted; the
+    /// outcomes themselves still stream through lazy cursors.
+    pub fn emit_into<S: TraceSink>(&self, sink: &mut S) {
+        match self.interleave {
+            Interleave::RoundRobin => self.emit_blocks(1, sink),
+            Interleave::Blocks(n) => self.emit_blocks(n.max(1), sink),
+            Interleave::Shuffled(seed) => {
+                let mut order: Vec<usize> = self
+                    .branches
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(b, s)| std::iter::repeat_n(b, s.len()))
+                    .collect();
+                order.shuffle(&mut StdRng::seed_from_u64(seed));
+                let mut cursors: Vec<OutcomeCursor> =
+                    self.branches.iter().map(OutcomeCursor::new).collect();
+                let mut buf = chunk_buffer(order.len());
+                for b in order {
+                    let taken = cursors[b].next().expect("cursor length matches order");
+                    push_record(&mut buf, record_for(&self.branches[b], taken), sink);
+                }
+                flush(&mut buf, sink);
+            }
+        }
+    }
+
+    /// Block interleaving, streamed: `n` outcomes per live branch per
+    /// round until every cursor is drained.
+    fn emit_blocks<S: TraceSink>(&self, n: usize, sink: &mut S) {
+        let total = self.total_len();
+        let mut cursors: Vec<OutcomeCursor> =
+            self.branches.iter().map(OutcomeCursor::new).collect();
+        let mut buf = chunk_buffer(total);
+        let mut remaining = total;
+        while remaining > 0 {
+            for (b, cursor) in cursors.iter_mut().enumerate() {
+                for _ in 0..n {
+                    let Some(taken) = cursor.next() else { break };
+                    remaining -= 1;
+                    push_record(&mut buf, record_for(&self.branches[b], taken), sink);
+                }
+            }
+        }
+        flush(&mut buf, sink);
+    }
+}
+
+/// The record for one dynamic outcome of `script`.
+fn record_for(script: &BranchScript, taken: bool) -> BranchRecord {
+    let rec = BranchRecord::conditional(script.pc, taken);
+    match script.target {
+        Some(t) => rec.with_target(t),
+        None => rec,
+    }
+}
+
+fn chunk_buffer(total: usize) -> Vec<BranchRecord> {
+    Vec::with_capacity(total.min(CHUNK_RECORDS))
+}
+
+fn push_record<S: TraceSink>(buf: &mut Vec<BranchRecord>, rec: BranchRecord, sink: &mut S) {
+    buf.push(rec);
+    if buf.len() == CHUNK_RECORDS {
+        sink.chunk(buf);
+        buf.clear();
+    }
+}
+
+fn flush<S: TraceSink>(buf: &mut Vec<BranchRecord>, sink: &mut S) {
+    if !buf.is_empty() {
+        sink.chunk(buf);
+        buf.clear();
+    }
+}
+
+/// Convenience: stream the spec into a [`TraceBuffer`] and return the
+/// materialized [`Trace`] — the streaming path's answer to
+/// [`TraceSpec::build`].
+pub fn build_streamed(spec: &TraceSpec) -> Trace {
+    let mut buf = TraceBuffer::new();
+    spec.emit_into(&mut buf);
+    buf.into_trace()
+}
+
+/// Emission order for block interleaving: `n` outcomes per live branch
+/// per round until all scripts are drained.
+pub fn interleave_blocks(outcomes: &[Vec<bool>], n: usize) -> Vec<usize> {
+    let total: usize = outcomes.iter().map(Vec::len).sum();
+    let mut emitted = vec![0usize; outcomes.len()];
+    let mut order = Vec::with_capacity(total);
+    while order.len() < total {
+        for (b, o) in outcomes.iter().enumerate() {
+            let take = n.min(o.len() - emitted[b]);
+            order.extend(std::iter::repeat_n(b, take));
+            emitted[b] += take;
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_expand_as_specified() {
+        let script = BranchScript::new(
+            0x40,
+            vec![
+                Segment::Run {
+                    taken: true,
+                    len: 3,
+                },
+                Segment::Loop { trip: 2, exits: 1 },
+                Segment::Pattern {
+                    bits: vec![false, true],
+                    repeats: 2,
+                },
+            ],
+        );
+        assert_eq!(
+            script.outcomes(),
+            vec![true, true, true, true, true, false, false, true, false, true]
+        );
+        assert_eq!(script.len(), script.outcomes().len());
+    }
+
+    #[test]
+    fn word_flip_inverts_exactly_at_word_boundaries() {
+        let script = BranchScript::new(
+            0x40,
+            vec![Segment::WordFlip {
+                bits: vec![true],
+                repeats: 192,
+            }],
+        );
+        let outcomes = script.outcomes();
+        assert_eq!(outcomes.len(), 192);
+        for (i, &o) in outcomes.iter().enumerate() {
+            assert_eq!(o, (i / 64) % 2 == 0, "outcome {i}");
+        }
+    }
+
+    #[test]
+    fn interleaves_preserve_per_branch_order() {
+        let spec = TraceSpec {
+            branches: vec![
+                BranchScript::new(
+                    0x100,
+                    vec![Segment::Pattern {
+                        bits: vec![true, false, true],
+                        repeats: 5,
+                    }],
+                ),
+                BranchScript::new(
+                    0x200,
+                    vec![Segment::Run {
+                        taken: false,
+                        len: 9,
+                    }],
+                ),
+            ],
+            interleave: Interleave::Shuffled(7),
+        };
+        let trace = spec.build();
+        assert_eq!(trace.conditional_count(), 24);
+        for script in &spec.branches {
+            let want = script.outcomes();
+            let got: Vec<bool> = trace
+                .conditionals()
+                .filter(|r| r.pc == script.pc)
+                .map(|r| r.taken)
+                .collect();
+            assert_eq!(got, want, "branch {:#x}", script.pc);
+        }
+    }
+
+    #[test]
+    fn cursor_matches_eager_expansion_across_segment_kinds() {
+        // WordFlip polarity keys on the *cumulative* outcome index, so a
+        // preceding 70-outcome run must shift its flip seam.
+        let script = BranchScript::new(
+            0x40,
+            vec![
+                Segment::Run {
+                    taken: true,
+                    len: 70,
+                },
+                Segment::WordFlip {
+                    bits: vec![true, false, true],
+                    repeats: 50,
+                },
+                Segment::Loop { trip: 3, exits: 4 },
+                Segment::Pattern {
+                    bits: vec![],
+                    repeats: 3,
+                },
+                Segment::Pattern {
+                    bits: vec![false, true],
+                    repeats: 2,
+                },
+            ],
+        );
+        let lazy: Vec<bool> = OutcomeCursor::new(&script).collect();
+        assert_eq!(lazy, script.outcomes());
+    }
+
+    #[test]
+    fn emit_into_matches_build_for_every_interleave() {
+        let branches = vec![
+            BranchScript::new(
+                0x100,
+                vec![
+                    Segment::Pattern {
+                        bits: vec![true, false, true],
+                        repeats: 30,
+                    },
+                    Segment::Loop { trip: 5, exits: 3 },
+                ],
+            ),
+            {
+                let mut b = BranchScript::new(
+                    0x200,
+                    vec![Segment::WordFlip {
+                        bits: vec![true, true, false],
+                        repeats: 40,
+                    }],
+                );
+                b.target = Some(0x80);
+                b
+            },
+            BranchScript::new(
+                0x300,
+                vec![Segment::Run {
+                    taken: false,
+                    len: 7,
+                }],
+            ),
+        ];
+        for interleave in [
+            Interleave::RoundRobin,
+            Interleave::Blocks(5),
+            Interleave::Blocks(1000),
+            Interleave::Shuffled(0xFEED),
+        ] {
+            let spec = TraceSpec {
+                branches: branches.clone(),
+                interleave,
+            };
+            let eager = spec.build();
+            let streamed = build_streamed(&spec);
+            assert_eq!(
+                streamed.records(),
+                eager.records(),
+                "interleave {interleave:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn emit_into_chunks_at_the_streaming_granularity() {
+        let spec = TraceSpec {
+            branches: vec![BranchScript::new(
+                0x400,
+                vec![Segment::Run {
+                    taken: true,
+                    len: CHUNK_RECORDS + 17,
+                }],
+            )],
+            interleave: Interleave::RoundRobin,
+        };
+        #[derive(Default)]
+        struct ChunkSizes(Vec<usize>);
+        impl TraceSink for ChunkSizes {
+            fn chunk(&mut self, records: &[BranchRecord]) {
+                self.0.push(records.len());
+            }
+        }
+        let mut sizes = ChunkSizes::default();
+        spec.emit_into(&mut sizes);
+        assert_eq!(sizes.0, vec![CHUNK_RECORDS, 17]);
+    }
+}

@@ -15,10 +15,15 @@
 //! 4. **k-ago self-consistency** — per-branch, the `k·j`-ago predictor
 //!    on a `k`-stretched trace scores exactly `k` times the `j`-ago
 //!    predictor on the original.
+//! 5. **Degenerate TAGE** — TAGE with zero tagged tables is exactly its
+//!    bimodal base ([`bp_predictors::Smith`]), branch for branch.
+//! 6. **Degenerate perceptron** — a perceptron with zero history bits is
+//!    exactly a per-PC saturating bias counter with threshold-gated
+//!    training, branch for branch.
 
 use bp_predictors::{
-    simulate, simulate_per_branch, Gshare, GshareInterferenceFree, KthAgo, Pas,
-    PasInterferenceFree, SaturatingCounter, ShiftHistory, Smith,
+    simulate, simulate_per_branch, BranchSite, Gshare, GshareInterferenceFree, KthAgo, Pas,
+    PasInterferenceFree, Perceptron, Predictor, SaturatingCounter, ShiftHistory, Smith, Tage,
 };
 use bp_trace::{BranchRecord, Pc, Trace};
 
@@ -196,6 +201,76 @@ pub fn law_kth_ago_stretch_consistency(trace: &Trace) -> Option<String> {
     None
 }
 
+/// Law 5: `Tage::new(0, b)` ≡ `Smith::new(b)` exactly — with no tagged
+/// tables there is never a provider, every prediction and update falls
+/// through to the bimodal base, and the base indexes `pc >> 2` just like
+/// the Smith table.
+pub fn law_tage_zero_tables_is_bimodal(trace: &Trace) -> Option<String> {
+    for bits in [4u32, 8] {
+        let mut tage = Tage::new(0, bits);
+        let mut smith = Smith::new(bits);
+        let t = simulate_per_branch(&mut tage, trace);
+        let s = simulate_per_branch(&mut smith, trace);
+        for (pc, want) in s.iter() {
+            if t.get(pc) != Some(want) {
+                return Some(format!(
+                    "tage(0 tables, {bits} base bits) != smith({bits}) at branch {pc:#x}: \
+                     {:?} vs {want:?}",
+                    t.get(pc)
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Reference model for law 6: a per-PC signed bias counter saturating at
+/// the perceptron's 8-bit weight range, predicting `bias >= 0`, trained
+/// only on mispredictions or while `|bias|` is within the `h = 0`
+/// threshold (14) — the degenerate perceptron spelled out directly.
+struct BiasCounter {
+    biases: std::collections::HashMap<Pc, i32>,
+}
+
+impl Predictor for BiasCounter {
+    fn name(&self) -> String {
+        "bias-counter".to_owned()
+    }
+
+    fn predict(&self, site: BranchSite) -> bool {
+        self.biases.get(&site.pc).copied().unwrap_or(0) >= 0
+    }
+
+    fn update(&mut self, site: BranchSite, taken: bool) {
+        let bias = self.biases.entry(site.pc).or_insert(0);
+        let pred = *bias >= 0;
+        if pred != taken || bias.abs() <= 14 {
+            *bias = (*bias + if taken { 1 } else { -1 }).clamp(-128, 127);
+        }
+    }
+}
+
+/// Law 6: `Perceptron::new(0)` ≡ a per-PC threshold-gated bias counter,
+/// branch for branch — with no history bits the dot product collapses to
+/// the bias weight alone.
+pub fn law_perceptron_zero_history_is_bias_counter(trace: &Trace) -> Option<String> {
+    let mut perceptron = Perceptron::new(0);
+    let mut reference = BiasCounter {
+        biases: std::collections::HashMap::new(),
+    };
+    let p = simulate_per_branch(&mut perceptron, trace);
+    let r = simulate_per_branch(&mut reference, trace);
+    for (pc, want) in r.iter() {
+        if p.get(pc) != Some(want) {
+            return Some(format!(
+                "perceptron(0) != per-PC bias counter at branch {pc:#x}: {:?} vs {want:?}",
+                p.get(pc)
+            ));
+        }
+    }
+    None
+}
+
 /// One metamorphic law: a name and a checker returning the first
 /// violation found.
 pub struct Law {
@@ -223,6 +298,14 @@ pub fn all_laws() -> Vec<Law> {
         Law {
             name: "kth-ago-stretch-consistency",
             check: law_kth_ago_stretch_consistency,
+        },
+        Law {
+            name: "tage-zero-tables-is-bimodal",
+            check: law_tage_zero_tables_is_bimodal,
+        },
+        Law {
+            name: "perceptron-zero-history-is-bias-counter",
+            check: law_perceptron_zero_history_is_bias_counter,
         },
     ]
 }

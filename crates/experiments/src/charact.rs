@@ -1,0 +1,275 @@
+//! Workload characterization: trace-level predictability metrics and
+//! hard-to-predict (H2P) branch accounting for the eight synthetic
+//! workloads.
+//!
+//! The metrics follow the branch-predictability characterization
+//! literature (arXiv:2512.15827): **taken rate** (fraction of dynamic
+//! branches taken), **transition rate** (fraction of consecutive
+//! same-branch executions whose outcomes differ), and **best-k history
+//! correlation** (the k-ago self-agreement the §4.1.2 fixed-pattern
+//! kernel maximizes over `k ≤ 16`). H2P branches follow the
+//! hard-to-predict accounting of the learned-predictor line of work
+//! (arXiv:1906.08170): static branches a reference gshare predicts below
+//! an accuracy floor despite enough executions to train, reported with
+//! their share of all mispredictions.
+//!
+//! Everything derives from the engine's cached [`BranchStreams`] and
+//! per-branch gshare stats, so a `repro all` run pays nothing extra.
+
+use bp_trace::BranchStreams;
+use bp_workloads::Benchmark;
+
+use crate::render::{pct, Table};
+use crate::{Engine, ExperimentConfig};
+
+/// Largest history distance the correlation sweep considers.
+pub const MAX_K: usize = 16;
+/// Minimum dynamic executions before a branch can count as H2P (below
+/// this, low accuracy is warmup, not hardness).
+pub const H2P_MIN_EXECUTIONS: u64 = 64;
+/// Reference-predictor accuracy floor under which a branch is H2P.
+pub const H2P_MAX_ACCURACY: f64 = 0.95;
+
+/// Fraction of dynamic branches taken, over all branches of `streams`.
+pub fn taken_rate(streams: &BranchStreams) -> f64 {
+    let mut taken = 0u64;
+    let mut total = 0u64;
+    for (_, s) in streams.iter() {
+        taken += s.taken_count();
+        total += s.len() as u64;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        taken as f64 / total as f64
+    }
+}
+
+/// Fraction of consecutive same-branch execution pairs whose outcomes
+/// differ. A branch with `r` maximal runs over `n` executions contributes
+/// `r - 1` transitions over `n - 1` pairs.
+pub fn transition_rate(streams: &BranchStreams) -> f64 {
+    let mut transitions = 0u64;
+    let mut pairs = 0u64;
+    for (_, s) in streams.iter() {
+        if s.is_empty() {
+            continue;
+        }
+        transitions += s.runs().count() as u64 - 1;
+        pairs += s.len() as u64 - 1;
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        transitions as f64 / pairs as f64
+    }
+}
+
+/// The `(k, agreement)` maximizing k-ago self-correlation over
+/// `k = 1..=max_k`: the fraction of dynamic branches whose outcome equals
+/// their own outcome `k` executions earlier (warmup predicts taken,
+/// exactly as [`bp_predictors::KthAgo`] scores). Ties break toward the
+/// smallest `k`.
+pub fn best_k_correlation(streams: &BranchStreams, max_k: usize) -> (usize, f64) {
+    let total: u64 = streams.iter().map(|(_, s)| s.len() as u64).sum();
+    if total == 0 {
+        return (1, 0.0);
+    }
+    let mut best = (1usize, 0.0f64);
+    for k in 1..=max_k {
+        let correct: u64 = streams
+            .iter()
+            .map(|(_, s)| bp_core::kth_ago_correct(s, k))
+            .sum();
+        let agreement = correct as f64 / total as f64;
+        if agreement > best.1 {
+            best = (k, agreement);
+        }
+    }
+    best
+}
+
+/// One benchmark's characterization row.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Static branch count.
+    pub static_branches: usize,
+    /// Fraction of dynamic branches taken.
+    pub taken_rate: f64,
+    /// Fraction of consecutive same-branch pairs that flip.
+    pub transition_rate: f64,
+    /// Best history distance `k` and its self-agreement fraction.
+    pub best_k: (usize, f64),
+    /// Static branches under the H2P thresholds.
+    pub h2p_count: usize,
+    /// Share of all reference-predictor mispredictions charged to H2P
+    /// branches.
+    pub h2p_miss_share: f64,
+}
+
+/// Full characterization result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Reference predictor history bits (for the table caption).
+    pub gshare_bits: u32,
+    /// One row per benchmark, in [`Benchmark::ALL`] order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the characterization experiment.
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let rows = engine.for_each_benchmark(|benchmark| {
+        let streams = engine.streams(benchmark);
+        let reference = engine.gshare(benchmark, cfg.gshare_bits);
+        let mut h2p_count = 0usize;
+        let mut h2p_misses = 0u64;
+        for (_, stats) in reference.iter() {
+            if stats.predictions >= H2P_MIN_EXECUTIONS && stats.accuracy() < H2P_MAX_ACCURACY {
+                h2p_count += 1;
+                h2p_misses += stats.mispredictions();
+            }
+        }
+        let total_misses = reference.total().mispredictions();
+        Row {
+            benchmark,
+            static_branches: streams.static_count(),
+            taken_rate: taken_rate(&streams),
+            transition_rate: transition_rate(&streams),
+            best_k: best_k_correlation(&streams, MAX_K),
+            h2p_count,
+            h2p_miss_share: if total_misses == 0 {
+                0.0
+            } else {
+                h2p_misses as f64 / total_misses as f64
+            },
+        }
+    });
+    Result {
+        gshare_bits: cfg.gshare_bits,
+        rows,
+    }
+}
+
+impl std::fmt::Display for Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "Characterization: predictability metrics per workload",
+            &[
+                "benchmark",
+                "static",
+                "taken",
+                "transition",
+                "best-k",
+                "corr@k",
+                "H2P",
+                "H2P miss share",
+            ],
+        );
+        for row in &self.rows {
+            t.row(vec![
+                row.benchmark.short_name().to_owned(),
+                row.static_branches.to_string(),
+                pct(row.taken_rate),
+                pct(row.transition_rate),
+                row.best_k.0.to_string(),
+                pct(row.best_k.1),
+                row.h2p_count.to_string(),
+                pct(row.h2p_miss_share),
+            ]);
+        }
+        t.fmt(f)?;
+        writeln!(
+            f,
+            "\n(taken/transition/corr in %; correlation swept over k <= {MAX_K}; \
+             H2P: >= {H2P_MIN_EXECUTIONS} executions and < {:.0}% gshare({}) accuracy)",
+            H2P_MAX_ACCURACY * 100.0,
+            self.gshare_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_trace::script::{BranchScript, Interleave, Segment, TraceSpec};
+    use bp_trace::BranchStreams;
+
+    fn streams_of(segments: Vec<Segment>) -> BranchStreams {
+        let spec = TraceSpec {
+            branches: vec![BranchScript::new(0x40, segments)],
+            interleave: Interleave::RoundRobin,
+        };
+        BranchStreams::of(&spec.build())
+    }
+
+    #[test]
+    fn pure_run_has_zero_transition_rate() {
+        let s = streams_of(vec![Segment::Run {
+            taken: true,
+            len: 100,
+        }]);
+        assert_eq!(transition_rate(&s), 0.0);
+        assert_eq!(taken_rate(&s), 1.0);
+    }
+
+    #[test]
+    fn alternating_pattern_has_unit_transition_rate() {
+        let s = streams_of(vec![Segment::Pattern {
+            bits: vec![true, false],
+            repeats: 50,
+        }]);
+        assert_eq!(transition_rate(&s), 1.0);
+        assert_eq!(taken_rate(&s), 0.5);
+        // Perfect period 2: k=2 self-agreement misses only the one
+        // warmup default among the first two executions (99/100 here).
+        let (k, corr) = best_k_correlation(&s, 4);
+        assert_eq!(k, 2);
+        assert!(corr >= 0.99, "corr {corr}");
+    }
+
+    #[test]
+    fn loop_taken_rate_is_trip_over_trip_plus_one() {
+        // A loop executing its body n times per visit is `trip = n - 1`
+        // takens followed by one exit in the DSL, so the taken rate of a
+        // trip-t loop is t/(t+1) — i.e. (n-1)/n.
+        for trip in [3usize, 7, 15] {
+            let s = streams_of(vec![Segment::Loop { trip, exits: 40 }]);
+            let want = trip as f64 / (trip + 1) as f64;
+            assert!(
+                (taken_rate(&s) - want).abs() < 1e-12,
+                "trip {trip}: {} != {want}",
+                taken_rate(&s)
+            );
+            // And its period is trip+1: best-k lands exactly there.
+            let (k, corr) = best_k_correlation(&s, MAX_K);
+            assert_eq!(k, trip + 1);
+            assert!(corr > 0.95, "trip {trip} corr {corr}");
+        }
+    }
+
+    #[test]
+    fn empty_streams_do_not_divide_by_zero() {
+        let s = BranchStreams::default();
+        assert_eq!(taken_rate(&s), 0.0);
+        assert_eq!(transition_rate(&s), 0.0);
+        assert_eq!(best_k_correlation(&s, MAX_K), (1, 0.0));
+    }
+
+    #[test]
+    fn rows_cover_all_benchmarks_with_sane_ranges() {
+        let cfg = ExperimentConfig::quick();
+        let r = run(&cfg, &crate::test_engine(&cfg));
+        assert_eq!(r.rows.len(), Benchmark::ALL.len());
+        for row in &r.rows {
+            assert!((0.0..=1.0).contains(&row.taken_rate), "{row:?}");
+            assert!((0.0..=1.0).contains(&row.transition_rate), "{row:?}");
+            assert!((1..=MAX_K).contains(&row.best_k.0), "{row:?}");
+            assert!((0.0..=1.0).contains(&row.best_k.1), "{row:?}");
+            assert!((0.0..=1.0).contains(&row.h2p_miss_share), "{row:?}");
+            assert!(row.h2p_count <= row.static_branches, "{row:?}");
+            assert!(row.static_branches > 0, "{row:?}");
+        }
+    }
+}

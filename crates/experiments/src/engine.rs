@@ -38,7 +38,7 @@ use bp_core::{
 };
 use bp_predictors::{
     simulate_batch_source, Gshare, GshareInterferenceFree, Pas, PasInterferenceFree,
-    PerBranchStats, Predictor,
+    PerBranchStats, Perceptron, Predictor, Tage,
 };
 use bp_trace::{BranchProfile, BranchStreams, Pc, TagScheme, Trace};
 use bp_workloads::Benchmark;
@@ -69,6 +69,18 @@ pub enum PredictorKey {
         /// Per-address history bits.
         history_bits: u32,
     },
+    /// `Tage::new(tables, base_bits)`.
+    Tage {
+        /// Tagged-table count (histories `4 << i`).
+        tables: u32,
+        /// Bimodal base index bits.
+        base_bits: u32,
+    },
+    /// `Perceptron::new(history_bits)`.
+    Perceptron {
+        /// Global history bits.
+        history_bits: u32,
+    },
 }
 
 impl PredictorKey {
@@ -80,6 +92,8 @@ impl PredictorKey {
             PredictorKey::IfPas { history_bits } => {
                 Box::new(PasInterferenceFree::new(history_bits))
             }
+            PredictorKey::Tage { tables, base_bits } => Box::new(Tage::new(tables, base_bits)),
+            PredictorKey::Perceptron { history_bits } => Box::new(Perceptron::new(history_bits)),
         }
     }
 }
@@ -454,6 +468,16 @@ impl Engine {
     /// Cached `PasInterferenceFree::new(history_bits)` per-branch stats.
     pub fn if_pas(&self, benchmark: Benchmark, history_bits: u32) -> Arc<PerBranchStats> {
         self.per_branch(benchmark, PredictorKey::IfPas { history_bits })
+    }
+
+    /// Cached `Tage::new(tables, base_bits)` per-branch stats.
+    pub fn tage(&self, benchmark: Benchmark, tables: u32, base_bits: u32) -> Arc<PerBranchStats> {
+        self.per_branch(benchmark, PredictorKey::Tage { tables, base_bits })
+    }
+
+    /// Cached `Perceptron::new(history_bits)` per-branch stats.
+    pub fn perceptron(&self, benchmark: Benchmark, history_bits: u32) -> Arc<PerBranchStats> {
+        self.per_branch(benchmark, PredictorKey::Perceptron { history_bits })
     }
 
     /// Cached oracle selective-history analysis for one configuration.

@@ -34,11 +34,14 @@
 //! | `adaptivity` | extension — static vs adaptive PHTs | [`ext_adaptivity`] |
 //! | `family` | extension — family sweeps vs history length | [`ext_family`] |
 //! | `warmup` | extension — warmup curves & miss burstiness | [`ext_warmup`] |
+//! | `modern` | extension — TAGE/perceptron per-class accuracy | [`modern`] |
+//! | `charact` | extension — workload predictability characterization | [`charact`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifacts;
+pub mod charact;
 pub mod cli;
 pub mod engine;
 pub mod ext_adaptivity;
@@ -54,6 +57,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod goldens;
+pub mod modern;
 pub mod render;
 pub mod table1;
 pub mod table2;
@@ -137,6 +141,8 @@ pub fn run_experiment(id: &str, cfg: &ExperimentConfig, engine: &Engine) -> Opti
         "adaptivity" => ext_adaptivity::run(cfg, engine).to_string(),
         "family" => ext_family::run(cfg, engine).to_string(),
         "warmup" => ext_warmup::run(cfg, engine).to_string(),
+        "modern" => modern::run(cfg, engine).to_string(),
+        "charact" => charact::run(cfg, engine).to_string(),
         _ => return None,
     };
     Some(rendered)
@@ -144,8 +150,9 @@ pub fn run_experiment(id: &str, cfg: &ExperimentConfig, engine: &Engine) -> Opti
 
 /// Identifiers of every reproducible experiment, in paper order, followed
 /// by the extensions (hybrid study, interference accounting,
-/// correlation-distance profile, adaptivity comparison).
-pub const EXPERIMENT_IDS: [&str; 15] = [
+/// correlation-distance profile, adaptivity comparison, modern zoo,
+/// workload characterization).
+pub const EXPERIMENT_IDS: [&str; 17] = [
     "table1",
     "fig4",
     "fig5",
@@ -161,4 +168,6 @@ pub const EXPERIMENT_IDS: [&str; 15] = [
     "adaptivity",
     "family",
     "warmup",
+    "modern",
+    "charact",
 ];

@@ -1,0 +1,229 @@
+//! Modern zoo: TAGE and perceptron accuracy next to the 1998 predictors,
+//! broken down by the paper's per-address predictability classes.
+//!
+//! The paper's §4 classes are predictor-agnostic, so they compose with
+//! any predictor driven through the [`bp_predictors::Predictor`] trait.
+//! This experiment asks the question the paper could not: how much of the
+//! loop-exit and long-pattern predictability that a global-history
+//! predictor leaves on the table (figure 6's Loop and pattern classes)
+//! does a tagged geometric-history predictor recover, and how much does a
+//! linear perceptron?
+//!
+//! The answer the synthetic workloads give: the interference-free PAs
+//! idealization already captures Loop-class branches (short trip counts
+//! fit its per-address history), so TAGE's recovery shows up against
+//! *gshare* on loops, and against *both* 1998 predictors on the
+//! Repeating-Pattern class, where neither a 16-bit uniform global window
+//! nor 12 bits of per-address history spans the patterns that TAGE's
+//! longest tables do.
+
+use bp_core::PaClass;
+use bp_predictors::PredictionStats;
+use bp_workloads::Benchmark;
+
+use crate::render::{pct, pp, Table};
+use crate::{Engine, ExperimentConfig, PredictorKey};
+
+/// Tagged-table count of the reference TAGE geometry (histories 4..32).
+pub const TAGE_TABLES: u32 = 4;
+/// Bimodal base index bits of the reference TAGE geometry.
+pub const TAGE_BASE_BITS: u32 = 12;
+/// Global history bits of the reference perceptron geometry.
+pub const PERCEPTRON_BITS: u32 = 32;
+
+/// Number of compared predictors (gshare, PAs, TAGE, perceptron).
+pub const ZOO: usize = 4;
+
+/// One benchmark's per-predictor, per-class accuracy decomposition.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Overall stats per predictor, in [`Result::labels`] order.
+    pub overall: [PredictionStats; ZOO],
+    /// Per-class stats: `per_class[class][predictor]`, classes in
+    /// [`PaClass::ALL`] order.
+    pub per_class: [[PredictionStats; ZOO]; 4],
+}
+
+/// Full modern-zoo comparison result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Predictor display labels, in column order.
+    pub labels: [String; ZOO],
+    /// One row per benchmark, in [`Benchmark::ALL`] order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the modern-zoo comparison.
+pub fn run(cfg: &ExperimentConfig, engine: &Engine) -> Result {
+    let keys = [
+        PredictorKey::Gshare {
+            bits: cfg.gshare_bits,
+        },
+        PredictorKey::PasDefault,
+        PredictorKey::Tage {
+            tables: TAGE_TABLES,
+            base_bits: TAGE_BASE_BITS,
+        },
+        PredictorKey::Perceptron {
+            history_bits: PERCEPTRON_BITS,
+        },
+    ];
+    let labels = [
+        format!("gshare({})", cfg.gshare_bits),
+        "pas(12,10,4)".to_owned(),
+        format!(
+            "tage({TAGE_TABLES},{},{TAGE_BASE_BITS})",
+            4u32 << (TAGE_TABLES - 1)
+        ),
+        format!("perceptron({PERCEPTRON_BITS})"),
+    ];
+    let rows = engine.for_each_benchmark(|benchmark| {
+        let classification = engine.classification(benchmark, &cfg.classifier);
+        let stats: Vec<_> = keys
+            .iter()
+            .map(|&key| engine.per_branch(benchmark, key))
+            .collect();
+        let mut overall = [PredictionStats::default(); ZOO];
+        let mut per_class = [[PredictionStats::default(); ZOO]; 4];
+        for (pc, scores) in classification.iter() {
+            let class = PaClass::ALL
+                .iter()
+                .position(|&c| c == scores.class())
+                .expect("class in ALL");
+            for (p, per_branch) in stats.iter().enumerate() {
+                if let Some(s) = per_branch.get(pc) {
+                    overall[p].merge(*s);
+                    per_class[class][p].merge(*s);
+                }
+            }
+        }
+        Row {
+            benchmark,
+            overall,
+            per_class,
+        }
+    });
+    Result { labels, rows }
+}
+
+impl Result {
+    /// Pools one class across every benchmark, per predictor.
+    pub fn pooled_class(&self, class: usize) -> [PredictionStats; ZOO] {
+        let mut pooled = [PredictionStats::default(); ZOO];
+        for row in &self.rows {
+            for (p, pool) in pooled.iter_mut().enumerate() {
+                pool.merge(row.per_class[class][p]);
+            }
+        }
+        pooled
+    }
+
+    /// TAGE minus gshare accuracy on the pooled Loop class, in percentage
+    /// points — the headline number: loop-exit predictability that a
+    /// uniform global history window misses and the geometric window
+    /// recovers.
+    pub fn tage_loop_gain_pp(&self) -> f64 {
+        let loop_class = self.pooled_class(1);
+        (loop_class[2].accuracy() - loop_class[0].accuracy()) * 100.0
+    }
+
+    /// TAGE minus the better 1998 predictor on the pooled
+    /// Repeating-Pattern class, in percentage points — where the tagged
+    /// geometric tables win outright.
+    pub fn tage_pattern_gain_pp(&self) -> f64 {
+        let class = self.pooled_class(2);
+        let best_1998 = class[0].accuracy().max(class[1].accuracy());
+        (class[2].accuracy() - best_1998) * 100.0
+    }
+}
+
+impl std::fmt::Display for Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let headers: Vec<&str> = std::iter::once("benchmark")
+            .chain(self.labels.iter().map(String::as_str))
+            .collect();
+        let mut t = Table::new(
+            "Modern zoo: overall accuracy (% of dynamic branches)",
+            &headers,
+        );
+        for row in &self.rows {
+            let mut cells = vec![row.benchmark.short_name().to_owned()];
+            cells.extend(row.overall.iter().map(|s| pct(s.accuracy())));
+            t.row(cells);
+        }
+        t.fmt(f)?;
+        writeln!(f)?;
+
+        let mut headers: Vec<&str> = std::iter::once("class")
+            .chain(self.labels.iter().map(String::as_str))
+            .collect();
+        headers.push("dyn share");
+        let mut t = Table::new(
+            "Modern zoo: accuracy by predictability class (benchmarks pooled)",
+            &headers,
+        );
+        let total_dynamic: u64 = (0..4).map(|c| self.pooled_class(c)[0].predictions).sum();
+        for (c, class) in PaClass::ALL.iter().enumerate() {
+            let pooled = self.pooled_class(c);
+            let mut cells = vec![class.label().to_owned()];
+            cells.extend(pooled.iter().map(|s| pct(s.accuracy())));
+            cells.push(pct(
+                pooled[0].predictions as f64 / total_dynamic.max(1) as f64
+            ));
+            t.row(cells);
+        }
+        t.fmt(f)?;
+        writeln!(
+            f,
+            "\nTAGE - gshare on Loop-class branches: {} pp (loop-exit predictability the \
+             geometric history window recovers)\nTAGE - best-of-1998 on Repeating-Pattern \
+             branches: {} pp",
+            pp(self.tage_loop_gain_pp()),
+            pp(self.tage_pattern_gain_pp())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_decompose_overall_and_tage_recovers_loops() {
+        let cfg = ExperimentConfig::quick();
+        let r = run(&cfg, &crate::test_engine(&cfg));
+        assert_eq!(r.rows.len(), Benchmark::ALL.len());
+        for row in &r.rows {
+            for p in 0..ZOO {
+                // Every dynamic branch lands in exactly one class, so the
+                // class stats must partition the overall stats.
+                let sum: u64 = (0..4).map(|c| row.per_class[c][p].predictions).sum();
+                assert_eq!(sum, row.overall[p].predictions, "{:?}", row.benchmark);
+                let correct: u64 = (0..4).map(|c| row.per_class[c][p].correct).sum();
+                assert_eq!(correct, row.overall[p].correct, "{:?}", row.benchmark);
+                let acc = row.overall[p].accuracy();
+                assert!((0.0..=1.0).contains(&acc));
+            }
+            // All predictors scored the same dynamic branch population.
+            for p in 1..ZOO {
+                assert_eq!(row.overall[p].predictions, row.overall[0].predictions);
+            }
+        }
+        // The headline: TAGE's long geometric history captures loop exits
+        // that gshare's uniform 16-bit window misses...
+        assert!(
+            r.tage_loop_gain_pp() > 0.0,
+            "tage loop gain {}",
+            r.tage_loop_gain_pp()
+        );
+        // ...and beats both 1998 predictors outright on repeating
+        // patterns longer than either of their histories.
+        assert!(
+            r.tage_pattern_gain_pp() > 1.0,
+            "tage pattern gain {}",
+            r.tage_pattern_gain_pp()
+        );
+    }
+}

@@ -141,7 +141,7 @@ fn golden_write_verify_roundtrip_and_config_mismatch() {
         .output()
         .expect("run repro");
     assert!(out.status.success(), "{out:?}");
-    assert!(String::from_utf8_lossy(&out.stderr).contains("wrote 15 golden fingerprints"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("wrote 17 golden fingerprints"));
 
     let out = repro()
         .args([
@@ -157,7 +157,7 @@ fn golden_write_verify_roundtrip_and_config_mismatch() {
         .output()
         .expect("run repro");
     assert!(out.status.success(), "{out:?}");
-    assert!(String::from_utf8_lossy(&out.stderr).contains("goldens verified: 15 experiments"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("goldens verified: 17 experiments"));
 
     // A different seed must be rejected up front as a config mismatch.
     let out = repro()

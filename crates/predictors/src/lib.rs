@@ -17,6 +17,8 @@
 //! | [`KthAgo`] | fixed-length-pattern class predictor (§4.1.2) |
 //! | [`BlockPattern`] | block-pattern class predictor (§4.1.2) |
 //! | [`Hybrid`] | McFarling chooser hybrid (§2.1) |
+//! | [`Tage`] | tagged geometric-history predictor (modern-zoo extension) |
+//! | [`Perceptron`] | per-PC perceptron over global history (modern-zoo extension) |
 //!
 //! The interference-free variants keep one logical pattern-history table per
 //! static branch (implemented as unbounded keyed counter maps), exactly the
@@ -53,12 +55,14 @@ mod kth_ago;
 mod loop_pred;
 mod pas;
 mod path;
+mod perceptron;
 mod pht;
 mod site;
 mod smith;
 mod static_pht;
 mod statics;
 mod stats;
+mod tage;
 mod yeh_patt;
 
 pub use block::BlockPattern;
@@ -74,6 +78,7 @@ pub use kth_ago::{KthAgo, MAX_PERIOD};
 pub use loop_pred::{LoopPredictor, MAX_TRIP};
 pub use pas::{Pas, PasInterferenceFree};
 pub use path::PathBased;
+pub use perceptron::Perceptron;
 pub use pht::{KeyedCounters, PatternHistoryTable};
 pub use site::BranchSite;
 pub use smith::Smith;
@@ -83,6 +88,7 @@ pub use stats::{
     simulate, simulate_batch, simulate_batch_source, simulate_per_branch, PerBranchStats,
     PredictionStats,
 };
+pub use tage::Tage;
 pub use yeh_patt::{global_family, per_address_family, Gag, Pag};
 
 /// A dynamic branch direction predictor.

@@ -1,0 +1,388 @@
+use crate::counter::SaturatingCounter;
+use crate::history::ShiftHistory;
+use crate::pht::PatternHistoryTable;
+use crate::{BranchSite, Predictor};
+
+/// Per-table geometry shared by every [`Tage`] built through [`Tage::new`]:
+/// `2^10` entries per tagged table.
+const INDEX_BITS: u32 = 10;
+/// Tag width of every tagged entry (partial tags, as in the original TAGE).
+const TAG_BITS: u32 = 8;
+/// Shortest tagged history length; table `i` observes
+/// `MIN_HISTORY << i` outcomes.
+const MIN_HISTORY: u32 = 4;
+/// Width of the tagged prediction counters (3-bit, per Seznec & Michaud).
+const CTR_BITS: u8 = 3;
+/// Saturation ceiling of the per-entry useful counters.
+const USEFUL_MAX: u8 = 3;
+/// Updates between useful-counter aging passes (each pass halves every
+/// useful counter, so stale providers eventually become replaceable).
+const AGING_PERIOD: u64 = 1 << 18;
+/// Sanity ceiling on the tagged-table count (geometric doubling from
+/// [`MIN_HISTORY`] exceeds the 64-bit history register beyond this).
+const MAX_TABLES: usize = 8;
+
+/// One tagged entry: a partial tag, a prediction counter, and a useful
+/// counter that arbitrates replacement.
+#[derive(Debug, Clone, Copy)]
+struct TagEntry {
+    tag: u64,
+    ctr: SaturatingCounter,
+    useful: u8,
+}
+
+/// One tagged component table observing a fixed global-history length.
+#[derive(Debug, Clone)]
+struct TaggedTable {
+    history_bits: u32,
+    history_mask: u64,
+    entries: Vec<TagEntry>,
+}
+
+impl TaggedTable {
+    fn new(history_bits: u32) -> Self {
+        let history_mask = if history_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << history_bits) - 1
+        };
+        TaggedTable {
+            history_bits,
+            history_mask,
+            entries: vec![
+                TagEntry {
+                    tag: 0,
+                    ctr: SaturatingCounter::weakly_not_taken(CTR_BITS),
+                    useful: 0,
+                };
+                1 << INDEX_BITS
+            ],
+        }
+    }
+
+    /// Folds this table's view of the global history down to `bits` bits
+    /// (XOR of consecutive `bits`-wide chunks).
+    fn fold(&self, history: u64, bits: u32) -> u64 {
+        let mask = (1u64 << bits) - 1;
+        let mut v = history & self.history_mask;
+        let mut out = 0;
+        while v != 0 {
+            out ^= v & mask;
+            v >>= bits;
+        }
+        out
+    }
+
+    /// Entry index for `(pc, history)`.
+    fn index(&self, pc: u64, history: u64) -> usize {
+        let fold = self.fold(history, INDEX_BITS);
+        ((fold ^ pc ^ (pc >> INDEX_BITS)) & ((1u64 << INDEX_BITS) - 1)) as usize
+    }
+
+    /// Partial tag for `(pc, history)` — a second, differently-folded hash
+    /// so index aliases rarely share a tag.
+    fn tag(&self, pc: u64, history: u64) -> u64 {
+        let f1 = self.fold(history, TAG_BITS);
+        let f2 = self.fold(history, TAG_BITS - 1) << 1;
+        (pc ^ f1 ^ f2) & ((1u64 << TAG_BITS) - 1)
+    }
+}
+
+/// A TAGE-style predictor: a bimodal base table plus `N` tagged tables
+/// observing geometrically increasing global-history lengths (Seznec &
+/// Michaud's TAgged GEometric predictor, the reference design of the
+/// modern zoo — see Mittal's survey, arXiv:1804.00261).
+///
+/// Prediction comes from the *provider* — the matching tagged entry with
+/// the longest history — with the next-longest match (or the base table)
+/// as the *alternate*. On an overall misprediction a new entry is
+/// allocated in a longer table whose slot is not useful; per-entry useful
+/// counters are incremented when the provider beats the alternate,
+/// decremented when it loses, and periodically aged so dead entries free
+/// up.
+///
+/// With zero tagged tables the predictor **is** its bimodal base —
+/// exactly [`crate::Smith`] with the same index width, a collapse the
+/// conformance metamorphic laws pin.
+#[derive(Debug, Clone)]
+pub struct Tage {
+    base: PatternHistoryTable,
+    base_bits: u32,
+    tables: Vec<TaggedTable>,
+    history: ShiftHistory,
+    tick: u64,
+}
+
+/// A provider/alternate pair located during the table scan:
+/// `(table index, entry index)`.
+type Slot = (usize, usize);
+
+impl Tage {
+    /// Creates a TAGE with `tables` tagged tables of history lengths
+    /// `MIN_HISTORY << i` (4, 8, 16, 32, 64 for the first five) over a
+    /// bimodal base of `2^base_bits` two-bit counters.
+    ///
+    /// `tables == 0` degenerates to the bare bimodal base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_bits` is not in `1..=28` or the longest history
+    /// would exceed 64 bits (`tables > 5`).
+    pub fn new(tables: u32, base_bits: u32) -> Self {
+        let histories: Vec<u32> = (0..tables).map(|i| MIN_HISTORY << i).collect();
+        Tage::with_histories(base_bits, &histories)
+    }
+
+    /// As [`Tage::new`] with explicit per-table history lengths (strictly
+    /// ascending, each `1..=64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-ascending or out-of-range history list, more than
+    /// 8 tables, or `base_bits` outside `1..=28`.
+    pub fn with_histories(base_bits: u32, histories: &[u32]) -> Self {
+        assert!(
+            histories.len() <= MAX_TABLES,
+            "at most {MAX_TABLES} tagged tables"
+        );
+        assert!(
+            histories.windows(2).all(|w| w[0] < w[1]),
+            "history lengths must be strictly ascending"
+        );
+        assert!(
+            histories.iter().all(|&h| (1..=64).contains(&h)),
+            "history lengths must be 1..=64"
+        );
+        Tage {
+            base: PatternHistoryTable::new(base_bits, SaturatingCounter::two_bit()),
+            base_bits,
+            tables: histories.iter().map(|&h| TaggedTable::new(h)).collect(),
+            history: ShiftHistory::new(64),
+            tick: 0,
+        }
+    }
+
+    /// Longest tagged history length, 0 with no tagged tables.
+    pub fn max_history(&self) -> u32 {
+        self.tables.last().map_or(0, |t| t.history_bits)
+    }
+
+    /// Number of tagged tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Scans every tagged table for `pc`, returning the provider (longest
+    /// matching) and alternate (next longest) slots.
+    fn find(&self, pc: u64) -> (Option<Slot>, Option<Slot>) {
+        let history = self.history.value();
+        let mut provider = None;
+        let mut alt = None;
+        for (t, table) in self.tables.iter().enumerate() {
+            let idx = table.index(pc, history);
+            if table.entries[idx].tag == table.tag(pc, history) {
+                alt = provider;
+                provider = Some((t, idx));
+            }
+        }
+        (provider, alt)
+    }
+
+    fn slot_prediction(&self, slot: Option<Slot>, pc: u64) -> bool {
+        match slot {
+            Some((t, i)) => self.tables[t].entries[i].ctr.predict_taken(),
+            None => self.base.predict(pc),
+        }
+    }
+}
+
+impl Default for Tage {
+    /// Four tagged tables (histories 4/8/16/32) over a 4096-entry base —
+    /// the modern-zoo reference geometry.
+    fn default() -> Self {
+        Tage::new(4, 12)
+    }
+}
+
+impl Predictor for Tage {
+    fn name(&self) -> String {
+        format!(
+            "tage({},{},{})",
+            self.tables.len(),
+            self.max_history(),
+            self.base_bits
+        )
+    }
+
+    fn predict(&self, site: BranchSite) -> bool {
+        let pc = site.pc >> 2;
+        let (provider, _) = self.find(pc);
+        self.slot_prediction(provider, pc)
+    }
+
+    fn update(&mut self, site: BranchSite, taken: bool) {
+        let pc = site.pc >> 2;
+        let history = self.history.value();
+        let (provider, alt) = self.find(pc);
+        let pred = self.slot_prediction(provider, pc);
+        let alt_pred = self.slot_prediction(alt, pc);
+
+        match provider {
+            Some((t, i)) => {
+                // The useful counter tracks whether the provider earns its
+                // slot: only when it actually disagrees with the alternate
+                // does its correctness carry information.
+                if pred != alt_pred {
+                    let e = &mut self.tables[t].entries[i];
+                    if pred == taken {
+                        e.useful = (e.useful + 1).min(USEFUL_MAX);
+                    } else {
+                        e.useful = e.useful.saturating_sub(1);
+                    }
+                }
+                self.tables[t].entries[i].ctr.train(taken);
+            }
+            None => self.base.train(pc, taken),
+        }
+
+        // Allocate a longer-history entry on a misprediction, taking the
+        // first not-useful slot above the provider; if every candidate is
+        // useful, decay them all instead (deterministic — no LFSR — so
+        // simulations replay bit-exactly).
+        if pred != taken {
+            let start = provider.map_or(0, |(t, _)| t + 1);
+            let mut allocated = false;
+            for t in start..self.tables.len() {
+                let idx = self.tables[t].index(pc, history);
+                let tag = self.tables[t].tag(pc, history);
+                let e = &mut self.tables[t].entries[idx];
+                if e.useful == 0 {
+                    e.tag = tag;
+                    e.ctr = if taken {
+                        SaturatingCounter::weakly_taken(CTR_BITS)
+                    } else {
+                        SaturatingCounter::weakly_not_taken(CTR_BITS)
+                    };
+                    allocated = true;
+                    break;
+                }
+            }
+            if !allocated {
+                for t in start..self.tables.len() {
+                    let idx = self.tables[t].index(pc, history);
+                    let e = &mut self.tables[t].entries[idx];
+                    e.useful = e.useful.saturating_sub(1);
+                }
+            }
+        }
+
+        self.tick += 1;
+        if self.tick >= AGING_PERIOD {
+            self.tick = 0;
+            for table in &mut self.tables {
+                for e in &mut table.entries {
+                    e.useful >>= 1;
+                }
+            }
+        }
+        self.history.push(taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, simulate_per_branch, Gshare, Smith};
+    use bp_trace::{BranchRecord, Trace};
+
+    /// A loop of trip `t`: `t` taken then one not-taken, repeated.
+    fn loop_trace(trip: usize, exits: usize) -> Trace {
+        let mut recs = Vec::new();
+        for _ in 0..exits {
+            for _ in 0..trip {
+                recs.push(BranchRecord::conditional(0x40, true));
+            }
+            recs.push(BranchRecord::conditional(0x40, false));
+        }
+        Trace::from_records(recs)
+    }
+
+    #[test]
+    fn names_and_geometry() {
+        assert_eq!(Tage::default().name(), "tage(4,32,12)");
+        assert_eq!(Tage::new(0, 10).name(), "tage(0,0,10)");
+        assert_eq!(Tage::default().max_history(), 32);
+        assert_eq!(Tage::default().table_count(), 4);
+        assert_eq!(Tage::with_histories(8, &[3, 9, 27]).max_history(), 27);
+    }
+
+    #[test]
+    fn zero_tables_is_exactly_bimodal() {
+        let trace = loop_trace(5, 100);
+        let tage = simulate_per_branch(&mut Tage::new(0, 8), &trace);
+        let smith = simulate_per_branch(&mut Smith::new(8), &trace);
+        assert_eq!(tage, smith);
+    }
+
+    #[test]
+    fn captures_long_loop_exits_bimodal_misses() {
+        // Trip 20 exceeds any counter's hysteresis: bimodal mispredicts
+        // every exit, TAGE's 32-bit-history table sees the previous exit.
+        let trace = loop_trace(20, 200);
+        let tage = simulate(&mut Tage::default(), &trace);
+        let smith = simulate(&mut Smith::new(12), &trace);
+        assert!(
+            tage.correct > smith.correct + 100,
+            "tage {} vs smith {}",
+            tage.correct,
+            smith.correct
+        );
+        assert!(tage.accuracy() > 0.98, "accuracy {}", tage.accuracy());
+    }
+
+    #[test]
+    fn beats_gshare_past_its_history_window() {
+        // Trip 24 loop: the exit is 24 outcomes back, outside gshare(16)'s
+        // window once the body saturates it, inside TAGE's 32-bit table.
+        let trace = loop_trace(24, 150);
+        let tage = simulate(&mut Tage::default(), &trace);
+        let gshare = simulate(&mut Gshare::new(16), &trace);
+        assert!(
+            tage.correct > gshare.correct,
+            "tage {} vs gshare {}",
+            tage.correct,
+            gshare.correct
+        );
+    }
+
+    #[test]
+    fn aging_halves_useful_counters() {
+        let mut tage = Tage::new(1, 4);
+        // Force a useful counter up, then push past the aging period.
+        let site = BranchSite::new(0x40, 0x80);
+        for i in 0..(AGING_PERIOD + 10) {
+            let taken = i % 3 != 0;
+            tage.update(site, taken);
+        }
+        let max_useful = tage
+            .tables
+            .iter()
+            .flat_map(|t| t.entries.iter())
+            .map(|e| e.useful)
+            .max()
+            .unwrap();
+        assert!(max_useful <= USEFUL_MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn non_ascending_histories_rejected() {
+        let _ = Tage::with_histories(8, &[8, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tagged tables")]
+    fn too_many_tables_rejected() {
+        let _ = Tage::with_histories(8, &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+}

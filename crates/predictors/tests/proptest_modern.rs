@@ -1,0 +1,121 @@
+//! Property-based tests pinning the modern-zoo predictors ([`Tage`],
+//! [`Perceptron`]) deterministic and trait-lawful on arbitrary traces,
+//! including the degenerate geometries and saturation boundaries the
+//! conformance laws lean on.
+
+use proptest::prelude::*;
+
+use bp_predictors::{simulate, simulate_per_branch, BranchSite, Perceptron, Predictor, Tage};
+use bp_trace::{BranchRecord, Trace};
+
+/// This crate's historical generator parameters, over the shared
+/// [`bp_trace::testgen`] strategy.
+fn arb_trace(max: usize) -> impl Strategy<Value = Trace> {
+    bp_trace::testgen::arb_trace(32, 0x1000, 0..max)
+}
+
+/// Every modern-zoo geometry under test, fresh — including both
+/// degenerate collapses and a single-table TAGE.
+fn modern_predictors() -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(Tage::new(0, 8)),
+        Box::new(Tage::new(1, 8)),
+        Box::new(Tage::new(4, 10)),
+        Box::new(Perceptron::new(0)),
+        Box::new(Perceptron::new(1)),
+        Box::new(Perceptron::new(16)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn modern_predictors_are_deterministic(trace in arb_trace(250)) {
+        // Same trace, two fresh instances, identical per-branch stats —
+        // byte-identical experiment artifacts rest on this (TAGE must not
+        // smuggle in LFSR allocation, perceptron no hash-order effects).
+        for (mut a, mut b) in modern_predictors().into_iter().zip(modern_predictors()) {
+            let ra = simulate_per_branch(a.as_mut(), &trace);
+            let rb = simulate_per_branch(b.as_mut(), &trace);
+            prop_assert_eq!(ra, rb, "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn modern_predictors_score_every_branch(trace in arb_trace(250)) {
+        let n = trace.conditional_count() as u64;
+        for mut p in modern_predictors() {
+            let stats = simulate(p.as_mut(), &trace);
+            prop_assert_eq!(stats.predictions, n, "{}", p.name());
+            prop_assert!(stats.correct <= n, "{}", p.name());
+            let acc = stats.accuracy();
+            prop_assert!((0.0..=1.0).contains(&acc), "{} accuracy {acc}", p.name());
+        }
+    }
+
+    #[test]
+    fn modern_predict_does_not_mutate(trace in arb_trace(120), probe_pc in 0u64..32) {
+        let probe = BranchSite::new(probe_pc * 4 + 0x1000, 0x2000);
+        for mut p in modern_predictors() {
+            for rec in trace.conditionals() {
+                let s = BranchSite::from(rec);
+                let first = p.predict(s);
+                prop_assert_eq!(p.predict(s), first, "{}", p.name());
+                let off_path = p.predict(probe);
+                prop_assert_eq!(p.predict(probe), off_path, "{}", p.name());
+                p.update(s, rec.taken);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_direction_traces_saturate_safely(taken in any::<bool>(), len in 1usize..2000) {
+        // A monotone outcome stream drives every TAGE useful counter and
+        // perceptron weight toward its bound; nothing may panic or wrap,
+        // and the tail of a long enough stream must be predicted perfectly.
+        let trace: Trace = (0..len)
+            .map(|_| BranchRecord::conditional(0x40, taken))
+            .collect();
+        for mut p in modern_predictors() {
+            let stats = simulate(p.as_mut(), &trace);
+            prop_assert_eq!(stats.predictions, len as u64, "{}", p.name());
+            if len > 64 {
+                // Warmup is bounded: at most a handful of early misses.
+                prop_assert!(
+                    stats.mispredictions() <= 8,
+                    "{} missed {} of {len} constant outcomes",
+                    p.name(),
+                    stats.mispredictions()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn name_is_pure_and_stable_under_training(trace in arb_trace(150)) {
+        for mut p in modern_predictors() {
+            let before = p.name();
+            simulate(p.as_mut(), &trace);
+            prop_assert_eq!(p.name(), before);
+        }
+    }
+}
+
+#[test]
+fn empty_and_single_branch_traces_are_safe() {
+    let empty = Trace::from_records(vec![]);
+    let single_taken = Trace::from_records(vec![BranchRecord::conditional(0x40, true)]);
+    let single_not = Trace::from_records(vec![BranchRecord::conditional(0x40, false)]);
+    for trace in [&empty, &single_taken, &single_not] {
+        for mut p in modern_predictors() {
+            let stats = simulate(p.as_mut(), trace);
+            assert_eq!(
+                stats.predictions,
+                trace.conditional_count() as u64,
+                "{}",
+                p.name()
+            );
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! bp-probe sweep aliasing --jobs 4               PC-aliasing sweep, 4 workers
 //! bp-probe sweep all --base random               every probe, fair-coin trigger
 //! bp-probe sweep padding --assert 'gshare(16)=16' --assert 'pas(12,10,4)=12'
+//! bp-probe sweep padding --assert-gt 'tage(4,32,12)=16'
 //! ```
 //!
 //! Stdout is a deterministic report (accuracy tables, cliff tables,
@@ -13,6 +14,9 @@
 //! and commits it as a golden. Timings and thread counts go to stderr.
 //! `--assert LABEL=VALUE` turns a detected-cliff expectation into the
 //! exit code: 0 when every assertion holds, 1 otherwise.
+//! `--assert-gt LABEL=VALUE` instead requires every detected cliff for
+//! LABEL to sit strictly beyond VALUE — the headroom form, e.g. "TAGE's
+//! recovered history capacity exceeds gshare(16)'s".
 
 use std::process::ExitCode;
 
@@ -23,7 +27,7 @@ fn usage() {
         "usage: bp-probe sweep <padding|history|aliasing|all>\n       \
          [--rounds N] [--seed N] [--base pattern|random] [--grid A..B[:STEP]]\n       \
          [--jobs N] [--min-drop PP] [--gshare-bits N] [--pas-history N]\n       \
-         [--assert LABEL=VALUE]..."
+         [--assert LABEL=VALUE]... [--assert-gt LABEL=VALUE]..."
     );
 }
 
@@ -68,6 +72,7 @@ fn main() -> ExitCode {
         .unwrap_or(1);
     let mut grid_override: Option<Vec<usize>> = None;
     let mut asserts: Vec<(String, usize)> = Vec::new();
+    let mut asserts_gt: Vec<(String, usize)> = Vec::new();
     macro_rules! bail {
         ($($msg:tt)*) => {{
             eprintln!("error: {}", format_args!($($msg)*));
@@ -123,6 +128,16 @@ fn main() -> ExitCode {
                 },
                 None => bail!("--assert needs LABEL=VALUE"),
             },
+            "--assert-gt" => match args.next() {
+                Some(spec) => match spec.rsplit_once('=') {
+                    Some((label, value)) => match value.parse() {
+                        Ok(v) => asserts_gt.push((label.to_owned(), v)),
+                        Err(_) => bail!("bad --assert-gt value in '{spec}'"),
+                    },
+                    None => bail!("--assert-gt needs LABEL=VALUE"),
+                },
+                None => bail!("--assert-gt needs LABEL=VALUE"),
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -162,6 +177,15 @@ fn main() -> ExitCode {
     for (label, value) in &asserts {
         match report.check_assertion(label, *value) {
             Ok(()) => eprintln!("assert ok: {label} cliff at {value}"),
+            Err(why) => {
+                eprintln!("assert FAILED: {why}");
+                failed = true;
+            }
+        }
+    }
+    for (label, value) in &asserts_gt {
+        match report.check_assertion_exceeds(label, *value) {
+            Ok(()) => eprintln!("assert ok: {label} cliff beyond {value}"),
             Err(why) => {
                 eprintln!("assert FAILED: {why}");
                 failed = true;

@@ -64,13 +64,14 @@ pub struct ReportConfig {
 
 impl Default for ReportConfig {
     /// Grids sized so every default-geometry cliff (gshare 16, gas/pas
-    /// 12, smith 12, loop capacity 12/16) falls strictly inside them.
+    /// 12, smith 12, loop capacity 12/16, tage and perceptron at their
+    /// 32-branch maximum histories) falls strictly inside them.
     fn default() -> Self {
         ReportConfig {
             sweep: SweepConfig::default(),
             zoo: ZooConfig::default(),
-            padding_grid: (0..=20).collect(),
-            history_grid: (2..=20).collect(),
+            padding_grid: (0..=36).collect(),
+            history_grid: (2..=36).collect(),
             aliasing_grid: (0..=16).collect(),
         }
     }
@@ -182,6 +183,46 @@ impl ProbeReport {
         }
         Ok(())
     }
+
+    /// Checks a `label>value` headroom assertion: every detected cliff
+    /// for `label` must sit strictly beyond `value`, and at least one
+    /// section must have detected one. Used to pin that a modern
+    /// predictor's recovered history capacity exceeds a 1998 baseline's
+    /// without hard-coding its exact cliff in the invocation.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable explanation of the first violated expectation.
+    pub fn check_assertion_exceeds(&self, label: &str, value: usize) -> Result<(), String> {
+        let mut hit = false;
+        let mut seen = false;
+        for section in &self.sections {
+            let Some(col) = section.result.labels.iter().position(|l| l == label) else {
+                continue;
+            };
+            seen = true;
+            if let Some(cliff) = section.cliffs[col] {
+                if cliff.at > value {
+                    hit = true;
+                } else {
+                    return Err(format!(
+                        "{}: {label} cliff at {} (expected > {value})",
+                        section.result.kind.title(),
+                        cliff.at
+                    ));
+                }
+            }
+        }
+        if !seen {
+            return Err(format!("no probed predictor is labeled '{label}'"));
+        }
+        if !hit {
+            return Err(format!(
+                "no section detected a {label} cliff beyond {value}"
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl ProbeKind {
@@ -212,6 +253,8 @@ mod tests {
                 pas_bits: (4, 6, 2),
                 if_pas_bits: 4,
                 smith_bits: 6,
+                tage: (1, 6),
+                perceptron_bits: 6,
             },
             padding_grid: (0..=8).collect(),
             history_grid: (2..=8).collect(),
@@ -231,6 +274,13 @@ mod tests {
             .expect("pas cliff at h");
         assert!(report.check_assertion("gshare(5)", 7).is_err());
         assert!(report.check_assertion("nonesuch", 1).is_err());
+        // The headroom form: perceptron(6) sees two branches past the
+        // gshare(5) window, so its cliff sits strictly beyond 5.
+        report
+            .check_assertion_exceeds("perceptron(6)", 5)
+            .expect("perceptron cliff beyond gshare's");
+        assert!(report.check_assertion_exceeds("perceptron(6)", 20).is_err());
+        assert!(report.check_assertion_exceeds("nonesuch", 1).is_err());
     }
 
     #[test]

@@ -288,6 +288,8 @@ mod tests {
             pas_bits: (4, 6, 2),
             if_pas_bits: 4,
             smith_bits: 6,
+            tage: (1, 6),
+            perceptron_bits: 6,
         };
         let grid: Vec<usize> = (0..8).collect();
         let mut cfg = SweepConfig {

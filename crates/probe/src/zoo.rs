@@ -9,7 +9,9 @@
 //! "unconditional rate" the correlated branch is expected to collapse
 //! to when its history support falls out of the window.
 
-use bp_predictors::{Gas, Gshare, IdealStatic, Pas, PasInterferenceFree, Predictor, Smith};
+use bp_predictors::{
+    Gas, Gshare, IdealStatic, Pas, PasInterferenceFree, Perceptron, Predictor, Smith, Tage,
+};
 use bp_trace::BranchProfile;
 
 use crate::program::ProbeTrace;
@@ -29,6 +31,11 @@ pub struct ZooConfig {
     pub if_pas_bits: u32,
     /// Smith bimodal PC index bits.
     pub smith_bits: u32,
+    /// TAGE tagged-table count and bimodal base index bits (histories are
+    /// geometric, `4 << i`).
+    pub tage: (u32, u32),
+    /// Perceptron global history bits.
+    pub perceptron_bits: u32,
 }
 
 impl Default for ZooConfig {
@@ -39,6 +46,8 @@ impl Default for ZooConfig {
             pas_bits: (12, 10, 4),
             if_pas_bits: 12,
             smith_bits: 12,
+            tage: (4, 12),
+            perceptron_bits: 32,
         }
     }
 }
@@ -55,6 +64,8 @@ impl ZooConfig {
             Box::new(Gas::new(gh, gt)),
             Box::new(Pas::new(ph, pb, pt)),
             Box::new(PasInterferenceFree::new(self.if_pas_bits)),
+            Box::new(Tage::new(self.tage.0, self.tage.1)),
+            Box::new(Perceptron::new(self.perceptron_bits)),
             Box::new(IdealStatic::from_profile(&BranchProfile::of(&probe.trace))),
         ]
     }
@@ -71,6 +82,11 @@ impl ZooConfig {
             format!("gas({gh},{gt})"),
             format!("pas({ph},{pb},{pt})"),
             format!("if-pas({})", self.if_pas_bits),
+            // Tage's name depends on its derived max history; building an
+            // instance keeps the label correct by construction (cheap —
+            // tables allocate lazily enough for a label).
+            Tage::new(self.tage.0, self.tage.1).name(),
+            format!("perceptron({})", self.perceptron_bits),
             "ideal-static".to_owned(),
         ]
     }
